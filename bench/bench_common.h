@@ -1,0 +1,69 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every binary prints the rows/series of one table or figure from the paper,
+// regenerated on the simulated platform, alongside the paper's published
+// values where useful. Absolute values need not match (the substrate is a
+// simulator, not the authors' testbed); the *shape* — who wins, by roughly
+// what factor, where crossovers fall — is the reproduction target.
+
+#ifndef PVM_BENCH_BENCH_COMMON_H_
+#define PVM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/metrics/table.h"
+#include "src/workloads/runner.h"
+
+namespace pvm {
+
+struct Scenario {
+  std::string label;
+  PlatformConfig config;
+};
+
+// The paper's five deployment scenarios (§4).
+inline std::vector<Scenario> five_scenarios(bool kpti = true) {
+  std::vector<Scenario> scenarios;
+  for (DeployMode mode : {DeployMode::kKvmEptBm, DeployMode::kKvmSptBm, DeployMode::kPvmBm,
+                          DeployMode::kKvmEptNst, DeployMode::kPvmNst}) {
+    PlatformConfig config;
+    config.mode = mode;
+    config.kpti = kpti;
+    scenarios.push_back({std::string(deploy_mode_name(mode)), config});
+  }
+  return scenarios;
+}
+
+// Workload size multiplier, settable via the PVM_BENCH_SCALE environment
+// variable (e.g. 0.1 for a quick smoke run). Benches already run at a
+// documented scale-down versus the paper's sizes; this stacks on top.
+inline double bench_scale() {
+  const char* env = std::getenv("PVM_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double value = std::atof(env);
+  return value > 0 ? value : 1.0;
+}
+
+inline double to_us(SimTime ns) { return static_cast<double>(ns) / 1e3; }
+inline double to_seconds(SimTime ns) { return static_cast<double>(ns) / 1e9; }
+
+inline void print_header(const char* experiment, const char* paper_ref, const char* notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  if (notes != nullptr && notes[0] != '\0') {
+    std::printf("%s\n", notes);
+  }
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace pvm
+
+#endif  // PVM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Figure 2: overhead analysis of nested virtualization — execution time of
+// kvm (NST) normalized to kvm (BM).
+//
+// Paper shape: LMbench ops without intensive memory activity stay near 1x;
+// fork/exec/sh grow; the 16-container concurrent workloads explode (kbuild
+// ~5x, SPECjbb up to two orders of magnitude).
+
+#include "bench/bench_common.h"
+#include "src/workloads/apps.h"
+#include "src/workloads/lmbench.h"
+
+namespace pvm {
+namespace {
+
+std::uint64_t lmbench_latency(DeployMode mode, LmbenchOp op, int iterations) {
+  PlatformConfig config;
+  config.mode = mode;
+  VirtualPlatform platform(config);
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(256));
+  platform.sim().run();
+  std::uint64_t latency = 0;
+  platform.sim().spawn([](SecureContainer& cc, LmbenchOp o, int iters,
+                          std::uint64_t* out) -> Task<void> {
+    *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), o, iters, LmbenchParams{});
+  }(c, op, iterations, &latency));
+  platform.sim().run();
+  return latency;
+}
+
+double kbuild_mean_seconds(DeployMode mode, int containers) {
+  PlatformConfig config;
+  config.mode = mode;
+  VirtualPlatform platform(config);
+  AppParams params;
+  params.size = 0.5 * bench_scale();
+  const ContainersResult result = run_containers(
+      platform, containers,
+      [&](int, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
+        return app_kbuild(c, vcpu, proc, params);
+      });
+  return result.mean_seconds();
+}
+
+double specjbb_mean_seconds(DeployMode mode, int containers) {
+  PlatformConfig config;
+  config.mode = mode;
+  VirtualPlatform platform(config);
+  AppParams params;
+  params.size = 0.5 * bench_scale();
+  const ContainersResult result = run_containers(
+      platform, containers,
+      [&](int, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
+        return [](SecureContainer& cc, Vcpu& v, GuestProcess& p, AppParams ap) -> Task<void> {
+          (void)co_await app_specjbb(cc, v, p, ap);
+        }(c, vcpu, proc, params);
+      });
+  return result.mean_seconds();
+}
+
+}  // namespace
+}  // namespace pvm
+
+int main() {
+  using namespace pvm;
+  print_header("Figure 2: kvm (NST) execution time normalized to kvm (BM)",
+               "PVM paper, Fig. 2",
+               "LMbench ops: 1 container; kbuild/specjbb: 16 containers");
+
+  const struct {
+    const char* name;
+    LmbenchOp op;
+    int iterations;
+  } kOps[] = {
+      {"null call", LmbenchOp::kNullIo, 200},   {"stat", LmbenchOp::kStat, 200},
+      {"open/close", LmbenchOp::kOpenClose, 100}, {"slct tcp", LmbenchOp::kSelectTcp, 200},
+      {"sig inst", LmbenchOp::kSigInstall, 200}, {"sig hndl", LmbenchOp::kSigHandle, 200},
+      {"fork", LmbenchOp::kForkProc, 20},       {"exec", LmbenchOp::kExecProc, 20},
+      {"sh", LmbenchOp::kShProc, 10},
+  };
+
+  TextTable table({"benchmark", "kvm (BM)", "kvm (NST)", "normalized"});
+  for (const auto& op : kOps) {
+    const std::uint64_t bm = lmbench_latency(DeployMode::kKvmEptBm, op.op, op.iterations);
+    const std::uint64_t nst = lmbench_latency(DeployMode::kKvmEptNst, op.op, op.iterations);
+    table.add_row({op.name, TextTable::cell(to_us(bm)) + " us",
+                   TextTable::cell(to_us(nst)) + " us",
+                   TextTable::cell(static_cast<double>(nst) / static_cast<double>(bm))});
+  }
+
+  {
+    const double bm = kbuild_mean_seconds(DeployMode::kKvmEptBm, 16);
+    const double nst = kbuild_mean_seconds(DeployMode::kKvmEptNst, 16);
+    table.add_row({"kbuild (16c)", TextTable::cell(bm) + " s", TextTable::cell(nst) + " s",
+                   TextTable::cell(nst / bm)});
+  }
+  {
+    const double bm = specjbb_mean_seconds(DeployMode::kKvmEptBm, 16);
+    const double nst = specjbb_mean_seconds(DeployMode::kKvmEptNst, 16);
+    table.add_row({"specjbb (16c)", TextTable::cell(bm) + " s", TextTable::cell(nst) + " s",
+                   TextTable::cell(nst / bm)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape: plain syscall ops near 1x; fork/exec/sh above 1x;\n");
+  std::printf("concurrent kbuild ~5x and specjbb orders of magnitude worse.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks of the simulation substrate itself —
+// wall-clock performance of the pieces every experiment leans on (page
+// walks, TLB, DES scheduling, fault protocols). Not a paper figure; used to
+// keep the harness fast enough for the full sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "src/arch/page_table.h"
+#include "src/arch/tlb.h"
+#include "src/backends/platform.h"
+#include "src/mmu/two_dim_walk.h"
+#include "src/sim/random.h"
+
+namespace pvm {
+namespace {
+
+void BM_PageTableMap(benchmark::State& state) {
+  PageTable table("bench", nullptr);
+  std::uint64_t va = 0;
+  for (auto _ : state) {
+    table.map(va, va >> kPageShift, PteFlags::rw_user());
+    va += kPageSize;
+  }
+}
+BENCHMARK(BM_PageTableMap);
+
+void BM_PageTableWalkHit(benchmark::State& state) {
+  PageTable table("bench", nullptr);
+  for (std::uint64_t va = 0; va < 1024 * kPageSize; va += kPageSize) {
+    table.map(va, va >> kPageShift, PteFlags::rw_user());
+  }
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::uint64_t va = rng.next_below(1024) * kPageSize;
+    benchmark::DoNotOptimize(table.walk(va, AccessType::kRead, true));
+  }
+}
+BENCHMARK(BM_PageTableWalkHit);
+
+void BM_TwoDimWalk(benchmark::State& state) {
+  FrameAllocator frames("bench", 1u << 20);
+  PageTable gpt("gpt", &frames);
+  PageTable ept("ept", nullptr);
+  for (std::uint64_t va = 0; va < 256 * kPageSize; va += kPageSize) {
+    const std::uint64_t frame = frames.allocate_or_throw();
+    gpt.map(va, frame, PteFlags::rw_user());
+    ept.map(frame << kPageShift, frame + 1000, PteFlags::rw_kernel());
+  }
+  const WalkResult walk = gpt.walk(0, AccessType::kRead, true);
+  for (int i = 0; i < walk.levels_walked; ++i) {
+    ept.map(walk.node_frames[i] << kPageShift, walk.node_frames[i] + 1000,
+            PteFlags::rw_kernel());
+  }
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::uint64_t va = rng.next_below(256) * kPageSize;
+    benchmark::DoNotOptimize(walk_two_dimensional(gpt, ept, va, AccessType::kRead, true));
+  }
+}
+BENCHMARK(BM_TwoDimWalk);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  Tlb tlb;
+  for (std::uint64_t vpn = 0; vpn < 1024; ++vpn) {
+    tlb.insert(1, 1, vpn, Pte::make(vpn, PteFlags::rw_user()));
+  }
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(1, 1, rng.next_below(1024)));
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int t = 0; t < 8; ++t) {
+      sim.spawn([](Simulation& s) -> Task<void> {
+        for (int i = 0; i < 1000; ++i) {
+          co_await s.delay(10);
+        }
+      }(sim));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    Resource lock(sim, "lock");
+    for (int t = 0; t < 16; ++t) {
+      sim.spawn([](Simulation& s, Resource& r) -> Task<void> {
+        for (int i = 0; i < 200; ++i) {
+          ScopedResource guard = co_await r.scoped();
+          co_await s.delay(5);
+        }
+      }(sim, lock));
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 3200);
+}
+BENCHMARK(BM_ResourceContention);
+
+void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlatformConfig config;
+    config.mode = DeployMode::kPvmNst;
+    VirtualPlatform platform(config);
+    SecureContainer& c = platform.create_container("c0");
+    platform.sim().spawn(c.boot(8));
+    platform.sim().run();
+    GuestProcess& proc = *c.init_process();
+    proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 64ull << 20, true};
+    state.ResumeTiming();
+
+    platform.sim().spawn([](SecureContainer& cc, GuestProcess& p) -> Task<void> {
+      for (std::uint64_t i = 0; i < 512; ++i) {
+        co_await cc.kernel().touch(cc.vcpu(0), p, GuestProcess::kHeapBase + i * kPageSize,
+                                   true);
+      }
+    }(c, proc));
+    platform.sim().run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FullFaultProtocolPvmNst);
+
+}  // namespace
+}  // namespace pvm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Virtual local APIC (paper §3.3.3: "PVM reuses the interrupt controller
+// (APIC) virtualization in KVM to convert the interrupt to a virtual
+// interrupt and injects it back to the L2 guest").
+//
+// Models the pieces interrupt delivery depends on: the 256-bit IRR (requests
+// raised), ISR (in service), priority resolution by vector class, and EOI.
+
+#ifndef PVM_SRC_ARCH_APIC_H_
+#define PVM_SRC_ARCH_APIC_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+namespace pvm {
+
+class VirtualApic {
+ public:
+  static constexpr int kVectorCount = 256;
+  // Vectors below 32 are exceptions, not external interrupts.
+  static constexpr std::uint8_t kFirstExternalVector = 32;
+
+  // Raises an interrupt request (sets IRR). Re-raising a pending vector is
+  // idempotent, as on hardware. Returns false for exception vectors.
+  bool raise(std::uint8_t vector) {
+    if (vector < kFirstExternalVector) {
+      return false;
+    }
+    set_bit(irr_, vector);
+    return true;
+  }
+
+  // The highest-priority deliverable vector: the top IRR bit whose priority
+  // class exceeds the current in-service class (or any, if ISR is empty).
+  std::optional<std::uint8_t> highest_pending() const {
+    const int top_irr = highest_bit(irr_);
+    if (top_irr < 0) {
+      return std::nullopt;
+    }
+    const int top_isr = highest_bit(isr_);
+    if (top_isr >= 0 && (top_irr >> 4) <= (top_isr >> 4)) {
+      return std::nullopt;  // masked by the in-service priority class
+    }
+    return static_cast<std::uint8_t>(top_irr);
+  }
+
+  // Accepts the interrupt for delivery: IRR bit moves to ISR.
+  std::optional<std::uint8_t> accept() {
+    const auto vector = highest_pending();
+    if (!vector) {
+      return std::nullopt;
+    }
+    clear_bit(irr_, *vector);
+    set_bit(isr_, *vector);
+    return vector;
+  }
+
+  // End of interrupt: retires the highest in-service vector.
+  void eoi() {
+    const int top = highest_bit(isr_);
+    if (top >= 0) {
+      clear_bit(isr_, static_cast<std::uint8_t>(top));
+    }
+  }
+
+  bool irr_test(std::uint8_t vector) const { return test_bit(irr_, vector); }
+  bool isr_test(std::uint8_t vector) const { return test_bit(isr_, vector); }
+
+  int pending_count() const { return popcount(irr_); }
+  int in_service_count() const { return popcount(isr_); }
+
+ private:
+  using Bitmap = std::array<std::uint64_t, 4>;
+
+  static void set_bit(Bitmap& bits, std::uint8_t vector) {
+    bits[vector / 64] |= 1ull << (vector % 64);
+  }
+  static void clear_bit(Bitmap& bits, std::uint8_t vector) {
+    bits[vector / 64] &= ~(1ull << (vector % 64));
+  }
+  static bool test_bit(const Bitmap& bits, std::uint8_t vector) {
+    return (bits[vector / 64] >> (vector % 64)) & 1;
+  }
+  static int highest_bit(const Bitmap& bits) {
+    for (int word = 3; word >= 0; --word) {
+      if (bits[static_cast<std::size_t>(word)] != 0) {
+        return word * 64 + 63 -
+               std::countl_zero(bits[static_cast<std::size_t>(word)]);
+      }
+    }
+    return -1;
+  }
+  static int popcount(const Bitmap& bits) {
+    int count = 0;
+    for (const std::uint64_t word : bits) {
+      count += std::popcount(word);
+    }
+    return count;
+  }
+
+  Bitmap irr_{};
+  Bitmap isr_{};
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_ARCH_APIC_H_

@@ -1,0 +1,215 @@
+#include "src/arch/page_table.h"
+
+namespace pvm {
+
+struct PageTable::Node {
+  std::uint64_t frame = 0;
+  int level = 0;  // 4 = root (PML4) ... 1 = leaf page table
+  std::array<Pte, kEntriesPerNode> entries{};
+  std::array<std::unique_ptr<Node>, kEntriesPerNode> children;
+};
+
+PageTable::PageTable(std::string name, FrameAllocator* allocator)
+    : name_(std::move(name)), allocator_(allocator) {
+  root_ = std::make_unique<Node>();
+  root_->level = kPageTableLevels;
+  root_->frame = allocator_ ? allocator_->allocate_or_throw() : synthetic_next_frame_++;
+  owned_frames_.insert(root_->frame);
+  node_count_ = 1;
+}
+
+PageTable::~PageTable() {
+  if (root_) {
+    release_node_frames(*root_);
+  }
+}
+
+void PageTable::release_node_frames(Node& node) {
+  for (auto& child : node.children) {
+    if (child) {
+      release_node_frames(*child);
+    }
+  }
+  if (allocator_) {
+    allocator_->free(node.frame);
+  }
+}
+
+std::uint64_t PageTable::root_frame() const { return root_->frame; }
+
+PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index, MapResult& result) {
+  if (!parent.children[index]) {
+    auto child = std::make_unique<Node>();
+    child->level = parent.level - 1;
+    child->frame = allocator_ ? allocator_->allocate_or_throw() : synthetic_next_frame_++;
+    owned_frames_.insert(child->frame);
+    ++node_count_;
+    ++result.nodes_allocated;
+    // Installing the child's frame into the parent entry is a PTE store.
+    parent.entries[index] = Pte::make(child->frame, PteFlags::rw_user());
+    ++result.entries_written;
+    result.touched_table_frames.push_back(parent.frame);
+    parent.children[index] = std::move(child);
+  }
+  return parent.children[index].get();
+}
+
+const PageTable::Node* PageTable::child_at(const Node& parent, std::uint64_t index) const {
+  return parent.children[index].get();
+}
+
+MapResult PageTable::map(std::uint64_t va, std::uint64_t frame_number, const PteFlags& flags) {
+  MapResult result;
+  Node* node = root_.get();
+  for (int level = kPageTableLevels; level > 1; --level) {
+    node = ensure_child(*node, table_index(va, level), result);
+  }
+  const std::uint64_t leaf_index = table_index(va, 1);
+  Pte& leaf = node->entries[leaf_index];
+  if (leaf.present()) {
+    result.replaced = true;
+  } else {
+    ++leaf_count_;
+  }
+  leaf = Pte::make(frame_number, flags);
+  ++result.entries_written;
+  result.touched_table_frames.push_back(node->frame);
+  return result;
+}
+
+WalkResult PageTable::walk(std::uint64_t va, AccessType access, bool user_mode) const {
+  WalkResult result;
+  const Node* node = root_.get();
+  for (int level = kPageTableLevels; level > 1; --level) {
+    result.node_frames[result.levels_walked] = node->frame;
+    ++result.levels_walked;
+    const std::uint64_t index = table_index(va, level);
+    if (!node->entries[index].present() || !node->children[index]) {
+      result.missing_level = level;
+      return result;
+    }
+    node = node->children[index].get();
+  }
+  result.node_frames[result.levels_walked] = node->frame;
+  ++result.levels_walked;
+  const Pte& leaf = node->entries[table_index(va, 1)];
+  if (!leaf.present()) {
+    result.missing_level = 1;
+    return result;
+  }
+  result.present = true;
+  result.pte = leaf;
+  bool ok = true;
+  if (access == AccessType::kWrite && !leaf.writable()) {
+    ok = false;
+  }
+  if (user_mode && !leaf.user()) {
+    ok = false;
+  }
+  if (access == AccessType::kExecute && leaf.no_execute()) {
+    ok = false;
+  }
+  result.permission_ok = ok;
+  return result;
+}
+
+bool PageTable::unmap(std::uint64_t va) {
+  Pte* leaf = find_pte(va);
+  if (leaf == nullptr || !leaf->present()) {
+    return false;
+  }
+  *leaf = Pte();
+  --leaf_count_;
+  return true;
+}
+
+Pte* PageTable::find_pte(std::uint64_t va) {
+  Node* node = root_.get();
+  for (int level = kPageTableLevels; level > 1; --level) {
+    const std::uint64_t index = table_index(va, level);
+    if (!node->children[index]) {
+      return nullptr;
+    }
+    node = node->children[index].get();
+  }
+  return &node->entries[table_index(va, 1)];
+}
+
+const Pte* PageTable::find_pte(std::uint64_t va) const {
+  const Node* node = root_.get();
+  for (int level = kPageTableLevels; level > 1; --level) {
+    const std::uint64_t index = table_index(va, level);
+    if (!node->children[index]) {
+      return nullptr;
+    }
+    node = node->children[index].get();
+  }
+  return &node->entries[table_index(va, 1)];
+}
+
+bool PageTable::update_pte(std::uint64_t va, const std::function<void(Pte&)>& mutate,
+                           std::uint64_t* touched_table_frame) {
+  Node* node = root_.get();
+  for (int level = kPageTableLevels; level > 1; --level) {
+    const std::uint64_t index = table_index(va, level);
+    if (!node->children[index]) {
+      return false;
+    }
+    node = node->children[index].get();
+  }
+  Pte& leaf = node->entries[table_index(va, 1)];
+  const bool was_present = leaf.present();
+  mutate(leaf);
+  if (was_present && !leaf.present()) {
+    --leaf_count_;
+  } else if (!was_present && leaf.present()) {
+    ++leaf_count_;
+  }
+  if (touched_table_frame != nullptr) {
+    *touched_table_frame = node->frame;
+  }
+  return true;
+}
+
+void PageTable::for_each_leaf(
+    const std::function<void(std::uint64_t va, const Pte& pte)>& fn) const {
+  // Recursive descent, accumulating the virtual address prefix.
+  struct Walker {
+    const std::function<void(std::uint64_t, const Pte&)>& fn;
+
+    void visit(const Node& node, std::uint64_t prefix) const {
+      const int shift = kPageShift + 9 * (node.level - 1);
+      for (std::uint64_t i = 0; i < kEntriesPerNode; ++i) {
+        if (node.level == 1) {
+          if (node.entries[i].present()) {
+            fn(prefix | (i << shift), node.entries[i]);
+          }
+        } else if (node.children[i]) {
+          visit(*node.children[i], prefix | (i << shift));
+        }
+      }
+    }
+  };
+  Walker{fn}.visit(*root_, 0);
+}
+
+void PageTable::clear() {
+  for (auto& child : root_->children) {
+    if (child) {
+      release_node_frames(*child);
+      child.reset();
+    }
+  }
+  // Rebuild bookkeeping: only the root remains.
+  owned_frames_.clear();
+  owned_frames_.insert(root_->frame);
+  root_->entries.fill(Pte());
+  node_count_ = 1;
+  leaf_count_ = 0;
+}
+
+bool PageTable::owns_table_frame(std::uint64_t frame) const {
+  return owned_frames_.count(frame) > 0;
+}
+
+}  // namespace pvm

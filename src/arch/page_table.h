@@ -1,0 +1,117 @@
+// 4-level radix page table.
+//
+// One class serves every table in the stack — GPT2 (GVA->GPA_L2), GPT1 and
+// EPT12 (GPA_L2->GPA_L1), EPT01/EPT02 (->HPA), and the shadow tables SPT12 —
+// because they all share the x86-64 4-level structure. Addresses are raw
+// 64-bit values here; callers apply the strong types of addresses.h.
+//
+// Table pages consume frames from the owning space's FrameAllocator, so guest
+// page tables are write-protectable at frame granularity and `MapResult`
+// reports exactly which table frames each operation stored into — the unit at
+// which shadow-paging write-protect traps fire (paper §3.3.2: an n-level GPT
+// update costs n trap rounds).
+
+#ifndef PVM_SRC_ARCH_PAGE_TABLE_H_
+#define PVM_SRC_ARCH_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/arch/addresses.h"
+#include "src/arch/physical_memory.h"
+#include "src/arch/pte.h"
+
+namespace pvm {
+
+enum class AccessType { kRead, kWrite, kExecute };
+
+struct MapResult {
+  int nodes_allocated = 0;  // new table pages created for this mapping
+  int entries_written = 0;  // PTE stores performed (1..kPageTableLevels)
+  bool replaced = false;    // an existing present mapping was overwritten
+  // Frames of the table pages written to, leaf last. Shadow configurations
+  // use these to decide which stores hit write-protected frames.
+  std::vector<std::uint64_t> touched_table_frames;
+};
+
+struct WalkResult {
+  bool present = false;        // complete translation exists
+  bool permission_ok = false;  // and permits the requested access
+  Pte pte;                     // leaf PTE when present
+  int levels_walked = 0;       // table loads performed (cost model input)
+  int missing_level = 0;       // level whose entry was absent (0 if none)
+  // Frames of the table pages loaded during the walk, root first. In a
+  // 2-dimensional walk each of these loads itself requires an EPT lookup.
+  std::array<std::uint64_t, kPageTableLevels> node_frames{};
+};
+
+class PageTable {
+ public:
+  // `allocator` provides frames for table pages; may be null for tables whose
+  // backing frames are irrelevant (synthetic ids are used instead).
+  PageTable(std::string name, FrameAllocator* allocator);
+  ~PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+  PageTable(PageTable&&) = default;
+  PageTable& operator=(PageTable&&) = default;
+
+  // Installs va -> frame with `flags`, creating intermediate nodes as needed.
+  MapResult map(std::uint64_t va, std::uint64_t frame_number, const PteFlags& flags);
+
+  // Walks the tree checking permissions for `access` performed from
+  // user (`user_mode`=true) or supervisor mode.
+  WalkResult walk(std::uint64_t va, AccessType access, bool user_mode) const;
+
+  // Removes the leaf mapping. Returns true if one existed. Intermediate nodes
+  // are retained (as on real kernels, which free them lazily if at all).
+  bool unmap(std::uint64_t va);
+
+  // Pointer to the leaf PTE for va, or nullptr if the chain is incomplete.
+  Pte* find_pte(std::uint64_t va);
+  const Pte* find_pte(std::uint64_t va) const;
+
+  // Applies `mutate` to the leaf PTE if it exists; returns true on success.
+  // Reports the store into the leaf's table frame like map() does.
+  bool update_pte(std::uint64_t va, const std::function<void(Pte&)>& mutate,
+                  std::uint64_t* touched_table_frame = nullptr);
+
+  // Visits every present leaf as (va, pte).
+  void for_each_leaf(const std::function<void(std::uint64_t va, const Pte& pte)>& fn) const;
+
+  // Drops every mapping and every node except the root.
+  void clear();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t root_frame() const;
+  std::uint64_t node_count() const { return node_count_; }
+  std::uint64_t present_leaf_count() const { return leaf_count_; }
+
+  // True if `frame` backs one of this table's nodes (i.e. the frame holds
+  // page-table data). Used by shadow paging to classify write faults.
+  bool owns_table_frame(std::uint64_t frame) const;
+
+ private:
+  struct Node;
+
+  Node* ensure_child(Node& parent, std::uint64_t index, MapResult& result);
+  const Node* child_at(const Node& parent, std::uint64_t index) const;
+  void release_node_frames(Node& node);
+
+  std::string name_;
+  FrameAllocator* allocator_;
+  std::unique_ptr<Node> root_;
+  std::uint64_t synthetic_next_frame_ = 1ull << 40;  // out-of-band ids w/o allocator
+  std::uint64_t node_count_ = 0;
+  std::uint64_t leaf_count_ = 0;
+  std::unordered_set<std::uint64_t> owned_frames_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_ARCH_PAGE_TABLE_H_

@@ -1,0 +1,58 @@
+// Privileged / sensitive operations a guest kernel performs.
+//
+// These are the operations Table 1 measures: each must reach some hypervisor
+// (L0 via VMX, or the PVM L1 hypervisor via hypercall / #GP emulation).
+
+#ifndef PVM_SRC_ARCH_PRIV_OP_H_
+#define PVM_SRC_ARCH_PRIV_OP_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pvm {
+
+enum class PrivOp {
+  kHypercallNop,    // no-op hypercall (Table 1 "Hypercall")
+  kException,       // invalid-opcode exception (Table 1 "Exception")
+  kMsrRead,         // RDMSR of MSR_CORE_PERF_GLOBAL_CTRL (Table 1 "MSR access")
+  kMsrWrite,
+  kCpuid,           // CPUID (Table 1)
+  kPortIo,          // port-mapped I/O (Table 1 "PIO")
+  kIret,            // return from exception/interrupt
+  kHalt,            // HLT; PVM handles it via hypercall without leaving L1
+  kWriteCr3,        // address-space switch
+  kInvlpg,          // single-page TLB shootdown
+  kIoKick,          // virtio doorbell
+};
+
+constexpr std::string_view priv_op_name(PrivOp op) {
+  switch (op) {
+    case PrivOp::kHypercallNop:
+      return "hypercall";
+    case PrivOp::kException:
+      return "exception";
+    case PrivOp::kMsrRead:
+      return "msr_read";
+    case PrivOp::kMsrWrite:
+      return "msr_write";
+    case PrivOp::kCpuid:
+      return "cpuid";
+    case PrivOp::kPortIo:
+      return "pio";
+    case PrivOp::kIret:
+      return "iret";
+    case PrivOp::kHalt:
+      return "halt";
+    case PrivOp::kWriteCr3:
+      return "write_cr3";
+    case PrivOp::kInvlpg:
+      return "invlpg";
+    case PrivOp::kIoKick:
+      return "io_kick";
+  }
+  return "?";
+}
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_ARCH_PRIV_OP_H_

@@ -1,0 +1,121 @@
+// Page table entry encoding.
+//
+// The bit layout follows x86-64 where it matters to the reproduction:
+// present/writable/user/accessed/dirty/global hardware bits, a 40-bit frame
+// number at bits 12..51, NX at 63, and two software-available bits the
+// hypervisors use (copy-on-write and shadow-write-protect markers, mirroring
+// how KVM uses ignored PTE bits).
+
+#ifndef PVM_SRC_ARCH_PTE_H_
+#define PVM_SRC_ARCH_PTE_H_
+
+#include <cstdint>
+
+namespace pvm {
+
+struct PteFlags {
+  bool present = false;
+  bool writable = false;
+  bool user = false;
+  bool accessed = false;
+  bool dirty = false;
+  bool global = false;
+  bool no_execute = false;
+  // Software bits (x86 bits 9-11 / 52-62 are software-available).
+  bool cow = false;       // page is copy-on-write; write faults break the share
+  bool shadow_wp = false;  // frame holds a guest page table; writes must trap
+
+  static PteFlags rw_user() {
+    PteFlags f;
+    f.present = true;
+    f.writable = true;
+    f.user = true;
+    return f;
+  }
+  static PteFlags ro_user() {
+    PteFlags f;
+    f.present = true;
+    f.user = true;
+    return f;
+  }
+  static PteFlags rw_kernel() {
+    PteFlags f;
+    f.present = true;
+    f.writable = true;
+    return f;
+  }
+};
+
+class Pte {
+ public:
+  static constexpr std::uint64_t kPresent = 1ull << 0;
+  static constexpr std::uint64_t kWritable = 1ull << 1;
+  static constexpr std::uint64_t kUser = 1ull << 2;
+  static constexpr std::uint64_t kAccessed = 1ull << 5;
+  static constexpr std::uint64_t kDirty = 1ull << 6;
+  static constexpr std::uint64_t kGlobal = 1ull << 8;
+  static constexpr std::uint64_t kCow = 1ull << 9;        // software
+  static constexpr std::uint64_t kShadowWp = 1ull << 10;  // software
+  static constexpr std::uint64_t kNoExecute = 1ull << 63;
+  static constexpr std::uint64_t kFrameMask = 0x000ffffffffff000ull;
+
+  constexpr Pte() = default;
+  constexpr explicit Pte(std::uint64_t raw) : raw_(raw) {}
+
+  static Pte make(std::uint64_t frame_number, const PteFlags& flags) {
+    std::uint64_t raw = (frame_number << 12) & kFrameMask;
+    if (flags.present) raw |= kPresent;
+    if (flags.writable) raw |= kWritable;
+    if (flags.user) raw |= kUser;
+    if (flags.accessed) raw |= kAccessed;
+    if (flags.dirty) raw |= kDirty;
+    if (flags.global) raw |= kGlobal;
+    if (flags.cow) raw |= kCow;
+    if (flags.shadow_wp) raw |= kShadowWp;
+    if (flags.no_execute) raw |= kNoExecute;
+    return Pte(raw);
+  }
+
+  constexpr std::uint64_t raw() const { return raw_; }
+  constexpr bool present() const { return raw_ & kPresent; }
+  constexpr bool writable() const { return raw_ & kWritable; }
+  constexpr bool user() const { return raw_ & kUser; }
+  constexpr bool accessed() const { return raw_ & kAccessed; }
+  constexpr bool dirty() const { return raw_ & kDirty; }
+  constexpr bool global() const { return raw_ & kGlobal; }
+  constexpr bool cow() const { return raw_ & kCow; }
+  constexpr bool shadow_wp() const { return raw_ & kShadowWp; }
+  constexpr bool no_execute() const { return raw_ & kNoExecute; }
+  constexpr std::uint64_t frame_number() const { return (raw_ & kFrameMask) >> 12; }
+
+  void set_accessed() { raw_ |= kAccessed; }
+  void set_dirty() { raw_ |= kDirty; }
+  void set_writable(bool writable) {
+    raw_ = writable ? (raw_ | kWritable) : (raw_ & ~kWritable);
+  }
+  void set_cow(bool cow) { raw_ = cow ? (raw_ | kCow) : (raw_ & ~kCow); }
+  void set_shadow_wp(bool wp) { raw_ = wp ? (raw_ | kShadowWp) : (raw_ & ~kShadowWp); }
+
+  PteFlags flags() const {
+    PteFlags f;
+    f.present = present();
+    f.writable = writable();
+    f.user = user();
+    f.accessed = accessed();
+    f.dirty = dirty();
+    f.global = global();
+    f.cow = cow();
+    f.shadow_wp = shadow_wp();
+    f.no_execute = no_execute();
+    return f;
+  }
+
+  constexpr bool operator==(const Pte&) const = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_ARCH_PTE_H_

@@ -1,0 +1,103 @@
+#include "src/arch/tlb.h"
+
+namespace pvm {
+
+Tlb::Tlb(std::size_t capacity) : slots_(capacity) {}
+
+Tlb::LookupResult Tlb::lookup(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn) {
+  auto probe = [&](std::uint16_t tag) -> const Entry* {
+    auto it = index_.find(key(vpid, tag, vpn));
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    return &slots_[it->second];
+  };
+
+  const Entry* entry = probe(pcid);
+  if (entry == nullptr && pcid != kGlobalPcid) {
+    entry = probe(kGlobalPcid);
+  }
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return {};
+  }
+  ++stats_.hits;
+  return LookupResult{true, entry->frame, entry->writable, entry->user};
+}
+
+void Tlb::insert(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn, const Pte& pte) {
+  const std::uint16_t tag = pte.global() ? kGlobalPcid : pcid;
+  const std::uint64_t k = key(vpid, tag, vpn);
+
+  auto existing = index_.find(k);
+  std::size_t slot;
+  if (existing != index_.end()) {
+    slot = existing->second;
+  } else {
+    // Round-robin victim selection: deterministic replacement.
+    slot = next_victim_;
+    next_victim_ = (next_victim_ + 1) % slots_.size();
+    if (slots_[slot].valid) {
+      ++stats_.evictions;
+      invalidate_slot(slot);
+    }
+    index_[k] = slot;
+  }
+
+  Entry& entry = slots_[slot];
+  entry.valid = true;
+  entry.vpid = vpid;
+  entry.pcid = tag;
+  entry.vpn = vpn;
+  entry.frame = pte.frame_number();
+  entry.writable = pte.writable();
+  entry.user = pte.user();
+}
+
+void Tlb::invalidate_slot(std::size_t slot) {
+  Entry& entry = slots_[slot];
+  if (entry.valid) {
+    index_.erase(key(entry.vpid, entry.pcid, entry.vpn));
+    entry.valid = false;
+    ++stats_.entries_dropped;
+  }
+}
+
+void Tlb::flush_all() {
+  ++stats_.flush_all;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    invalidate_slot(i);
+  }
+}
+
+void Tlb::flush_vpid(std::uint16_t vpid) {
+  ++stats_.flush_vpid;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].valid && slots_[i].vpid == vpid) {
+      invalidate_slot(i);
+    }
+  }
+}
+
+void Tlb::flush_pcid(std::uint16_t vpid, std::uint16_t pcid) {
+  ++stats_.flush_pcid;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // Global entries survive PCID-targeted flushes, as on hardware.
+    if (slots_[i].valid && slots_[i].vpid == vpid && slots_[i].pcid == pcid) {
+      invalidate_slot(i);
+    }
+  }
+}
+
+void Tlb::flush_page(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn) {
+  auto drop = [&](std::uint16_t tag) {
+    auto it = index_.find(key(vpid, tag, vpn));
+    if (it != index_.end()) {
+      invalidate_slot(it->second);
+    }
+  };
+  drop(pcid);
+  drop(kGlobalPcid);
+}
+
+}  // namespace pvm

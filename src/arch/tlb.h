@@ -1,0 +1,94 @@
+// Tagged TLB model.
+//
+// Entries are tagged (VPID, PCID, VPN) like post-Westmere x86: VPID
+// distinguishes VMs, PCID distinguishes address spaces within a VM. Global
+// pages (the PVM switcher sets its whole region global, §3.2) match any PCID
+// and survive PCID-targeted flushes. The PCID-mapping optimization (§3.3.2)
+// works precisely because flush_pcid() is cheaper than flush_vpid(): mapped
+// guest PCIDs let the hypervisor avoid the full-VPID flush on world switches.
+//
+// Replacement is round-robin over a fixed slot array: deterministic and cheap.
+
+#ifndef PVM_SRC_ARCH_TLB_H_
+#define PVM_SRC_ARCH_TLB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/arch/pte.h"
+
+namespace pvm {
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t flush_all = 0;
+  std::uint64_t flush_vpid = 0;
+  std::uint64_t flush_pcid = 0;
+  std::uint64_t entries_dropped = 0;
+};
+
+class Tlb {
+ public:
+  static constexpr std::uint16_t kGlobalPcid = 0xfff;
+
+  explicit Tlb(std::size_t capacity = 1536);
+
+  struct LookupResult {
+    bool hit = false;
+    std::uint64_t frame = 0;
+    bool writable = false;
+    bool user = false;
+  };
+
+  // Probes for (vpid, pcid, vpn); global entries in the same VPID also match.
+  LookupResult lookup(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn);
+
+  // Installs a translation from a completed walk.
+  void insert(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn, const Pte& pte);
+
+  // Drops everything (e.g. EPT flush).
+  void flush_all();
+
+  // Drops every entry belonging to one VM.
+  void flush_vpid(std::uint16_t vpid);
+
+  // Drops non-global entries of one (vpid, pcid) address space.
+  void flush_pcid(std::uint16_t vpid, std::uint16_t pcid);
+
+  // Drops one page translation (invlpg), including a global alias.
+  void flush_page(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn);
+
+  const TlbStats& stats() const { return stats_; }
+  std::size_t valid_entries() const { return index_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint16_t vpid = 0;
+    std::uint16_t pcid = 0;
+    std::uint64_t vpn = 0;
+    std::uint64_t frame = 0;
+    bool writable = false;
+    bool user = false;
+  };
+
+  static std::uint64_t key(std::uint16_t vpid, std::uint16_t pcid, std::uint64_t vpn) {
+    return (static_cast<std::uint64_t>(vpid) << 48) | (static_cast<std::uint64_t>(pcid) << 36) |
+           (vpn & 0xfffffffffull);
+  }
+
+  void invalidate_slot(std::size_t slot);
+
+  std::vector<Entry> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::size_t next_victim_ = 0;
+  TlbStats stats_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_ARCH_TLB_H_

@@ -1,0 +1,88 @@
+// Deployment configurations (paper §4, "five scenarios").
+
+#ifndef PVM_SRC_BACKENDS_CONFIG_H_
+#define PVM_SRC_BACKENDS_CONFIG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pvm {
+
+enum class DeployMode {
+  kKvmEptBm,   // bare-metal, hardware VMX + EPT         ("kvm-ept (BM)")
+  kKvmSptBm,   // bare-metal, VMX + shadow paging at L0  ("kvm-spt (BM)")
+  kPvmBm,      // PVM as the bare-metal hypervisor       ("pvm (BM)")
+  kKvmEptNst,  // nested, EPT-on-EPT                     ("kvm-ept (NST)")
+  kPvmNst,     // nested, PVM-on-EPT                     ("pvm (NST)")
+  kSptOnEptNst,  // nested, SPT-on-EPT (§2.2 baseline, Fig. 4 "SPT-EPT")
+  kPvmDirectNst,  // nested, Xen-like direct paging (§5 future work, ours)
+};
+
+constexpr std::string_view deploy_mode_name(DeployMode mode) {
+  switch (mode) {
+    case DeployMode::kKvmEptBm:
+      return "kvm-ept (BM)";
+    case DeployMode::kKvmSptBm:
+      return "kvm-spt (BM)";
+    case DeployMode::kPvmBm:
+      return "pvm (BM)";
+    case DeployMode::kKvmEptNst:
+      return "kvm-ept (NST)";
+    case DeployMode::kPvmNst:
+      return "pvm (NST)";
+    case DeployMode::kSptOnEptNst:
+      return "spt-on-ept (NST)";
+    case DeployMode::kPvmDirectNst:
+      return "pvm-direct (NST)";
+  }
+  return "?";
+}
+
+constexpr bool deploy_mode_is_nested(DeployMode mode) {
+  return mode == DeployMode::kKvmEptNst || mode == DeployMode::kPvmNst ||
+         mode == DeployMode::kSptOnEptNst || mode == DeployMode::kPvmDirectNst;
+}
+
+constexpr bool deploy_mode_is_pvm(DeployMode mode) {
+  return mode == DeployMode::kPvmBm || mode == DeployMode::kPvmNst ||
+         mode == DeployMode::kPvmDirectNst;
+}
+
+struct PlatformConfig {
+  DeployMode mode = DeployMode::kPvmNst;
+
+  // Guest kernel page table isolation (Tables 1/2 sweep it).
+  bool kpti = true;
+
+  // PVM optimizations (Fig. 10 ablations + Table 2).
+  bool direct_switch = true;
+  bool prefault = true;
+  bool pcid_mapping = true;
+  bool fine_grained_locks = true;
+  // §5 future-work extensions: switcher-side page-fault classification and
+  // collaborative (write-protection-free, batched) page-table sync.
+  bool switcher_pf_classify = false;
+  bool collaborative_pt = false;
+
+  // Host-side nVMX VMCS shadowing (on in the paper's testbed).
+  bool vmcs_shadowing = true;
+
+  // Number of leased L1 instances in nested modes; containers are placed
+  // round-robin. More instances split the per-L1-VM L0 mmu_lock domain —
+  // the scale-out mitigation clouds actually use (each instance is still
+  // individually subject to the §2.2 bottleneck).
+  int l1_instances = 1;
+
+  // Memory sizes in 4 KiB frames. Generous defaults; frames are bookkeeping
+  // only, so large values cost nothing until mapped.
+  std::uint64_t host_frames = 64ull << 20;       // 256 GiB
+  std::uint64_t l1_frames = 48ull << 20;         // 192 GiB L1 instance
+  std::uint64_t container_frames = 2ull << 20;   // 8 GiB per secure container
+
+  // Host hardware parallelism (2x Xeon 8269CY with HT = 104 threads).
+  int host_cpus = 104;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_CONFIG_H_

@@ -1,0 +1,77 @@
+#include "src/backends/ept_memory_backend.h"
+
+namespace pvm {
+
+Task<void> EptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel,
+                                    std::uint64_t gva, AccessType access, bool user_mode) {
+  const std::uint16_t pcid = guest_pcid(proc, user_mode, kpti_);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
+      co_await sim_->delay(costs_->tlb_hit);
+      co_return;
+    }
+
+    const TwoDimWalk walk =
+        walk_two_dimensional(proc.gpt(), vm_->ept(), gva, access, user_mode);
+    co_await sim_->delay(static_cast<std::uint64_t>(walk.total_loads) * costs_->walk_load);
+
+    switch (walk.outcome) {
+      case TwoDimWalk::Outcome::kOk:
+        vcpu.tlb.insert(vpid_, pcid, page_number(gva),
+                        Pte::make(walk.host_frame, walk.guest.pte.flags()));
+        co_await sim_->delay(costs_->tlb_fill);
+        co_return;
+      case TwoDimWalk::Outcome::kGuestNotPresent:
+      case TwoDimWalk::Outcome::kGuestProtection: {
+        // Handled entirely inside the guest — no exits.
+        co_await guest_local_fault_entry();
+        const PageFaultInfo fault{gva, access, user_mode,
+                                  walk.outcome == TwoDimWalk::Outcome::kGuestProtection};
+        co_await kernel.handle_page_fault(vcpu, proc, fault);
+        co_await guest_local_fault_return();
+        break;
+      }
+      case TwoDimWalk::Outcome::kEptViolation:
+        co_await l0_->ensure_backed(*vm_, walk.violating_gpa);
+        break;
+    }
+  }
+  fault_loop_error(gva);
+}
+
+Task<void> EptMemoryBackend::gpt_map(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
+                                     std::uint64_t gpa_frame, PteFlags flags) {
+  const MapResult result = proc.gpt().map(gva, gpa_frame, flags);
+  co_await sim_->delay(static_cast<std::uint64_t>(result.entries_written) *
+                       costs_->guest_pte_store);
+  if (result.replaced) {
+    tlb_drop_page(vcpu, proc, gva);
+  }
+}
+
+Task<void> EptMemoryBackend::gpt_unmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) {
+  proc.gpt().unmap(gva);
+  // invlpg after the clear.
+  co_await sim_->delay(costs_->guest_pte_store + costs_->cr3_write / 2);
+  tlb_drop_page(vcpu, proc, gva);
+}
+
+Task<void> EptMemoryBackend::gpt_protect(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
+                                         bool writable, bool mark_cow) {
+  proc.gpt().update_pte(gva, [&](Pte& pte) {
+    pte.set_writable(writable);
+    pte.set_cow(mark_cow);
+  });
+  co_await sim_->delay(costs_->guest_pte_store + costs_->cr3_write / 2);
+  tlb_drop_page(vcpu, proc, gva);
+}
+
+Task<void> EptMemoryBackend::activate_process(Vcpu& vcpu, GuestProcess& proc,
+                                              bool kernel_ring) {
+  // CR3 write in non-root mode: no exit, PCID keeps the TLB warm.
+  vcpu.state.cr3 = proc.gpt().root_frame();
+  vcpu.state.pcid = guest_pcid(proc, !kernel_ring, kpti_);
+  co_await sim_->delay(costs_->cr3_write);
+}
+
+}  // namespace pvm

@@ -1,0 +1,181 @@
+#include "src/backends/platform.h"
+
+#include <stdexcept>
+
+#include "src/backends/ept_memory_backend.h"
+#include "src/backends/ept_on_ept_memory_backend.h"
+#include "src/backends/kvm_spt_memory_backend.h"
+#include "src/backends/pvm_cpu_backend.h"
+#include "src/backends/pvm_direct_memory_backend.h"
+#include "src/backends/pvm_memory_backend.h"
+#include "src/backends/spt_on_ept_memory_backend.h"
+#include "src/backends/vmx_cpu_backend.h"
+
+namespace pvm {
+
+Task<void> SecureContainer::compute(SimTime ns) {
+  // Timeslice through the host CPU pool: FIFO quanta approximate the host
+  // scheduler's round robin. Uncontended, this degenerates to a plain delay.
+  constexpr SimTime kQuantum = 1 * kNsPerMs;
+  SimTime remaining = ns;
+  while (remaining > 0) {
+    const SimTime slice = remaining < kQuantum ? remaining : kQuantum;
+    ScopedResource cpu = co_await platform_->host_cpus().scoped();
+    co_await sim_->delay(slice);
+    remaining -= slice;
+  }
+}
+
+Task<void> SecureContainer::boot(int init_pages) {
+  const SimTime start = sim_->now();
+  Vcpu& vcpu = add_vcpu();
+  init_process_ = co_await kernel_->create_init_process(vcpu, init_pages);
+  // Pull the container image / rootfs metadata: one I/O burst.
+  co_await kernel_->do_io(vcpu, *init_process_, *io_, 256 * 1024);
+  boot_latency_ = sim_->now() - start;
+}
+
+VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
+    : config_(config), l0_(sim_, costs_, counters_, trace_, config.host_frames) {
+  if (deploy_mode_is_nested(config_.mode)) {
+    // The general-purpose instances leased from the IaaS cloud:
+    // long-running, EPT01 warm (§4's assumption).
+    const int instances = config_.l1_instances > 0 ? config_.l1_instances : 1;
+    for (int i = 0; i < instances; ++i) {
+      const std::string name =
+          instances == 1 ? "l1-instance" : "l1-instance" + std::to_string(i);
+      l1_vms_.push_back(&l0_.create_vm(name, config_.l1_frames, /*prewarm_ept=*/true));
+    }
+  }
+  if (deploy_mode_is_pvm(config_.mode)) {
+    PvmHypervisor::Options options;
+    options.direct_switch = config_.direct_switch;
+    options.prefault = config_.prefault;
+    options.pcid_mapping = config_.pcid_mapping;
+    options.fine_grained_locks = config_.fine_grained_locks;
+    options.dual_spt = true;  // PVM always isolates guest user/kernel
+    options.switcher_pf_classify = config_.switcher_pf_classify;
+    options.collaborative_pt = config_.collaborative_pt;
+    pvm_ = std::make_unique<PvmHypervisor>(sim_, costs_, counters_, trace_, options);
+  }
+}
+
+SecureContainer& VirtualPlatform::create_container(const std::string& name) {
+  auto container = std::unique_ptr<SecureContainer>(new SecureContainer());
+  SecureContainer& c = *container;
+  c.name_ = name;
+  c.sim_ = &sim_;
+  c.platform_ = this;
+  c.io_ = std::make_unique<IoDevice>(sim_, costs_, name + ".virtio");
+
+  const std::uint16_t l2_vpid = next_l2_vpid_++;
+  // Round-robin placement across the leased L1 instances (nested modes).
+  HostHypervisor::Vm* const placed_l1 =
+      l1_vms_.empty() ? nullptr : l1_vms_[containers_.size() % l1_vms_.size()];
+
+  switch (config_.mode) {
+    case DeployMode::kKvmEptBm: {
+      c.vm_ = &l0_.create_vm(name, config_.container_frames, /*prewarm_ept=*/false);
+      c.gpa_frames_ = &c.vm_->gpa_frames();
+      c.mem_ = std::make_unique<EptMemoryBackend>(l0_, *c.vm_, config_.kpti);
+      VmxCpuBackend::Options cpu_options;
+      cpu_options.kpti = config_.kpti;
+      c.cpu_ = std::make_unique<VmxCpuBackend>(l0_, *c.vm_, cpu_options);
+      break;
+    }
+    case DeployMode::kKvmSptBm: {
+      c.vm_ = &l0_.create_vm(name, config_.container_frames, /*prewarm_ept=*/false);
+      c.gpa_frames_ = &c.vm_->gpa_frames();
+      c.mem_ = std::make_unique<KvmSptMemoryBackend>(l0_, *c.vm_, config_.kpti);
+      VmxCpuBackend::Options cpu_options;
+      cpu_options.kpti = config_.kpti;
+      cpu_options.spt_mode = true;
+      c.cpu_ = std::make_unique<VmxCpuBackend>(l0_, *c.vm_, cpu_options);
+      break;
+    }
+    case DeployMode::kPvmBm: {
+      c.owned_gpa_ = std::make_unique<FrameAllocator>(name + ".gpa", config_.container_frames);
+      c.gpa_frames_ = c.owned_gpa_.get();
+      c.engine_ = pvm_->create_memory_engine(l0_.host_frames(), name);
+      c.mem_ = std::make_unique<PvmMemoryBackend>(*pvm_, *c.engine_, nullptr, nullptr, l2_vpid,
+                                                  name);
+      c.cpu_ = std::make_unique<PvmCpuBackend>(*pvm_, *c.engine_, nullptr, nullptr, l2_vpid);
+      break;
+    }
+    case DeployMode::kKvmEptNst: {
+      c.owned_gpa_ = std::make_unique<FrameAllocator>(name + ".gpa", config_.container_frames);
+      c.gpa_frames_ = c.owned_gpa_.get();
+      placed_l1->set_nested_vmx_active(true);  // nVMX in use: L1 pinned (§2.3)
+      c.mem_ = std::make_unique<EptOnEptMemoryBackend>(l0_, *placed_l1, l2_vpid, name,
+                                                       config_.kpti);
+      VmxCpuBackend::Options cpu_options;
+      cpu_options.kpti = config_.kpti;
+      cpu_options.nested = true;
+      c.cpu_ = std::make_unique<VmxCpuBackend>(l0_, *placed_l1, cpu_options);
+      break;
+    }
+    case DeployMode::kPvmNst: {
+      c.owned_gpa_ = std::make_unique<FrameAllocator>(name + ".gpa", config_.container_frames);
+      c.gpa_frames_ = c.owned_gpa_.get();
+      c.engine_ = pvm_->create_memory_engine(placed_l1->gpa_frames(), name);
+      c.mem_ = std::make_unique<PvmMemoryBackend>(*pvm_, *c.engine_, &l0_, placed_l1, l2_vpid,
+                                                  name);
+      c.cpu_ = std::make_unique<PvmCpuBackend>(*pvm_, *c.engine_, &l0_, placed_l1, l2_vpid);
+      break;
+    }
+    case DeployMode::kPvmDirectNst: {
+      // Direct paging: the guest's "physical" space IS the L1 space — its
+      // page tables hold machine frames, so no shadow dimension exists.
+      c.gpa_frames_ = &placed_l1->gpa_frames();
+      c.engine_ = pvm_->create_memory_engine(placed_l1->gpa_frames(), name);  // PCID reuse
+      c.mem_ = std::make_unique<PvmDirectMemoryBackend>(*pvm_, &l0_, placed_l1, l2_vpid, name);
+      c.cpu_ = std::make_unique<PvmCpuBackend>(*pvm_, *c.engine_, &l0_, placed_l1, l2_vpid);
+      break;
+    }
+    case DeployMode::kSptOnEptNst: {
+      c.owned_gpa_ = std::make_unique<FrameAllocator>(name + ".gpa", config_.container_frames);
+      c.gpa_frames_ = c.owned_gpa_.get();
+      placed_l1->set_nested_vmx_active(true);  // nVMX in use: L1 pinned (§2.3)
+      c.mem_ = std::make_unique<SptOnEptMemoryBackend>(l0_, *placed_l1, l2_vpid, name,
+                                                       config_.kpti);
+      VmxCpuBackend::Options cpu_options;
+      cpu_options.kpti = config_.kpti;
+      cpu_options.nested = true;
+      cpu_options.spt_mode = true;
+      c.cpu_ = std::make_unique<VmxCpuBackend>(l0_, *placed_l1, cpu_options);
+      break;
+    }
+  }
+
+  c.kernel_ = std::make_unique<GuestKernel>(sim_, costs_, counters_, *c.gpa_frames_, *c.mem_,
+                                            *c.cpu_, config_.kpti);
+  containers_.push_back(std::move(container));
+  SecureContainer* raw = containers_.back().get();
+  const auto vcpu_provider = [raw]() { return raw->vcpu_count(); };
+  if (raw->engine_) {
+    raw->engine_->set_vcpu_count_provider(vcpu_provider);
+  }
+  if (auto* spt = dynamic_cast<KvmSptMemoryBackend*>(raw->mem_.get())) {
+    spt->engine().set_vcpu_count_provider(vcpu_provider);
+  }
+  if (auto* soe = dynamic_cast<SptOnEptMemoryBackend*>(raw->mem_.get())) {
+    soe->engine().set_vcpu_count_provider(vcpu_provider);
+  }
+  return *raw;
+}
+
+std::size_t VirtualPlatform::total_vcpus() const {
+  std::size_t total = 0;
+  for (const auto& container : containers_) {
+    total += container->vcpu_count();
+  }
+  return total;
+}
+
+double VirtualPlatform::oversubscription_factor() const {
+  const double total = static_cast<double>(total_vcpus());
+  const double cpus = static_cast<double>(config_.host_cpus);
+  return total > cpus ? total / cpus : 1.0;
+}
+
+}  // namespace pvm

@@ -1,0 +1,73 @@
+#include "src/backends/pvm_cpu_backend.h"
+
+namespace pvm {
+
+void PvmCpuBackend::world_switch_tlb_policy(Vcpu& vcpu) {
+  if (!engine_->options().pcid_mapping) {
+    // Traditional shadow paging: the guest's whole VPID tag is flushed on
+    // every world switch (§3.3.2) — the cold-start penalty PCID mapping
+    // exists to remove.
+    vcpu.tlb.flush_vpid(vpid_);
+  }
+}
+
+Task<void> PvmCpuBackend::syscall_enter(Vcpu& vcpu, GuestProcess& proc) {
+  Switcher& switcher = hypervisor_->switcher();
+  world_switch_tlb_policy(vcpu);
+  if (hypervisor_->options().direct_switch) {
+    co_await switcher.direct_switch_to_kernel(vcpu.switcher_state, vcpu.state);
+  } else {
+    // Without direct switching every syscall detours through the hypervisor,
+    // which builds the syscall frame itself.
+    co_await switcher.to_hypervisor(vcpu.switcher_state, vcpu.state, SwitchReason::kSyscall);
+    co_await hypervisor_->sim().delay(hypervisor_->costs().pvm_exit_dispatch +
+                                      hypervisor_->costs().pvm_syscall_emulation);
+    co_await switcher.enter_guest(vcpu.switcher_state, vcpu.state, VirtRing::kVRing0);
+  }
+  vcpu.state.pcid = engine_->pcid_mapper().map(proc.pid(), /*kernel_ring=*/true).hw_pcid;
+}
+
+Task<void> PvmCpuBackend::syscall_exit(Vcpu& vcpu, GuestProcess& proc) {
+  Switcher& switcher = hypervisor_->switcher();
+  world_switch_tlb_policy(vcpu);
+  if (hypervisor_->options().direct_switch) {
+    // sysret hypercall -> switcher -> guest user, no hypervisor entry.
+    co_await switcher.direct_switch_to_user(vcpu.switcher_state, vcpu.state);
+  } else {
+    co_await switcher.to_hypervisor(vcpu.switcher_state, vcpu.state, SwitchReason::kHypercall);
+    co_await hypervisor_->sim().delay(hypervisor_->costs().pvm_exit_dispatch +
+                                      hypervisor_->costs().pvm_syscall_emulation);
+    co_await switcher.enter_guest(vcpu.switcher_state, vcpu.state, VirtRing::kVRing3);
+  }
+  vcpu.state.pcid = engine_->pcid_mapper().map(proc.pid(), /*kernel_ring=*/false).hw_pcid;
+}
+
+Task<void> PvmCpuBackend::privileged_op(Vcpu& vcpu, PrivOp op) {
+  co_await hypervisor_->handle_privileged_op(vcpu.switcher_state, vcpu.state, op);
+  if (op == PrivOp::kPortIo && l1_vm_ != nullptr) {
+    // The VMM's device emulation itself runs inside a VM: operand fetches go
+    // through shadow-paged memory (the paper's 12.9 us nested PIO row).
+    co_await hypervisor_->sim().delay(hypervisor_->costs().pvm_nested_pio_extra);
+  }
+}
+
+Task<void> PvmCpuBackend::exception_roundtrip(Vcpu& vcpu) {
+  co_await hypervisor_->handle_exception_roundtrip(vcpu.switcher_state, vcpu.state);
+}
+
+Task<void> PvmCpuBackend::interrupt(Vcpu& vcpu) {
+  if (l1_vm_ != nullptr && l0_ != nullptr) {
+    // Nested: the hardware interrupt exits to L0 once (VMCS-mediated), which
+    // injects it into the L1 VM; everything after stays inside L1.
+    co_await l0_->inject_interrupt(*l1_vm_);
+  }
+  co_await hypervisor_->deliver_interrupt_to_guest(vcpu.switcher_state, vcpu.state);
+}
+
+Task<void> PvmCpuBackend::halt(Vcpu& vcpu) {
+  // HLT via hypercall: the sleep/wakeup happens inside L1 without touching
+  // the non-root/root boundary (§4.3, the fluidanimate win).
+  co_await hypervisor_->handle_privileged_op(vcpu.switcher_state, vcpu.state, PrivOp::kHalt);
+}
+
+}  // namespace pvm

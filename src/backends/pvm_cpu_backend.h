@@ -1,0 +1,51 @@
+// CPU virtualization via the PVM switcher (the pvm rows of Tables 1/2).
+//
+// All L2 privileged operations trap only to the L1 PVM hypervisor through the
+// switcher — never to L0. Syscalls take the direct-switch path when enabled
+// (Fig. 8): user -> switcher -> kernel and back via the sysret hypercall,
+// without entering the hypervisor at all. Interrupts need exactly one L0
+// exit in nested mode (the hardware injection into the L1 VM, §3.3.3);
+// running bare-metal, PVM *is* the host hypervisor and takes them directly.
+
+#ifndef PVM_SRC_BACKENDS_PVM_CPU_BACKEND_H_
+#define PVM_SRC_BACKENDS_PVM_CPU_BACKEND_H_
+
+#include "src/core/memory_engine.h"
+#include "src/core/pvm_hypervisor.h"
+#include "src/guest/backend_iface.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+class PvmCpuBackend : public CpuBackend {
+ public:
+  // `l1_vm` is the hosting L0 VM context in nested mode, nullptr bare-metal.
+  // `engine` provides the PCID mapping consulted on world switches.
+  PvmCpuBackend(PvmHypervisor& hypervisor, PvmMemoryEngine& engine, HostHypervisor* l0,
+                HostHypervisor::Vm* l1_vm, std::uint16_t vpid)
+      : hypervisor_(&hypervisor), engine_(&engine), l0_(l0), l1_vm_(l1_vm), vpid_(vpid) {}
+
+  std::string_view name() const override { return l1_vm_ ? "pvm-nested" : "pvm-bm"; }
+
+  Task<void> syscall_enter(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> syscall_exit(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> privileged_op(Vcpu& vcpu, PrivOp op) override;
+  Task<void> exception_roundtrip(Vcpu& vcpu) override;
+  Task<void> interrupt(Vcpu& vcpu) override;
+  Task<void> halt(Vcpu& vcpu) override;
+
+ private:
+  // TLB policy on a guest user/kernel transition: nothing with PCID mapping
+  // on; a full guest flush without it.
+  void world_switch_tlb_policy(Vcpu& vcpu);
+
+  PvmHypervisor* hypervisor_;
+  PvmMemoryEngine* engine_;
+  HostHypervisor* l0_;
+  HostHypervisor::Vm* l1_vm_;
+  std::uint16_t vpid_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_PVM_CPU_BACKEND_H_

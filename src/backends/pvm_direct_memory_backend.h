@@ -1,0 +1,57 @@
+// PVM direct paging (paper §5: "implementing a Xen-like 'direct paging'
+// solution on KVM by mapping the GPA->HPA relationship to the guest").
+//
+// The guest's page tables hold L1 machine frames directly, so there are no
+// shadow tables at all: the hardware walks the guest table (composed with
+// the warm EPT01 when nested) and no second fault or prefault ever happens.
+// What remains is validation — every guest page-table store is a hypercall
+// that PVM checks (the Xen PV mmu_update contract) — and fault delivery
+// through the switcher. A fresh-page fault costs 2n+2 world switches.
+//
+// Implemented as an experimental deployment (DeployMode::kPvmDirectNst);
+// not part of the paper's evaluation.
+
+#ifndef PVM_SRC_BACKENDS_PVM_DIRECT_MEMORY_BACKEND_H_
+#define PVM_SRC_BACKENDS_PVM_DIRECT_MEMORY_BACKEND_H_
+
+#include <unordered_set>
+
+#include "src/backends/memory_common.h"
+#include "src/core/pvm_hypervisor.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+class PvmDirectMemoryBackend : public MemoryBackendBase {
+ public:
+  // The container's guest-physical space *is* the L1 space in this mode
+  // (process tables and data frames are allocated from l1 frames directly).
+  PvmDirectMemoryBackend(PvmHypervisor& hypervisor, HostHypervisor* l0,
+                         HostHypervisor::Vm* l1_vm, std::uint16_t vpid,
+                         const std::string& container_name);
+
+  std::string_view name() const override { return "pvm-direct"; }
+
+  Task<void> access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel, std::uint64_t gva,
+                    AccessType access, bool user_mode) override;
+  Task<void> gpt_map(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, std::uint64_t gpa_frame,
+                     PteFlags flags) override;
+  Task<void> gpt_unmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) override;
+  Task<void> gpt_protect(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool writable,
+                         bool mark_cow) override;
+  Task<void> activate_process(Vcpu& vcpu, GuestProcess& proc, bool kernel_ring) override;
+
+ private:
+  bool validated(const GuestProcess& proc) const { return validated_.count(proc.pid()) > 0; }
+  // One mmu_update-style validation hypercall round trip.
+  Task<void> validate_store(Vcpu& vcpu, int stores);
+
+  PvmHypervisor* hypervisor_;
+  HostHypervisor* l0_;
+  HostHypervisor::Vm* l1_vm_;
+  std::unordered_set<std::uint64_t> validated_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_PVM_DIRECT_MEMORY_BACKEND_H_

@@ -1,0 +1,80 @@
+// PVM-on-EPT / PVM shadow paging (paper §3.3.2, Fig. 9).
+//
+// L1 (the PVM hypervisor) owns dual per-process shadow tables; all fault
+// handling happens between L2 and L1 through the switcher — L0 is only ever
+// touched for (rare, warm) EPT01 violations. A fresh guest page fault costs
+// 2n+4 world switches, each ~7x cheaper than a nested VMX transition, and
+// the prefault / PCID-mapping / fine-grained-lock optimizations are all
+// applied here.
+//
+// The same backend serves pvm (BM) — PVM running as the bare-metal host
+// hypervisor — by omitting the L1 VM (one-dimensional SPT walks, no L0).
+
+#ifndef PVM_SRC_BACKENDS_PVM_MEMORY_BACKEND_H_
+#define PVM_SRC_BACKENDS_PVM_MEMORY_BACKEND_H_
+
+#include <memory>
+#include <unordered_set>
+
+#include "src/backends/memory_common.h"
+#include "src/core/memory_engine.h"
+#include "src/core/pvm_hypervisor.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+class PvmMemoryBackend : public MemoryBackendBase {
+ public:
+  // `l0`/`l1_vm` are null for bare-metal deployments.
+  PvmMemoryBackend(PvmHypervisor& hypervisor, PvmMemoryEngine& engine, HostHypervisor* l0,
+                   HostHypervisor::Vm* l1_vm, std::uint16_t vpid,
+                   const std::string& container_name);
+
+  std::string_view name() const override { return l1_vm_ ? "pvm-on-ept" : "pvm-spt"; }
+
+  void on_process_created(GuestProcess& proc) override;
+  Task<void> on_process_destroyed(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel, std::uint64_t gva,
+                    AccessType access, bool user_mode) override;
+  Task<void> gpt_map(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, std::uint64_t gpa_frame,
+                     PteFlags flags) override;
+  Task<void> gpt_unmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) override;
+  Task<void> gpt_protect(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool writable,
+                         bool mark_cow) override;
+  Task<void> activate_process(Vcpu& vcpu, GuestProcess& proc, bool kernel_ring) override;
+
+  PvmMemoryEngine& engine() { return *engine_; }
+
+ private:
+  bool shadowed(const GuestProcess& proc) const { return shadowed_.count(proc.pid()) > 0; }
+  std::uint16_t tag_pcid(GuestProcess& proc, bool user_mode);
+  // One trapped GPT store: switcher round trip into PVM + emulation.
+  Task<void> trapped_store(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
+                           GptStoreKind kind);
+
+  // §5 collaborative-PT extension: GPT stores are queued in a shared ring
+  // instead of trapping; the queue is drained under one switcher round trip
+  // when full, and piggybacked for free whenever PVM is entered anyway.
+  struct PendingSync {
+    std::uint64_t pid;
+    std::uint64_t gva;
+    GptStoreKind kind;
+  };
+  static constexpr std::size_t kSyncRingCapacity = 32;
+  bool collaborative() const { return hypervisor_->options().collaborative_pt; }
+  // Queues one record; drains with a dedicated round trip when full.
+  Task<void> queue_sync(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, GptStoreKind kind);
+  // Applies all queued records (caller is conceptually in PVM context).
+  Task<void> drain_sync_ring(Vcpu& vcpu);
+
+  PvmHypervisor* hypervisor_;
+  PvmMemoryEngine* engine_;
+  HostHypervisor* l0_;
+  HostHypervisor::Vm* l1_vm_;
+  std::unordered_set<std::uint64_t> shadowed_;
+  std::vector<PendingSync> sync_ring_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_PVM_MEMORY_BACKEND_H_

@@ -1,0 +1,56 @@
+// SPT-on-EPT (NST): shadow paging in the L1 hypervisor with every L2<->L1
+// transition mediated by L0 (paper §2.2 Fig. 3a).
+//
+// The worst of both worlds — a fresh L2 page fault costs 4n+8 world switches
+// and 2n+4 exits to L0 — included as the Fig. 4 "SPT-EPT" baseline. Shares
+// the generic shadow engine (no PVM optimizations) with kvm-spt; what differs
+// is that each trap is a full nested round trip instead of one VMX exit.
+
+#ifndef PVM_SRC_BACKENDS_SPT_ON_EPT_MEMORY_BACKEND_H_
+#define PVM_SRC_BACKENDS_SPT_ON_EPT_MEMORY_BACKEND_H_
+
+#include <memory>
+#include <unordered_set>
+
+#include "src/backends/memory_common.h"
+#include "src/core/memory_engine.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+class SptOnEptMemoryBackend : public MemoryBackendBase {
+ public:
+  SptOnEptMemoryBackend(HostHypervisor& l0, HostHypervisor::Vm& l1_vm, std::uint16_t l2_vpid,
+                        const std::string& container_name, bool kpti);
+
+  std::string_view name() const override { return "spt-on-ept"; }
+
+  void on_process_created(GuestProcess& proc) override;
+  Task<void> on_process_destroyed(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel, std::uint64_t gva,
+                    AccessType access, bool user_mode) override;
+  Task<void> gpt_map(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, std::uint64_t gpa_frame,
+                     PteFlags flags) override;
+  Task<void> gpt_unmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) override;
+  Task<void> gpt_protect(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool writable,
+                         bool mark_cow) override;
+  Task<void> activate_process(Vcpu& vcpu, GuestProcess& proc, bool kernel_ring) override;
+
+  PvmMemoryEngine& engine() { return *engine_; }
+
+ private:
+  bool shadowed(const GuestProcess& proc) const { return shadowed_.count(proc.pid()) > 0; }
+  // A trapped GPT store: L2 -> L0 -> L1 emulates -> L0 -> L2.
+  Task<void> trapped_store(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
+                           GptStoreKind kind);
+
+  HostHypervisor* l0_;
+  HostHypervisor::Vm* l1_vm_;
+  bool kpti_;
+  std::unique_ptr<PvmMemoryEngine> engine_;
+  std::unordered_set<std::uint64_t> shadowed_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_SPT_ON_EPT_MEMORY_BACKEND_H_

@@ -1,0 +1,165 @@
+#include "src/backends/vmx_cpu_backend.h"
+
+namespace pvm {
+
+namespace {
+
+ExitKind op_exit_kind(PrivOp op) {
+  switch (op) {
+    case PrivOp::kHypercallNop:
+      return ExitKind::kHypercall;
+    case PrivOp::kException:
+      return ExitKind::kException;
+    case PrivOp::kMsrRead:
+    case PrivOp::kMsrWrite:
+      return ExitKind::kMsrAccess;
+    case PrivOp::kCpuid:
+      return ExitKind::kCpuid;
+    case PrivOp::kPortIo:
+      return ExitKind::kPortIo;
+    case PrivOp::kIoKick:
+      return ExitKind::kIoKick;
+    case PrivOp::kHalt:
+      return ExitKind::kHalt;
+    case PrivOp::kWriteCr3:
+    case PrivOp::kInvlpg:
+    case PrivOp::kIret:
+      return ExitKind::kCr3Write;
+  }
+  return ExitKind::kHypercall;
+}
+
+}  // namespace
+
+Task<void> VmxCpuBackend::kpti_cr3_switch(Vcpu& vcpu) {
+  const CostModel& costs = l0_->costs();
+  if (options_.spt_mode) {
+    // Shadow paging: CR3 is virtualized, so the guest's KPTI table swap is a
+    // privileged write that traps to the hypervisor, which switches the
+    // active shadow table. Nested, the trap must be forwarded to L1.
+    if (options_.nested) {
+      co_await nested_roundtrip(vcpu, ExitKind::kCr3Write, costs.l0_spt_cr3_work, 6);
+    } else {
+      co_await l0_->exit_roundtrip(*vm_, ExitKind::kCr3Write);
+    }
+    co_await l0_->sim().delay(costs.cr3_write + costs.l0_spt_cr3_work);
+  } else {
+    // EPT: the guest owns CR3; the swap costs only the instruction.
+    co_await l0_->sim().delay(costs.kpti_switch);
+  }
+}
+
+Task<void> VmxCpuBackend::syscall_enter(Vcpu& vcpu, GuestProcess& proc) {
+  // syscall instruction: guest user -> guest kernel, no VM exit.
+  co_await l0_->sim().delay(l0_->costs().ring_crossing);
+  if (options_.kpti) {
+    co_await kpti_cr3_switch(vcpu);
+  }
+  (void)proc;
+}
+
+Task<void> VmxCpuBackend::syscall_exit(Vcpu& vcpu, GuestProcess& proc) {
+  if (options_.kpti) {
+    co_await kpti_cr3_switch(vcpu);
+  }
+  co_await l0_->sim().delay(l0_->costs().ring_crossing);
+  (void)proc;
+}
+
+Task<void> VmxCpuBackend::nested_roundtrip(Vcpu& vcpu, ExitKind kind,
+                                           std::uint64_t l1_handler_ns, int vmcs12_accesses) {
+  co_await l0_->nested_forward_exit_to_l1(*vm_, vcpu.nested, kind);
+  co_await l0_->l1_vmcs12_access(*vm_, vcpu.nested, vmcs12_accesses);
+  co_await l0_->sim().delay(l1_handler_ns);
+  co_await l0_->nested_resume_l2(*vm_, vcpu.nested);
+}
+
+Task<void> VmxCpuBackend::privileged_op(Vcpu& vcpu, PrivOp op) {
+  const CostModel& costs = l0_->costs();
+  l0_->counters().add(Counter::kPrivilegedInstructionTrap);
+  switch (op) {
+    case PrivOp::kMsrRead:
+      l0_->counters().add(Counter::kMsrAccess);
+      break;
+    case PrivOp::kCpuid:
+      l0_->counters().add(Counter::kCpuid);
+      break;
+    case PrivOp::kPortIo:
+      l0_->counters().add(Counter::kPortIo);
+      break;
+    case PrivOp::kHalt:
+      l0_->counters().add(Counter::kHalt);
+      break;
+    case PrivOp::kHypercallNop:
+      l0_->counters().add(Counter::kHypercall);
+      break;
+    default:
+      break;
+  }
+
+  if (!options_.nested) {
+    if (op == PrivOp::kMsrRead) {
+      // KVM lets the guest read this MSR directly in non-root mode via the
+      // MSR bitmap — hence kvm's Table 1 MSR row costing only the (slow)
+      // PMU register access itself.
+      co_await l0_->sim().delay(costs.msr_hardware_access);
+      co_return;
+    }
+    co_await l0_->exit_roundtrip(*vm_, op_exit_kind(op));
+    co_return;
+  }
+
+  // Nested: L0 forwards the exit to L1, whose KVM handles it, then L0
+  // emulates L1's VMRESUME. PIO additionally bounces through the L1 VMM with
+  // extra decode round trips.
+  std::uint64_t l1_handler = costs.l0_simple_handler;
+  int accesses = 8;
+  if (op == PrivOp::kMsrRead || op == PrivOp::kMsrWrite) {
+    l1_handler = costs.l0_msr_handler + costs.msr_hardware_access;
+  } else if (op == PrivOp::kPortIo) {
+    l1_handler = costs.l0_pio_handler;
+    accesses = 24;
+  } else if (op == PrivOp::kIoKick) {
+    l1_handler = costs.io_kick_handler;
+  } else if (op == PrivOp::kHalt) {
+    l1_handler = costs.apic_virtualization;
+  }
+  co_await nested_roundtrip(vcpu, op_exit_kind(op), l1_handler, accesses);
+  if (op == PrivOp::kPortIo) {
+    // The L1 VMM's I/O-instruction emulation touches L2 state repeatedly,
+    // each touch another forwarded exit (the paper's 29 us PIO row).
+    co_await nested_roundtrip(vcpu, op_exit_kind(op), costs.l0_pio_handler, 12);
+    co_await nested_roundtrip(vcpu, op_exit_kind(op), costs.l0_exit_dispatch, 8);
+  }
+}
+
+Task<void> VmxCpuBackend::exception_roundtrip(Vcpu& vcpu) {
+  const CostModel& costs = l0_->costs();
+  if (!options_.nested) {
+    // Trapped exception: exit, hypervisor inspects and reflects it back into
+    // the guest (the injection cost is the exit handler's), guest handler
+    // runs, iret (no exit).
+    co_await l0_->exit_roundtrip(*vm_, ExitKind::kException);
+    co_await l0_->sim().delay(costs.guest_syscall_body_getpid);
+    co_return;
+  }
+  co_await nested_roundtrip(vcpu, ExitKind::kException,
+                            costs.l0_exception_inject + costs.guest_syscall_body_getpid, 12);
+}
+
+Task<void> VmxCpuBackend::interrupt(Vcpu& vcpu) {
+  if (!options_.nested) {
+    co_await l0_->inject_interrupt(*vm_);
+    co_return;
+  }
+  // External interrupt while L2 runs: exit to L0, inject into L1, L1's KVM
+  // converts it and injects into L2 through another emulated entry.
+  l0_->counters().add(Counter::kInterruptInjected);
+  co_await nested_roundtrip(vcpu, ExitKind::kInterrupt, l0_->costs().apic_virtualization, 10);
+}
+
+Task<void> VmxCpuBackend::halt(Vcpu& vcpu) {
+  co_await privileged_op(vcpu, PrivOp::kHalt);
+}
+
+}  // namespace pvm

@@ -1,0 +1,53 @@
+// CPU virtualization via hardware VMX (the kvm-ept / kvm-spt rows).
+//
+// Bare-metal: privileged guest operations exit to L0 and return — the
+// single-level round trips of Table 1. Nested: every L2 privileged operation
+// is forwarded by L0 to the L1 hypervisor and resumed through L0 again,
+// doubling the world switches (§2.1). Shadow-paging mode additionally traps
+// guest CR3 writes, which is what makes kvm-spt syscalls so expensive under
+// KPTI (Table 2).
+
+#ifndef PVM_SRC_BACKENDS_VMX_CPU_BACKEND_H_
+#define PVM_SRC_BACKENDS_VMX_CPU_BACKEND_H_
+
+#include "src/guest/backend_iface.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+class VmxCpuBackend : public CpuBackend {
+ public:
+  struct Options {
+    bool nested = false;     // L2 guest under an L1 KVM (kvm-ept NST)
+    bool spt_mode = false;   // shadow paging: CR3 writes trap
+    bool kpti = true;
+  };
+
+  // `vm` is the guest's direct L0 VM context in bare-metal mode, or the L1
+  // instance's VM context in nested mode.
+  VmxCpuBackend(HostHypervisor& l0, HostHypervisor::Vm& vm, const Options& options)
+      : l0_(&l0), vm_(&vm), options_(options) {}
+
+  std::string_view name() const override { return options_.nested ? "vmx-nested" : "vmx"; }
+
+  Task<void> syscall_enter(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> syscall_exit(Vcpu& vcpu, GuestProcess& proc) override;
+  Task<void> privileged_op(Vcpu& vcpu, PrivOp op) override;
+  Task<void> exception_roundtrip(Vcpu& vcpu) override;
+  Task<void> interrupt(Vcpu& vcpu) override;
+  Task<void> halt(Vcpu& vcpu) override;
+
+ private:
+  Task<void> kpti_cr3_switch(Vcpu& vcpu);
+  // One L2->L1->L2 service round trip mediated by L0 (nested mode).
+  Task<void> nested_roundtrip(Vcpu& vcpu, ExitKind kind, std::uint64_t l1_handler_ns,
+                              int vmcs12_accesses);
+
+  HostHypervisor* l0_;
+  HostHypervisor::Vm* vm_;
+  Options options_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_BACKENDS_VMX_CPU_BACKEND_H_

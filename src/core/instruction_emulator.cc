@@ -1,0 +1,148 @@
+#include "src/core/instruction_emulator.h"
+
+namespace pvm {
+
+std::string_view InstructionEmulator::name(GuestInstruction instruction) {
+  switch (instruction) {
+    case GuestInstruction::kCli:
+      return "cli";
+    case GuestInstruction::kSti:
+      return "sti";
+    case GuestInstruction::kHlt:
+      return "hlt";
+    case GuestInstruction::kInvlpg:
+      return "invlpg";
+    case GuestInstruction::kInvpcid:
+      return "invpcid";
+    case GuestInstruction::kLgdt:
+      return "lgdt";
+    case GuestInstruction::kLidt:
+      return "lidt";
+    case GuestInstruction::kLtr:
+      return "ltr";
+    case GuestInstruction::kMovToCr0:
+      return "mov %cr0";
+    case GuestInstruction::kMovToCr3:
+      return "mov %cr3";
+    case GuestInstruction::kMovToCr4:
+      return "mov %cr4";
+    case GuestInstruction::kMovFromCr3:
+      return "mov from %cr3";
+    case GuestInstruction::kRdmsr:
+      return "rdmsr";
+    case GuestInstruction::kWrmsr:
+      return "wrmsr";
+    case GuestInstruction::kIn:
+      return "in";
+    case GuestInstruction::kOut:
+      return "out";
+    case GuestInstruction::kIret:
+      return "iret";
+    case GuestInstruction::kSysret:
+      return "sysret";
+    case GuestInstruction::kSwapgs:
+      return "swapgs";
+    case GuestInstruction::kWbinvd:
+      return "wbinvd";
+    case GuestInstruction::kSgdt:
+      return "sgdt";
+    case GuestInstruction::kSidt:
+      return "sidt";
+    case GuestInstruction::kSmsw:
+      return "smsw";
+    case GuestInstruction::kStr:
+      return "str";
+    case GuestInstruction::kPushf:
+      return "pushf";
+    case GuestInstruction::kPopf:
+      return "popf";
+  }
+  return "?";
+}
+
+DecodedInstruction InstructionEmulator::decode(GuestInstruction instruction) const {
+  DecodedInstruction decoded;
+  decoded.instruction = instruction;
+
+  switch (instruction) {
+    // The hot paravirtual hypercalls (§3.3.1: iret, sysret, MSR access,
+    // interrupt-flag ops, CR3 loads, TLB ops, HLT are all in the 22-entry
+    // table).
+    case GuestInstruction::kIret:
+    case GuestInstruction::kSysret:
+    case GuestInstruction::kHlt:
+    case GuestInstruction::kMovToCr3:
+    case GuestInstruction::kInvlpg:
+    case GuestInstruction::kInvpcid:
+    case GuestInstruction::kWrmsr:
+    case GuestInstruction::kRdmsr:
+      decoded.route = EmulationRoute::kFastHypercall;
+      decoded.privileged = true;
+      decoded.emulate_ns = costs_->pvm_simple_handler;
+      break;
+
+    // Privileged, rare: trap (#GP at CPL 3) and fully emulate.
+    case GuestInstruction::kCli:
+    case GuestInstruction::kSti:
+    case GuestInstruction::kLgdt:
+    case GuestInstruction::kLidt:
+    case GuestInstruction::kLtr:
+    case GuestInstruction::kMovToCr0:
+    case GuestInstruction::kMovToCr4:
+    case GuestInstruction::kMovFromCr3:
+    case GuestInstruction::kIn:
+    case GuestInstruction::kOut:
+    case GuestInstruction::kSwapgs:
+    case GuestInstruction::kWbinvd:
+      decoded.route = EmulationRoute::kTrapAndEmulate;
+      decoded.privileged = true;
+      decoded.emulate_ns = costs_->pvm_instruction_emulate;
+      break;
+
+    // Sensitive but unprivileged: these execute at CPL 3 *without faulting*
+    // and would observe or leak host state (SGDT reveals the real GDT, PUSHF
+    // the real IF). The PV guest kernel must have replaced them (pv_cpu_ops
+    // / pv_irq_ops); they never reach the hypervisor at run time.
+    case GuestInstruction::kSgdt:
+    case GuestInstruction::kSidt:
+    case GuestInstruction::kSmsw:
+    case GuestInstruction::kStr:
+    case GuestInstruction::kPushf:
+    case GuestInstruction::kPopf:
+      decoded.route = EmulationRoute::kParavirtualized;
+      decoded.privileged = false;
+      decoded.emulate_ns = 5;  // the PV replacement is a shared-memory access
+      break;
+  }
+  return decoded;
+}
+
+std::uint64_t InstructionEmulator::emulate(const DecodedInstruction& decoded, VcpuState& vcpu,
+                                           std::uint64_t operand) const {
+  switch (decoded.instruction) {
+    case GuestInstruction::kCli:
+      vcpu.rflags_if = false;
+      break;
+    case GuestInstruction::kSti:
+    case GuestInstruction::kPopf:
+      vcpu.rflags_if = true;
+      break;
+    case GuestInstruction::kMovToCr3:
+      vcpu.cr3 = operand & ~kPageMask;
+      vcpu.pcid = static_cast<std::uint16_t>(operand & 0xfff);
+      break;
+    case GuestInstruction::kWrmsr:
+      vcpu.write_msr(static_cast<MsrIndex>(operand >> 32),
+                     operand & 0xffffffffull);
+      break;
+    case GuestInstruction::kIret:
+    case GuestInstruction::kSysret:
+      vcpu.virt_ring = VirtRing::kVRing3;
+      break;
+    default:
+      break;  // no architectural register effect in this model
+  }
+  return decoded.emulate_ns;
+}
+
+}  // namespace pvm

@@ -1,0 +1,93 @@
+// Privileged/sensitive instruction decoder + emulator model (paper §3.3.1).
+//
+// PVM "employs an instruction simulator to emulate instruction execution for
+// the L2 guest" for everything outside the 22 fast hypercalls, and manages
+// the x86 sensitive instructions through pv_cpu_ops/pv_mmu_ops/pv_irq_ops.
+// This module models that decoder: a table of the privileged and sensitive
+// instructions (Popek/Goldberg's problem set for x86), each with a decode
+// class and emulation cost, plus the paravirtual dispatch decision.
+
+#ifndef PVM_SRC_CORE_INSTRUCTION_EMULATOR_H_
+#define PVM_SRC_CORE_INSTRUCTION_EMULATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/arch/addresses.h"
+#include "src/arch/cost_model.h"
+#include "src/arch/cpu_state.h"
+
+namespace pvm {
+
+// The instructions a de-privileged ring-3 guest kernel can trip over.
+enum class GuestInstruction {
+  // Privileged (fault at CPL 3 -> #GP -> emulate or hypercall).
+  kCli,
+  kSti,
+  kHlt,
+  kInvlpg,
+  kInvpcid,
+  kLgdt,
+  kLidt,
+  kLtr,
+  kMovToCr0,
+  kMovToCr3,
+  kMovToCr4,
+  kMovFromCr3,
+  kRdmsr,
+  kWrmsr,
+  kIn,
+  kOut,
+  kIret,
+  kSysret,
+  kSwapgs,
+  kWbinvd,
+  // Sensitive but unprivileged (do NOT fault — the x86 virtualization hole;
+  // must be paravirtualized away, §3.3.1 / Popek-Goldberg).
+  kSgdt,
+  kSidt,
+  kSmsw,
+  kStr,
+  kPushf,
+  kPopf,
+};
+
+// How PVM services one instruction.
+enum class EmulationRoute {
+  kFastHypercall,    // in the 22-entry paravirtual hypercall table
+  kTrapAndEmulate,   // #GP -> full decode + simulate
+  kParavirtualized,  // rewritten via pv_*_ops; never reaches the hypervisor
+};
+
+struct DecodedInstruction {
+  GuestInstruction instruction;
+  EmulationRoute route;
+  bool privileged;       // faults at CPL 3
+  std::uint64_t emulate_ns;  // handler cost once dispatched
+};
+
+class InstructionEmulator {
+ public:
+  explicit InstructionEmulator(const CostModel& costs) : costs_(&costs) {}
+
+  // Decodes the instruction and decides its service route. Sensitive
+  // unprivileged instructions return kParavirtualized: running them
+  // unmodified would silently misbehave, so the PV kernel must have
+  // replaced them at build time.
+  DecodedInstruction decode(GuestInstruction instruction) const;
+
+  // The state mutation the emulation performs (register effects only; MMU
+  // effects are the memory engine's job). Returns the cost in ns.
+  std::uint64_t emulate(const DecodedInstruction& decoded, VcpuState& vcpu,
+                        std::uint64_t operand) const;
+
+  static std::string_view name(GuestInstruction instruction);
+
+ private:
+  const CostModel* costs_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_CORE_INSTRUCTION_EMULATOR_H_

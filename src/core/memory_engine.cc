@@ -1,0 +1,269 @@
+#include "src/core/memory_engine.h"
+
+#include <stdexcept>
+
+namespace pvm {
+
+PvmMemoryEngine::PvmMemoryEngine(Simulation& sim, const CostModel& costs, CounterSet& counters,
+                                 TraceLog& trace, FrameAllocator& l1_frames, std::string name,
+                                 const Options& options)
+    : sim_(&sim),
+      costs_(&costs),
+      counters_(&counters),
+      trace_(&trace),
+      l1_frames_(&l1_frames),
+      name_(std::move(name)),
+      options_(options),
+      locks_(sim, name_, options.fine_grained_locks),
+      gpa_map_(name_ + ".gpa_map", nullptr) {}
+
+void PvmMemoryEngine::create_process(std::uint64_t pid) {
+  ProcessShadow shadow;
+  shadow.kernel_spt =
+      std::make_unique<PageTable>(name_ + ".spt_k." + std::to_string(pid), l1_frames_);
+  if (options_.dual_spt) {
+    shadow.user_spt =
+        std::make_unique<PageTable>(name_ + ".spt_u." + std::to_string(pid), l1_frames_);
+  }
+  shadows_[pid] = std::move(shadow);
+}
+
+void PvmMemoryEngine::destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid) {
+  auto it = shadows_.find(pid);
+  if (it == shadows_.end()) {
+    return;
+  }
+  // Drop reverse-map entries pointing at this process.
+  for (auto& [gfn, entries] : rmap_) {
+    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
+  }
+  // Flush any TLB entries tagged with the process's mapped PCIDs. Without
+  // PCID mapping all processes share the VPID tag, so flush it whole.
+  if (options_.pcid_mapping) {
+    const PcidMapper::Mapping kernel = pcid_mapper_.map(pid, true);
+    tlb.flush_pcid(vpid, kernel.hw_pcid);
+    if (options_.dual_spt) {
+      const PcidMapper::Mapping user = pcid_mapper_.map(pid, false);
+      tlb.flush_pcid(vpid, user.hw_pcid);
+    }
+    pcid_mapper_.release(pid);
+  } else {
+    tlb.flush_vpid(vpid);
+  }
+  shadows_.erase(it);
+}
+
+PvmMemoryEngine::ProcessShadow& PvmMemoryEngine::shadow_for(std::uint64_t pid) {
+  auto it = shadows_.find(pid);
+  if (it == shadows_.end()) {
+    throw std::logic_error(name_ + ": no shadow tables for pid " + std::to_string(pid));
+  }
+  return it->second;
+}
+
+PageTable& PvmMemoryEngine::spt(std::uint64_t pid, bool kernel_ring) {
+  ProcessShadow& shadow = shadow_for(pid);
+  if (!kernel_ring && options_.dual_spt) {
+    return *shadow.user_spt;
+  }
+  return *shadow.kernel_spt;
+}
+
+const PageTable& PvmMemoryEngine::spt(std::uint64_t pid, bool kernel_ring) const {
+  auto it = shadows_.find(pid);
+  if (it == shadows_.end()) {
+    throw std::logic_error(name_ + ": no shadow tables for pid " + std::to_string(pid));
+  }
+  if (!kernel_ring && options_.dual_spt) {
+    return *it->second.user_spt;
+  }
+  return *it->second.kernel_spt;
+}
+
+std::uint64_t PvmMemoryEngine::spt_leaves(std::uint64_t pid, bool kernel_ring) const {
+  return spt(pid, kernel_ring).present_leaf_count();
+}
+
+std::uint64_t PvmMemoryEngine::shadow_table_frames() const {
+  std::uint64_t total = gpa_map_.node_count();
+  for (const auto& [pid, shadow] : shadows_) {
+    total += shadow.kernel_spt->node_count();
+    if (shadow.user_spt) {
+      total += shadow.user_spt->node_count();
+    }
+  }
+  return total;
+}
+
+std::uint64_t PvmMemoryEngine::translate_or_allocate_gpa(std::uint64_t gpa_frame,
+                                                         bool* allocated) {
+  const std::uint64_t gpa = gpa_frame << kPageShift;
+  if (const Pte* existing = gpa_map_.find_pte(gpa); existing != nullptr && existing->present()) {
+    if (allocated != nullptr) {
+      *allocated = false;
+    }
+    return existing->frame_number();
+  }
+  const std::uint64_t l1_frame = l1_frames_->allocate_or_throw();
+  gpa_map_.map(gpa, l1_frame, PteFlags::rw_kernel());
+  if (allocated != nullptr) {
+    *allocated = true;
+  }
+  return l1_frame;
+}
+
+Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
+                                     Pte gpt_leaf, bool is_prefault) {
+  PageTable& table = spt(pid, kernel_ring);
+  const std::uint64_t gfn = gpt_leaf.frame_number();
+
+  // Phase 1 (lock-free, one of PVM's optimizations): walk the shadow table
+  // to find out whether this fill is structural (needs new shadow pages) or
+  // a plain leaf install.
+  const WalkResult probe = table.walk(gva, AccessType::kRead, false);
+  const bool structural = probe.missing_level > 1;
+  co_await sim_->delay(static_cast<std::uint64_t>(probe.levels_walked) * costs_->walk_load);
+
+  // Phase 2: translate GPA_L2 -> GPA_L1 under the gfn's rmap lock.
+  std::uint64_t l1_frame = 0;
+  {
+    ScopedResource rmap_guard = co_await locks_.rmap_lock(gfn).scoped();
+    bool allocated = false;
+    l1_frame = translate_or_allocate_gpa(gfn, &allocated);
+    if (allocated) {
+      co_await sim_->delay(costs_->gpa_map_fill);
+    }
+    rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva});
+    co_await sim_->delay(costs_->spt_sync_check);
+  }
+
+  // Phase 3: install the SPT leaf. Structural changes take the meta lock;
+  // plain leaf stores only the per-shadow-page pt_lock.
+  // (Deliberately an if/else, not a conditional expression: GCC 12
+  // miscompiles `cond ? co_await a : co_await b` into an extra release.)
+  {
+    ScopedResource guard;
+    if (structural) {
+      guard = co_await locks_.meta_lock().scoped();
+    } else {
+      guard = co_await locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]).scoped();
+    }
+    PteFlags flags = gpt_leaf.flags();
+    flags.present = true;
+    // The guest user must never reach kernel-half translations; the shadow
+    // tables inherit the guest's user bit as-is.
+    table.map(gva, l1_frame, flags);
+    counters_->add(Counter::kSptEntryFilled);
+    if (is_prefault) {
+      counters_->add(Counter::kPrefaultFill);
+    }
+    co_await sim_->delay(costs_->spt_fill);
+  }
+  trace_->emit(sim_->now(), TraceActor::kL1Hypervisor,
+               std::string(is_prefault ? "prefault" : "fill") + " SPT12 gva=" +
+                   std::to_string(gva));
+}
+
+Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t gva,
+                                              GptStoreKind kind, Tlb& tlb, std::uint16_t vpid,
+                                              std::uint64_t emulation_work_ns) {
+  counters_->add(Counter::kGptWriteProtectTrap);
+  // Decode + emulate the store under the structural lock, as KVM's
+  // kvm_mmu_pte_write does under mmu_lock.
+  {
+    ScopedResource guard = co_await locks_.meta_lock().scoped();
+    co_await sim_->delay(emulation_work_ns + costs_->spt_sync_check);
+  }
+  switch (kind) {
+    case GptStoreKind::kInstall:
+    case GptStoreKind::kTableAlloc:
+    case GptStoreKind::kMakeWritable:
+      // New or widened guest mapping: nothing to synchronize yet — the SPT
+      // fills lazily (or via prefault).
+      break;
+    case GptStoreKind::kClear:
+    case GptStoreKind::kWriteProtect:
+      // Narrowing change: the shadow tables must not outlive the guest
+      // mapping. Zap and flush.
+      co_await zap_gva(pid, gva, tlb, vpid);
+      break;
+  }
+}
+
+Task<void> PvmMemoryEngine::zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& tlb,
+                                    std::uint16_t vpid) {
+  ProcessShadow& shadow = shadow_for(pid);
+  auto zap_one = [&](PageTable& table, bool kernel_ring) -> Task<void> {
+    const WalkResult probe = table.walk(gva, AccessType::kRead, false);
+    if (!probe.present) {
+      co_return;
+    }
+    ScopedResource guard =
+        co_await locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]).scoped();
+    table.unmap(gva);
+    co_await sim_->delay(costs_->spt_fill);
+    const std::size_t vcpus = vcpu_count_ ? vcpu_count_() : 1;
+    if (options_.pcid_mapping) {
+      const PcidMapper::Mapping mapping = pcid_mapper_.map(pid, kernel_ring);
+      tlb.flush_page(vpid, mapping.hw_pcid, page_number(gva));
+      // Targeted INVLPG shootdown: one IPI burst, constant-ish cost.
+      co_await sim_->delay(costs_->tlb_shootdown / 4);
+    } else {
+      tlb.flush_page(vpid, 0, page_number(gva));
+      // Traditional shadow paging flushes the shared VPID tag on every vCPU
+      // running this guest: the shootdown scales with concurrency.
+      co_await sim_->delay(costs_->tlb_shootdown +
+                           (vcpus > 1 ? (vcpus - 1) * (costs_->tlb_shootdown / 2) : 0));
+    }
+  };
+  co_await zap_one(*shadow.kernel_spt, true);
+  if (options_.dual_spt) {
+    co_await zap_one(*shadow.user_spt, false);
+  }
+}
+
+Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid) {
+  ProcessShadow& shadow = shadow_for(pid);
+  ScopedResource guard = co_await locks_.meta_lock().scoped();
+  std::uint64_t leaves = shadow.kernel_spt->present_leaf_count();
+  shadow.kernel_spt->clear();
+  if (options_.dual_spt) {
+    leaves += shadow.user_spt->present_leaf_count();
+    shadow.user_spt->clear();
+  }
+  for (auto& [gfn, entries] : rmap_) {
+    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
+  }
+  co_await sim_->delay(costs_->spt_fill + leaves * costs_->spt_bulk_zap_per_page);
+  if (options_.pcid_mapping) {
+    tlb.flush_pcid(vpid, pcid_mapper_.map(pid, true).hw_pcid);
+    if (options_.dual_spt) {
+      tlb.flush_pcid(vpid, pcid_mapper_.map(pid, false).hw_pcid);
+    }
+  } else {
+    tlb.flush_vpid(vpid);
+  }
+}
+
+Task<std::uint16_t> PvmMemoryEngine::activate(std::uint64_t pid, bool kernel_ring, Tlb& tlb,
+                                              std::uint16_t vpid) {
+  co_await sim_->delay(costs_->cr3_write);
+  if (options_.pcid_mapping) {
+    const PcidMapper::Mapping mapping = pcid_mapper_.map(pid, kernel_ring);
+    if (mapping.stolen) {
+      // Recycled slot: its previous owner's entries must not be visible.
+      tlb.flush_pcid(vpid, mapping.hw_pcid);
+      counters_->add(Counter::kTlbFlushPcid);
+    } else {
+      counters_->add(Counter::kTlbFlushAvoided);
+    }
+    co_return mapping.hw_pcid;
+  }
+  // Traditional shadow paging: all of the guest shares the VPID tag, so the
+  // switch flushes everything the guest had in the TLB.
+  tlb.flush_vpid(vpid);
+  counters_->add(Counter::kTlbFlushAll);
+  co_return 0;
+}
+
+}  // namespace pvm

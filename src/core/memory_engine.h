@@ -1,0 +1,156 @@
+// PVM's shadow-paging engine for one L2 guest VM (paper §3.3.2).
+//
+// Maintains, per guest process, a *dual* pair of shadow page tables — one for
+// the guest user (v_ring3) and one for the guest kernel (v_ring0) — mapping
+// GVA_L2 directly to GPA_L1, simulating KPTI for the guest. A per-VM
+// `gpa_map` (KVM memslots analogue) translates GPA_L2 to GPA_L1, allocating
+// L1 backing frames on demand. A reverse map (gfn -> SPT entries) supports
+// zapping when the guest frees or write-protects pages.
+//
+// The three PVM optimizations are switchable:
+//   - prefault: fill the SPT on the guest's iret path so the retried access
+//     does not fault again,
+//   - PCID mapping: give each (process, ring) shadow space its own hardware
+//     PCID so world switches flush nothing,
+//   - fine-grained locks: meta/pt/rmap locks instead of one mmu_lock.
+
+#ifndef PVM_SRC_CORE_MEMORY_ENGINE_H_
+#define PVM_SRC_CORE_MEMORY_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/arch/cost_model.h"
+#include "src/arch/page_table.h"
+#include "src/arch/physical_memory.h"
+#include "src/arch/tlb.h"
+#include "src/core/pcid_mapper.h"
+#include "src/core/spt_locks.h"
+#include "src/metrics/counters.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+#include "src/trace/trace.h"
+
+namespace pvm {
+
+// The semantic effect of a trapped guest page-table store.
+enum class GptStoreKind {
+  kInstall,       // new leaf installed (demand paging)
+  kClear,         // leaf cleared (munmap)
+  kWriteProtect,  // leaf write bit dropped (COW arm)
+  kMakeWritable,  // leaf write bit raised (COW break)
+  kTableAlloc,    // intermediate table page installed
+};
+
+class PvmMemoryEngine {
+ public:
+  struct Options {
+    bool prefault = true;
+    bool pcid_mapping = true;
+    bool fine_grained_locks = true;
+    bool dual_spt = true;  // separate user/kernel shadow tables (KPTI-like)
+  };
+
+  PvmMemoryEngine(Simulation& sim, const CostModel& costs, CounterSet& counters, TraceLog& trace,
+                  FrameAllocator& l1_frames, std::string name, const Options& options);
+
+  const Options& options() const { return options_; }
+  SptLockSet& locks() { return locks_; }
+  PcidMapper& pcid_mapper() { return pcid_mapper_; }
+  PageTable& gpa_map() { return gpa_map_; }
+
+  // ---- Process lifecycle ----
+  void create_process(std::uint64_t pid);
+  void destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid);
+
+  // The active shadow table for (process, ring). With dual_spt disabled the
+  // kernel table serves both rings.
+  PageTable& spt(std::uint64_t pid, bool kernel_ring);
+  const PageTable& spt(std::uint64_t pid, bool kernel_ring) const;
+
+  // ---- Fault-path operations (coroutines charging virtual time) ----
+
+  // Fills the SPT leaf for `gva` from the guest's present GPT leaf
+  // `gpt_leaf`: translates GPA_L2 -> GPA_L1 through gpa_map (allocating
+  // backing on demand), installs the SPT entry under the configured locks,
+  // and records the reverse mapping. `is_prefault` only affects accounting.
+  Task<void> fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring, Pte gpt_leaf,
+                      bool is_prefault);
+
+  // Emulates a trapped write to the guest page table and keeps the shadow
+  // tables coherent (zap on clear/write-protect). `emulation_work_ns` is the
+  // scheme's instruction-emulation cost, charged under the meta/mmu lock as
+  // in KVM's kvm_mmu_pte_write. Does not include the world switches — the
+  // backend wraps this in the trap protocol.
+  Task<void> emulate_gpt_store(std::uint64_t pid, std::uint64_t gva, GptStoreKind kind,
+                               Tlb& tlb, std::uint16_t vpid,
+                               std::uint64_t emulation_work_ns);
+
+  // Lets the engine know how many vCPUs share the guest's address spaces:
+  // remote TLB shootdowns on shadow zaps scale with it (the quadratic cost
+  // traditional shadow paging pays under concurrency).
+  void set_vcpu_count_provider(std::function<std::size_t()> provider) {
+    vcpu_count_ = std::move(provider);
+  }
+
+  // Drops any shadow translations for (pid, gva) in both rings and flushes
+  // matching TLB entries.
+  Task<void> zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& tlb, std::uint16_t vpid);
+
+  // Bulk teardown: drops both of a process's shadow tables wholesale and
+  // flushes its TLB footprint. Backs the PVM bulk-teardown hypercall; cost
+  // scales with the number of populated shadow leaves.
+  Task<void> bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid);
+
+  // Activates (process, ring) on a vCPU: returns the hardware PCID to run
+  // with. Without PCID mapping, performs the traditional full-VPID flush.
+  Task<std::uint16_t> activate(std::uint64_t pid, bool kernel_ring, Tlb& tlb,
+                               std::uint16_t vpid);
+
+  // Translates a guest-physical page to its L1 backing frame, allocating on
+  // demand (cold path charged). Non-coroutine variant used inside locks.
+  std::uint64_t translate_or_allocate_gpa(std::uint64_t gpa_frame, bool* allocated);
+
+  std::uint64_t spt_leaves(std::uint64_t pid, bool kernel_ring) const;
+
+  // Total 4 KiB table pages held by all shadow tables plus the gpa_map —
+  // the memory cost of the dual-SPT design the paper's §5 discusses.
+  std::uint64_t shadow_table_frames() const;
+
+ private:
+  struct ProcessShadow {
+    std::unique_ptr<PageTable> user_spt;
+    std::unique_ptr<PageTable> kernel_spt;
+  };
+
+  struct RmapEntry {
+    std::uint64_t pid;
+    bool kernel_ring;
+    std::uint64_t gva;
+  };
+
+  ProcessShadow& shadow_for(std::uint64_t pid);
+
+  Simulation* sim_;
+  const CostModel* costs_;
+  CounterSet* counters_;
+  TraceLog* trace_;
+  FrameAllocator* l1_frames_;
+  std::string name_;
+  Options options_;
+
+  std::function<std::size_t()> vcpu_count_;
+  SptLockSet locks_;
+  PcidMapper pcid_mapper_;
+  PageTable gpa_map_;  // GPA_L2 page -> GPA_L1 frame (memslots)
+  std::unordered_map<std::uint64_t, ProcessShadow> shadows_;
+  std::unordered_map<std::uint64_t, std::vector<RmapEntry>> rmap_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_CORE_MEMORY_ENGINE_H_

@@ -1,0 +1,110 @@
+// PCID mapping (paper §3.3.2, optimization 2).
+//
+// A traditional shadow-paging hypervisor flushes the whole guest VPID on any
+// guest TLB-flush request, because all guest processes share one VPID tag.
+// PVM instead assigns unused L1 PCID values to L2 address spaces — 32..47 for
+// guest v_ring0 (kernel) and 48..63 for v_ring3 (user) — so the TLB can keep
+// per-process shadow translations alive across world switches, and guest
+// flush requests become targeted single-PCID flushes.
+//
+// 16 slots per ring are multiplexed over guest processes LRU-style; stealing
+// a slot requires flushing its stale entries (counted, so benchmarks see the
+// pressure effect with many processes).
+
+#ifndef PVM_SRC_CORE_PCID_MAPPER_H_
+#define PVM_SRC_CORE_PCID_MAPPER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace pvm {
+
+class PcidMapper {
+ public:
+  static constexpr std::uint16_t kKernelBase = 32;  // 32..47 for v_ring0
+  static constexpr std::uint16_t kUserBase = 48;    // 48..63 for v_ring3
+  static constexpr std::uint16_t kSlotsPerRing = 16;
+
+  struct Mapping {
+    std::uint16_t hw_pcid = 0;
+    bool stolen = false;  // slot was recycled: its old TLB entries must go
+  };
+
+  // Returns the hardware PCID for (guest process, ring). LRU-recycles when
+  // all 16 slots of the ring are in use.
+  Mapping map(std::uint64_t guest_pid, bool kernel_ring) {
+    Ring& ring = kernel_ring ? kernel_ : user_;
+    const std::uint16_t base = kernel_ring ? kKernelBase : kUserBase;
+
+    auto it = ring.by_pid.find(guest_pid);
+    if (it != ring.by_pid.end()) {
+      // Refresh LRU position.
+      ring.lru.splice(ring.lru.end(), ring.lru, it->second.lru_pos);
+      return Mapping{it->second.hw_pcid, false};
+    }
+
+    std::uint16_t slot = 0;
+    bool have_slot = false;
+    if (!ring.free_slots.empty()) {
+      slot = ring.free_slots.back();
+      ring.free_slots.pop_back();
+      have_slot = true;
+    } else if (ring.next_fresh < kSlotsPerRing) {
+      slot = static_cast<std::uint16_t>(base + ring.next_fresh++);
+      have_slot = true;
+    }
+    if (have_slot) {
+      ring.lru.push_back(guest_pid);
+      ring.by_pid[guest_pid] = Entry{slot, std::prev(ring.lru.end())};
+      return Mapping{slot, false};
+    }
+
+    // Steal the least-recently-used slot.
+    const std::uint64_t victim = ring.lru.front();
+    ring.lru.pop_front();
+    const std::uint16_t stolen = ring.by_pid.at(victim).hw_pcid;
+    ring.by_pid.erase(victim);
+    ring.lru.push_back(guest_pid);
+    ring.by_pid[guest_pid] = Entry{stolen, std::prev(ring.lru.end())};
+    ++steals_;
+    return Mapping{stolen, true};
+  }
+
+  // Drops a process's mappings (process exit). Returns the freed hardware
+  // PCIDs so the caller can flush them.
+  void release(std::uint64_t guest_pid) {
+    for (Ring* ring : {&kernel_, &user_}) {
+      auto it = ring->by_pid.find(guest_pid);
+      if (it != ring->by_pid.end()) {
+        ring->free_slots.push_back(it->second.hw_pcid);
+        ring->lru.erase(it->second.lru_pos);
+        ring->by_pid.erase(it);
+      }
+    }
+  }
+
+  std::uint64_t steals() const { return steals_; }
+  std::size_t live_mappings() const { return kernel_.by_pid.size() + user_.by_pid.size(); }
+
+ private:
+  struct Entry {
+    std::uint16_t hw_pcid;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  struct Ring {
+    std::unordered_map<std::uint64_t, Entry> by_pid;
+    std::list<std::uint64_t> lru;
+    std::vector<std::uint16_t> free_slots;
+    std::uint16_t next_fresh = 0;
+  };
+
+  Ring kernel_;
+  Ring user_;
+  std::uint64_t steals_ = 0;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_CORE_PCID_MAPPER_H_

@@ -1,0 +1,88 @@
+#include "src/core/switcher.h"
+
+#include <string>
+
+namespace pvm {
+
+namespace {
+
+std::string reason_text(SwitchReason reason) {
+  switch (reason) {
+    case SwitchReason::kSyscall:
+      return "syscall";
+    case SwitchReason::kHypercall:
+      return "hypercall";
+    case SwitchReason::kException:
+      return "exception";
+    case SwitchReason::kInterrupt:
+      return "interrupt";
+    case SwitchReason::kPageFault:
+      return "#PF";
+    case SwitchReason::kGptWriteProtect:
+      return "GPT write-protect";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Task<void> Switcher::to_hypervisor(SwitcherState& state, VcpuState& vcpu, SwitchReason reason) {
+  counters_->add(Counter::kWorldSwitch);
+  counters_->add(Counter::kL1Exit);
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, "vm exit (" + reason_text(reason) + ")");
+
+  // The CPU enters h_ring0 through MSR_LSTAR / the customized IDT; the
+  // to_hypervisor path saves guest state into the per-CPU switcher state,
+  // clears general-purpose registers (except RSP/RAX), and restores the L1
+  // host context.
+  state.saved_guest = vcpu;
+  vcpu = state.saved_host;
+  vcpu.hw_ring = HwRing::kRing0;
+  state.guest_running = false;
+
+  co_await sim_->delay(costs_->ring_crossing + costs_->switcher_save_restore);
+}
+
+Task<void> Switcher::enter_guest(SwitcherState& state, VcpuState& vcpu, VirtRing target_ring) {
+  counters_->add(Counter::kWorldSwitch);
+  counters_->add(Counter::kVmEntry);
+  trace_->emit(sim_->now(), TraceActor::kSwitcher,
+               target_ring == VirtRing::kVRing0 ? "vm entry (v_ring0)" : "vm entry (v_ring3)");
+
+  // enter_guest saves the host context and restores the guest's, arming
+  // RFLAGS.IF in the iret frame so external interrupts stay deliverable
+  // while the de-privileged guest runs at h_ring3 (§3.3.3).
+  state.saved_host = vcpu;
+  vcpu = state.saved_guest;
+  vcpu.hw_ring = HwRing::kRing3;
+  vcpu.virt_ring = target_ring;
+  vcpu.rflags_if = true;
+  state.guest_running = true;
+
+  co_await sim_->delay(costs_->ring_crossing + costs_->switcher_save_restore);
+}
+
+Task<void> Switcher::direct_switch_to_kernel(SwitcherState& state, VcpuState& vcpu) {
+  counters_->add(Counter::kWorldSwitch);
+  counters_->add(Counter::kDirectSwitch);
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, "direct switch -> guest kernel");
+
+  // Emulate the syscall instruction: swap hardware CR3 to the kernel shadow
+  // table, flip cpl/stack/gs, construct the syscall frame — all without
+  // entering the hypervisor.
+  vcpu.virt_ring = VirtRing::kVRing0;
+  co_await sim_->delay(costs_->ring_crossing + costs_->direct_switch_work);
+  (void)state;
+}
+
+Task<void> Switcher::direct_switch_to_user(SwitcherState& state, VcpuState& vcpu) {
+  counters_->add(Counter::kWorldSwitch);
+  counters_->add(Counter::kDirectSwitch);
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, "direct switch -> guest user (sysret)");
+
+  vcpu.virt_ring = VirtRing::kVRing3;
+  co_await sim_->delay(costs_->ring_crossing + costs_->direct_switch_work);
+  (void)state;
+}
+
+}  // namespace pvm

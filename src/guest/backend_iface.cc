@@ -1,0 +1,14 @@
+#include "src/guest/backend_iface.h"
+
+namespace pvm {
+
+Task<void> MemoryBackend::gpt_bulk_teardown(Vcpu& vcpu, GuestProcess& proc,
+                                            const std::vector<std::uint64_t>& gvas) {
+  // Default: per-page unmap, paying whatever trap protocol the scheme
+  // imposes on each store.
+  for (const std::uint64_t gva : gvas) {
+    co_await gpt_unmap(vcpu, proc, gva);
+  }
+}
+
+}  // namespace pvm

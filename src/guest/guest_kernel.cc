@@ -1,0 +1,323 @@
+#include "src/guest/guest_kernel.h"
+
+#include <stdexcept>
+
+namespace pvm {
+
+GuestKernel::GuestKernel(Simulation& sim, const CostModel& costs, CounterSet& counters,
+                         FrameAllocator& gpa_frames, MemoryBackend& mem, CpuBackend& cpu,
+                         bool kpti)
+    : sim_(&sim),
+      costs_(&costs),
+      counters_(&counters),
+      gpa_frames_(&gpa_frames),
+      mem_(&mem),
+      cpu_(&cpu),
+      kpti_(kpti),
+      zone_lock_(sim, "guest.zone_lock") {}
+
+GuestProcess* GuestKernel::process_by_pid(std::uint64_t pid) {
+  for (const auto& proc : processes_) {
+    if (proc && proc->pid() == pid) {
+      return proc.get();
+    }
+  }
+  return nullptr;
+}
+
+void GuestKernel::note_cow_share(std::uint64_t frame) { ++cow_refs_[frame]; }
+
+int GuestKernel::cow_refs(std::uint64_t frame) const {
+  auto it = cow_refs_.find(frame);
+  return it == cow_refs_.end() ? 1 : it->second;
+}
+
+void GuestKernel::release_frame(std::uint64_t frame) {
+  auto it = cow_refs_.find(frame);
+  if (it != cow_refs_.end()) {
+    if (--it->second > 0) {
+      return;  // other owners remain
+    }
+    cow_refs_.erase(it);
+  }
+  gpa_frames_->free(frame);
+}
+
+Task<GuestProcess*> GuestKernel::create_init_process(Vcpu& vcpu, int initial_pages) {
+  auto proc = std::make_unique<GuestProcess>(next_pid_++, *gpa_frames_);
+  GuestProcess* raw = proc.get();
+  processes_.push_back(std::move(proc));
+
+  // Standard layout: code, heap (grown by mmap), stack, and a kernel half
+  // (kernel stacks / slab pages this process will fault in on demand).
+  raw->vmas()[GuestProcess::kCodeBase] = Vma{GuestProcess::kCodeBase, 64ull << 20, true};
+  raw->vmas()[GuestProcess::kStackBase] = Vma{GuestProcess::kStackBase, 16ull << 20, true};
+  raw->vmas()[GuestProcess::kKernelBase] = Vma{GuestProcess::kKernelBase, 64ull << 20, true};
+
+  mem_->on_process_created(*raw);
+  co_await mem_->activate_process(vcpu, *raw, /*kernel_ring=*/false);
+
+  // Fault in the resident footprint: code + stack pages.
+  for (int i = 0; i < initial_pages; ++i) {
+    const bool code = i % 2 == 0;
+    const std::uint64_t base = code ? GuestProcess::kCodeBase : GuestProcess::kStackBase;
+    co_await touch(vcpu, *raw, base + static_cast<std::uint64_t>(i / 2) * kPageSize, !code);
+  }
+  co_return raw;
+}
+
+Task<void> GuestKernel::touch(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool write) {
+  co_await mem_->access(vcpu, proc, *this, gva, write ? AccessType::kWrite : AccessType::kRead,
+                        /*user_mode=*/true);
+}
+
+Task<void> GuestKernel::touch_kernel(Vcpu& vcpu, GuestProcess& proc, std::uint64_t offset) {
+  co_await mem_->access(vcpu, proc, *this, GuestProcess::kKernelBase + offset,
+                        AccessType::kWrite, /*user_mode=*/false);
+}
+
+Task<void> GuestKernel::handle_page_fault(Vcpu& vcpu, GuestProcess& proc,
+                                          const PageFaultInfo& fault) {
+  const Vma* vma = proc.find_vma(fault.gva);
+  if (vma == nullptr) {
+    throw std::logic_error("guest segfault at gva " + std::to_string(fault.gva) +
+                           " (simulation bug: workload touched unmapped memory)");
+  }
+  counters_->add(Counter::kGuestPageFault);
+  co_await sim_->delay(costs_->guest_pf_handler);
+
+  if (fault.protection) {
+    co_await break_cow(vcpu, proc, fault.gva);
+    co_return;
+  }
+  co_await populate_page(vcpu, proc, fault.gva, vma->writable);
+}
+
+Task<void> GuestKernel::populate_page(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
+                                      bool writable) {
+  const std::uint64_t page = page_base(gva);
+  const std::uint64_t frame = gpa_frames_->allocate_or_throw();
+  proc.note_data_frame(page, frame);
+  co_await sim_->delay(costs_->page_zero);
+  PteFlags flags = PteFlags::rw_user();
+  flags.writable = writable;
+  co_await mem_->gpt_map(vcpu, proc, page, frame, flags);
+}
+
+Task<void> GuestKernel::break_cow(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) {
+  const std::uint64_t page = page_base(gva);
+  Pte* pte = proc.gpt().find_pte(page);
+  if (pte == nullptr || !pte->present()) {
+    // Raced with teardown; treat as fresh population.
+    co_await populate_page(vcpu, proc, gva, true);
+    co_return;
+  }
+  counters_->add(Counter::kCowBreak);
+  const std::uint64_t old_frame = pte->frame_number();
+  if (cow_refs(old_frame) > 1) {
+    // Shared: copy into a private frame.
+    const std::uint64_t new_frame = gpa_frames_->allocate_or_throw();
+    co_await sim_->delay(costs_->page_copy);
+    release_frame(old_frame);
+    proc.note_data_frame(page, new_frame);
+    co_await mem_->gpt_map(vcpu, proc, page, new_frame, PteFlags::rw_user());
+    co_return;
+  }
+  // Sole owner left: just restore write access in place.
+  cow_refs_.erase(old_frame);
+  co_await mem_->gpt_protect(vcpu, proc, page, /*writable=*/true, /*mark_cow=*/false);
+}
+
+Task<GuestProcess*> GuestKernel::sys_fork(Vcpu& vcpu, GuestProcess& parent) {
+  co_await cpu_->syscall_enter(vcpu, parent);
+  counters_->add(Counter::kProcessForked);
+  co_await sim_->delay(costs_->fork_base);
+
+  auto child_owner = std::make_unique<GuestProcess>(next_pid_++, *gpa_frames_);
+  GuestProcess* child = child_owner.get();
+  processes_.push_back(std::move(child_owner));
+  child->vmas() = parent.vmas();
+  mem_->on_process_created(*child);
+
+  // COW pass: write-protect every present parent user page (a trapped GPT
+  // store under shadow paging) and alias it read-only into the child. The
+  // child's fresh page table is not yet registered with any shadow scheme,
+  // so its stores are plain memory writes.
+  for (const auto& [gva, frame] : parent.data_frames()) {
+    if (gva >= GuestProcess::kKernelBase) {
+      continue;  // the kernel half is not inherited
+    }
+    Pte* pte = parent.gpt().find_pte(gva);
+    if (pte == nullptr || !pte->present()) {
+      continue;
+    }
+    if (cow_refs_.find(frame) == cow_refs_.end()) {
+      cow_refs_[frame] = 1;
+    }
+    ++cow_refs_[frame];
+    if (pte->writable()) {
+      co_await mem_->gpt_protect(vcpu, parent, gva, /*writable=*/false, /*mark_cow=*/true);
+    }
+    PteFlags child_flags = PteFlags::ro_user();
+    child_flags.cow = true;
+    child->gpt().map(gva, frame, child_flags);
+    child->note_data_frame(gva, frame);
+    {
+      // Page-reference bookkeeping goes through the zone lock.
+      ScopedResource zone = co_await zone_lock_.scoped();
+      co_await sim_->delay(costs_->guest_pte_store + 25);
+    }
+  }
+
+  co_await cpu_->syscall_exit(vcpu, parent);
+  co_return child;
+}
+
+Task<void> GuestKernel::teardown_address_space(Vcpu& vcpu, GuestProcess& proc) {
+  std::vector<std::uint64_t> gvas;
+  gvas.reserve(proc.data_frames().size());
+  for (const auto& [gva, frame] : proc.data_frames()) {
+    gvas.push_back(gva);
+  }
+  co_await mem_->gpt_bulk_teardown(vcpu, proc, gvas);
+  for (const auto& [gva, frame] : proc.data_frames()) {
+    // Bulk frees return pages to the buddy allocator under the zone lock.
+    ScopedResource zone = co_await zone_lock_.scoped();
+    release_frame(frame);
+    co_await sim_->delay(costs_->guest_pte_store + 25);
+  }
+  proc.data_frames().clear();
+  proc.vmas().clear();
+}
+
+Task<void> GuestKernel::sys_exec(Vcpu& vcpu, GuestProcess& proc, int fresh_pages) {
+  co_await cpu_->syscall_enter(vcpu, proc);
+  counters_->add(Counter::kProcessExeced);
+  co_await sim_->delay(costs_->exec_base);
+
+  co_await teardown_address_space(vcpu, proc);
+  proc.vmas()[GuestProcess::kCodeBase] = Vma{GuestProcess::kCodeBase, 64ull << 20, true};
+  proc.vmas()[GuestProcess::kStackBase] = Vma{GuestProcess::kStackBase, 16ull << 20, true};
+  proc.vmas()[GuestProcess::kKernelBase] = Vma{GuestProcess::kKernelBase, 64ull << 20, true};
+
+  for (int i = 0; i < fresh_pages; ++i) {
+    const bool code = i % 2 == 0;
+    const std::uint64_t base = code ? GuestProcess::kCodeBase : GuestProcess::kStackBase;
+    co_await touch(vcpu, proc, base + static_cast<std::uint64_t>(i / 2) * kPageSize, !code);
+  }
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::sys_exit(Vcpu& vcpu, GuestProcess& proc) {
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await teardown_address_space(vcpu, proc);
+  co_await mem_->on_process_destroyed(vcpu, proc);
+  const std::uint64_t pid = proc.pid();
+  kernel_allocs_.erase(pid);
+  std::erase_if(processes_,
+                [pid](const std::unique_ptr<GuestProcess>& p) { return p->pid() == pid; });
+  // No syscall return: the process is gone; the scheduler switches away.
+}
+
+Task<std::uint64_t> GuestKernel::sys_mmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t bytes) {
+  co_await cpu_->syscall_enter(vcpu, proc);
+  counters_->add(Counter::kMmapCall);
+  co_await sim_->delay(costs_->mmap_body);
+  const std::uint64_t base = proc.add_vma(bytes, true);
+  co_await cpu_->syscall_exit(vcpu, proc);
+  co_return base;
+}
+
+Task<void> GuestKernel::sys_munmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t start) {
+  co_await cpu_->syscall_enter(vcpu, proc);
+  counters_->add(Counter::kMunmapCall);
+  co_await sim_->delay(costs_->munmap_body);
+
+  auto vma_it = proc.vmas().find(start);
+  if (vma_it == proc.vmas().end()) {
+    throw std::logic_error("munmap of unknown vma");
+  }
+  const Vma vma = vma_it->second;
+  // Clear every populated page in the region and release the frames.
+  auto& frames = proc.data_frames();
+  for (auto it = frames.lower_bound(vma.start); it != frames.end() && it->first < vma.end();) {
+    co_await mem_->gpt_unmap(vcpu, proc, it->first);
+    release_frame(it->second);
+    co_await sim_->delay(costs_->guest_pte_store);
+    it = frames.erase(it);
+  }
+  proc.remove_vma(start);
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::sys_getpid(Vcpu& vcpu, GuestProcess& proc) {
+  counters_->add(Counter::kSyscall);
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await sim_->delay(costs_->guest_syscall_body_getpid);
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::sys_simple(Vcpu& vcpu, GuestProcess& proc, std::uint64_t body_ns,
+                                   int kernel_touches) {
+  counters_->add(Counter::kSyscall);
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await sim_->delay(body_ns);
+  for (int i = 0; i < kernel_touches; ++i) {
+    co_await touch_kernel(vcpu, proc, static_cast<std::uint64_t>(i) * kPageSize);
+  }
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::sys_file_op(Vcpu& vcpu, GuestProcess& proc, std::uint64_t body_ns,
+                                    int fresh_pages, int free_pages) {
+  counters_->add(Counter::kSyscall);
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await sim_->delay(body_ns);
+  std::deque<std::uint64_t>& allocs = kernel_allocs_[proc.pid()];
+  for (int i = 0; i < fresh_pages; ++i) {
+    const std::uint64_t offset = proc.take_kernel_alloc_offset();
+    co_await touch_kernel(vcpu, proc, offset);
+    allocs.push_back(GuestProcess::kKernelBase + offset);
+  }
+  for (int i = 0; i < free_pages && !allocs.empty(); ++i) {
+    const std::uint64_t gva = allocs.front();
+    allocs.pop_front();
+    auto it = proc.data_frames().find(gva);
+    if (it != proc.data_frames().end()) {
+      co_await mem_->gpt_unmap(vcpu, proc, gva);
+      release_frame(it->second);
+      proc.data_frames().erase(it);
+    }
+  }
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::deliver_signal(Vcpu& vcpu, GuestProcess& proc) {
+  // kill() syscall, then the kernel-to-user upcall and sigreturn — all
+  // intra-guest transitions (signals never involve the hypervisor).
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await sim_->delay(500);  // signal bookkeeping + frame setup
+  co_await cpu_->syscall_exit(vcpu, proc);
+  // Handler upcall + sigreturn.
+  co_await cpu_->syscall_enter(vcpu, proc);
+  co_await sim_->delay(150);
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+Task<void> GuestKernel::do_io(Vcpu& vcpu, GuestProcess& proc, IoDevice& device,
+                              std::uint64_t bytes) {
+  counters_->add(Counter::kIoRequest);
+  co_await cpu_->syscall_enter(vcpu, proc);
+  // Doorbell kick: a privileged exit to the hypervisor owning the device.
+  co_await cpu_->privileged_op(vcpu, PrivOp::kIoKick);
+  device.note_request();
+  {
+    ScopedResource slot = co_await device.queue().scoped();
+    co_await sim_->delay(device.service_time(bytes));
+  }
+  // Completion interrupt.
+  co_await cpu_->interrupt(vcpu);
+  co_await cpu_->syscall_exit(vcpu, proc);
+}
+
+}  // namespace pvm

@@ -1,0 +1,44 @@
+// Paravirtual I/O device (virtio-blk / vhost-net stand-in).
+//
+// All deployments reuse the same device path — mirroring the paper, where PVM
+// relies on KVM's virtio stack and therefore shows near-identical I/O
+// performance (Table 4, §4.2). A request costs: one doorbell kick (a
+// privileged exit to the hypervisor), queued service time on the device, and
+// a completion interrupt.
+
+#ifndef PVM_SRC_GUEST_IO_DEVICE_H_
+#define PVM_SRC_GUEST_IO_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/cost_model.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+
+namespace pvm {
+
+class IoDevice {
+ public:
+  IoDevice(Simulation& sim, const CostModel& costs, std::string name, std::uint32_t queue_depth = 4)
+      : sim_(&sim), costs_(&costs), queue_(sim, std::move(name), queue_depth) {}
+
+  // Service time once dequeued.
+  SimTime service_time(std::uint64_t bytes) const {
+    return costs_->io_request_service + (bytes / 1024) * 200;
+  }
+
+  Resource& queue() { return queue_; }
+  std::uint64_t requests() const { return requests_; }
+  void note_request() { ++requests_; }
+
+ private:
+  Simulation* sim_;
+  const CostModel* costs_;
+  Resource queue_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_GUEST_IO_DEVICE_H_

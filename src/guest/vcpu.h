@@ -1,0 +1,39 @@
+// A virtual CPU of an innermost guest VM.
+//
+// Each guest process in the benchmarks is pinned to its own vCPU (the paper's
+// testbed has 104 hardware threads; its concurrency sweeps stay below that
+// except Fig. 12, where oversubscription is modelled separately). The vCPU
+// carries the architectural state plus whichever hypervisor-side context the
+// active deployment needs: the PVM switcher state or the nested VMCS triple.
+
+#ifndef PVM_SRC_GUEST_VCPU_H_
+#define PVM_SRC_GUEST_VCPU_H_
+
+#include <cstdint>
+
+#include "src/arch/cpu_state.h"
+#include "src/arch/tlb.h"
+#include "src/core/switcher.h"
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+struct Vcpu {
+  explicit Vcpu(int id_in) : id(id_in) {}
+
+  int id;
+  VcpuState state;
+
+  // Physical-CPU TLB backing this vCPU (1:1 pinning).
+  Tlb tlb;
+
+  // PVM deployments: the per-CPU switcher state block.
+  SwitcherState switcher_state;
+
+  // Hardware-assisted nested deployments: VMCS01/12/02.
+  HostHypervisor::NestedVcpu nested;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_GUEST_VCPU_H_

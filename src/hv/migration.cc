@@ -1,0 +1,45 @@
+#include "src/hv/migration.h"
+
+namespace pvm {
+
+Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
+                                               const MigrationParams& params) {
+  MigrationResult result;
+  if (vm.nested_vmx_active()) {
+    // KVM refuses to save/restore live nested state: the merged VMCS02 and
+    // shadow EPT02 at L0 have no migratable representation (§2.3).
+    result.failure_reason =
+        "VM '" + vm.name() + "' has active nested-VMX state (L2 guests running); "
+        "hardware-assisted nested virtualization pins it to this host";
+    co_return result;
+  }
+
+  const SimTime start = l0_->sim().now();
+  // The resident set is whatever EPT01 currently backs.
+  std::uint64_t remaining = vm.ept().present_leaf_count();
+  if (remaining == 0) {
+    remaining = 1;  // an idle VM still ships its device/vCPU state
+  }
+
+  // Pre-copy rounds: copy the current set while the guest keeps dirtying a
+  // fraction of it.
+  while (remaining > params.stop_copy_pages && result.rounds < params.max_rounds) {
+    co_await l0_->sim().delay(copy_time(remaining, params));
+    result.pages_copied += remaining;
+    remaining = static_cast<std::uint64_t>(static_cast<double>(remaining) *
+                                           params.dirty_fraction);
+    ++result.rounds;
+  }
+
+  // Stop-and-copy: pause the VM, ship the rest + vCPU/device state.
+  const SimTime pause_start = l0_->sim().now();
+  co_await l0_->sim().delay(copy_time(remaining, params) + 200 * kNsPerUs);
+  result.pages_copied += remaining;
+  result.downtime = l0_->sim().now() - pause_start;
+  result.total_time = l0_->sim().now() - start;
+  result.succeeded = true;
+  ++result.rounds;
+  co_return result;
+}
+
+}  // namespace pvm

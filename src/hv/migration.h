@@ -1,0 +1,60 @@
+// Live migration of L0-hosted VMs (paper §2.3).
+//
+// One of hardware-assisted nesting's operational drawbacks: "Once an L2
+// guest is running, L1 can no longer be migrated, saved, or loaded,
+// significantly impacting the cluster management." PVM's L1 looks like an
+// ordinary VM to L0 (no nested VMX state at L0), so it stays migratable.
+//
+// The engine implements standard pre-copy: iterative dirty-page rounds over
+// the VM's resident set, then a stop-and-copy of the remainder; it refuses
+// VMs with active nested-VMX state, as production KVM does.
+
+#ifndef PVM_SRC_HV_MIGRATION_H_
+#define PVM_SRC_HV_MIGRATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hv/host_hypervisor.h"
+
+namespace pvm {
+
+struct MigrationParams {
+  // Wire bandwidth in bytes per virtual second (25 Gbit/s default).
+  double bandwidth_bytes_per_sec = 25.0e9 / 8.0;
+  // Fraction of the previous round's pages dirtied again while it copied.
+  double dirty_fraction = 0.12;
+  // Stop-and-copy threshold: remaining pages at which the VM is paused.
+  std::uint64_t stop_copy_pages = 1024;
+  int max_rounds = 16;
+};
+
+struct MigrationResult {
+  bool succeeded = false;
+  std::string failure_reason;
+  int rounds = 0;
+  std::uint64_t pages_copied = 0;
+  SimTime total_time = 0;
+  SimTime downtime = 0;  // the stop-and-copy pause
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(HostHypervisor& l0) : l0_(&l0) {}
+
+  // Attempts a pre-copy live migration of `vm`. Fails immediately (as KVM
+  // does) when the VM has live nested-VMX state.
+  Task<MigrationResult> migrate(HostHypervisor::Vm& vm, const MigrationParams& params = {});
+
+ private:
+  SimTime copy_time(std::uint64_t pages, const MigrationParams& params) const {
+    const double bytes = static_cast<double>(pages) * kPageSize;
+    return static_cast<SimTime>(bytes / params.bandwidth_bytes_per_sec * 1e9);
+  }
+
+  HostHypervisor* l0_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_HV_MIGRATION_H_

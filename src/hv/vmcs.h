@@ -1,0 +1,113 @@
+// VM control structure model.
+//
+// Tracks the guest/host state and control fields a nested transition touches.
+// VMCS shadowing (§2.1) is modelled faithfully: L1's accesses to VMCS12 are
+// free (shadow VMCS hardware) when shadowing is on, and cost a full exit to
+// L0 each when off; L0 merges VMCS01 + VMCS12 into VMCS02 before resuming L2.
+
+#ifndef PVM_SRC_HV_VMCS_H_
+#define PVM_SRC_HV_VMCS_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace pvm {
+
+enum class VmcsField : std::size_t {
+  // Guest state.
+  kGuestRip,
+  kGuestRsp,
+  kGuestRflags,
+  kGuestCr0,
+  kGuestCr3,
+  kGuestCr4,
+  kGuestCsBase,
+  kGuestSsBase,
+  kGuestGsBase,
+  kGuestIdtrBase,
+  kGuestEferMsr,
+  kGuestActivityState,
+  // Host state.
+  kHostRip,
+  kHostRsp,
+  kHostCr3,
+  kHostGsBase,
+  // Controls.
+  kEptp,
+  kVpid,
+  kPinBasedControls,
+  kCpuBasedControls,
+  kExceptionBitmap,
+  kEntryControls,
+  kExitControls,
+  kEntryIntrInfo,
+  // Read-only exit information.
+  kExitReason,
+  kExitQualification,
+  kGuestPhysicalAddress,
+  kGuestLinearAddress,
+  kCount,
+};
+
+constexpr std::size_t kVmcsFieldCount = static_cast<std::size_t>(VmcsField::kCount);
+
+// Fields L0 copies from VMCS12 when building VMCS02 (guest state + entry
+// controls); host state comes from VMCS01.
+constexpr std::array<VmcsField, 14> kVmcs12MergedFields = {
+    VmcsField::kGuestRip,       VmcsField::kGuestRsp,        VmcsField::kGuestRflags,
+    VmcsField::kGuestCr0,       VmcsField::kGuestCr3,        VmcsField::kGuestCr4,
+    VmcsField::kGuestCsBase,    VmcsField::kGuestSsBase,     VmcsField::kGuestGsBase,
+    VmcsField::kGuestIdtrBase,  VmcsField::kGuestEferMsr,    VmcsField::kGuestActivityState,
+    VmcsField::kEntryIntrInfo,  VmcsField::kExceptionBitmap,
+};
+
+constexpr std::array<VmcsField, 4> kVmcs01HostFields = {
+    VmcsField::kHostRip,
+    VmcsField::kHostRsp,
+    VmcsField::kHostCr3,
+    VmcsField::kHostGsBase,
+};
+
+class Vmcs {
+ public:
+  std::uint64_t read(VmcsField field) const {
+    ++reads_;
+    return fields_[static_cast<std::size_t>(field)];
+  }
+  void write(VmcsField field, std::uint64_t value) {
+    ++writes_;
+    fields_[static_cast<std::size_t>(field)] = value;
+  }
+  // Peek without access accounting (for assertions/tests).
+  std::uint64_t peek(VmcsField field) const { return fields_[static_cast<std::size_t>(field)]; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::array<std::uint64_t, kVmcsFieldCount> fields_{};
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+// Merges vmcs12 (guest + entry state set by L1) and vmcs01 (host state owned
+// by L0) into vmcs02, as L0 does before each real entry into L2. The EPTP of
+// vmcs02 is the compressed EPT02 and is set by the caller. Returns the number
+// of field copies performed (cost-model input).
+inline std::uint32_t merge_vmcs02(const Vmcs& vmcs12, const Vmcs& vmcs01, Vmcs& vmcs02) {
+  std::uint32_t copies = 0;
+  for (VmcsField field : kVmcs12MergedFields) {
+    vmcs02.write(field, vmcs12.read(field));
+    ++copies;
+  }
+  for (VmcsField field : kVmcs01HostFields) {
+    vmcs02.write(field, vmcs01.read(field));
+    ++copies;
+  }
+  return copies;
+}
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_HV_VMCS_H_

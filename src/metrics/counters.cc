@@ -1,0 +1,87 @@
+#include "src/metrics/counters.h"
+
+namespace pvm {
+
+std::string_view counter_name(Counter counter) {
+  switch (counter) {
+    case Counter::kWorldSwitch:
+      return "world_switch";
+    case Counter::kL0Exit:
+      return "l0_exit";
+    case Counter::kL1Exit:
+      return "l1_exit";
+    case Counter::kVmEntry:
+      return "vm_entry";
+    case Counter::kDirectSwitch:
+      return "direct_switch";
+    case Counter::kHypercall:
+      return "hypercall";
+    case Counter::kSyscall:
+      return "syscall";
+    case Counter::kPrivilegedInstructionTrap:
+      return "privileged_instruction_trap";
+    case Counter::kInstructionEmulated:
+      return "instruction_emulated";
+    case Counter::kMsrAccess:
+      return "msr_access";
+    case Counter::kCpuid:
+      return "cpuid";
+    case Counter::kPortIo:
+      return "port_io";
+    case Counter::kHalt:
+      return "halt";
+    case Counter::kGuestPageFault:
+      return "guest_page_fault";
+    case Counter::kShadowPageFault:
+      return "shadow_page_fault";
+    case Counter::kEptViolation:
+      return "ept_violation";
+    case Counter::kGptWriteProtectTrap:
+      return "gpt_write_protect_trap";
+    case Counter::kSptEntryFilled:
+      return "spt_entry_filled";
+    case Counter::kPrefaultFill:
+      return "prefault_fill";
+    case Counter::kPrefaultSavedFault:
+      return "prefault_saved_fault";
+    case Counter::kVmcsSync:
+      return "vmcs_sync";
+    case Counter::kEptCompressed:
+      return "ept_compressed";
+    case Counter::kTlbHit:
+      return "tlb_hit";
+    case Counter::kTlbMiss:
+      return "tlb_miss";
+    case Counter::kTlbFlushAll:
+      return "tlb_flush_all";
+    case Counter::kTlbFlushPcid:
+      return "tlb_flush_pcid";
+    case Counter::kTlbFlushAvoided:
+      return "tlb_flush_avoided";
+    case Counter::kInterruptInjected:
+      return "interrupt_injected";
+    case Counter::kVirtualInterruptDelivered:
+      return "virtual_interrupt_delivered";
+    case Counter::kInterruptPended:
+      return "interrupt_pended";
+    case Counter::kInterruptWhileGuestRunning:
+      return "interrupt_while_guest_running";
+    case Counter::kProcessForked:
+      return "process_forked";
+    case Counter::kProcessExeced:
+      return "process_execed";
+    case Counter::kMmapCall:
+      return "mmap_call";
+    case Counter::kMunmapCall:
+      return "munmap_call";
+    case Counter::kCowBreak:
+      return "cow_break";
+    case Counter::kIoRequest:
+      return "io_request";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace pvm

@@ -1,0 +1,101 @@
+// Event counters shared by every layer of the virtualization stack.
+//
+// Counters are the ground truth the tests assert on: e.g. "one L2 page fault
+// under EPT-on-EPT increments kWorldSwitch by 2n+6 and kL0Exit by n+3". Each
+// simulated platform owns one CounterSet; components hold references to it.
+
+#ifndef PVM_SRC_METRICS_COUNTERS_H_
+#define PVM_SRC_METRICS_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace pvm {
+
+enum class Counter : std::size_t {
+  // World-switch accounting.
+  kWorldSwitch,          // any VM-exit or VM-entry style transition
+  kL0Exit,               // transitions into the L0 host hypervisor (root mode)
+  kL1Exit,               // transitions into the L1 guest hypervisor
+  kVmEntry,              // resumptions of a guest
+  kDirectSwitch,         // PVM switcher user<->kernel switches w/o hypervisor
+
+  // CPU virtualization.
+  kHypercall,
+  kSyscall,
+  kPrivilegedInstructionTrap,
+  kInstructionEmulated,
+  kMsrAccess,
+  kCpuid,
+  kPortIo,
+  kHalt,
+
+  // Memory virtualization.
+  kGuestPageFault,       // faults against the guest's own page table
+  kShadowPageFault,      // faults against a shadow page table (SPT miss)
+  kEptViolation,         // faults against an EPT
+  kGptWriteProtectTrap,  // L2 writes to its write-protected GPT
+  kSptEntryFilled,
+  kPrefaultFill,         // SPT entries filled proactively on the iret path
+  kPrefaultSavedFault,   // faults avoided because prefault already filled
+  kVmcsSync,             // VMCS01/12 -> VMCS02 merge operations
+  kEptCompressed,        // EPT01+EPT12 -> EPT02 merges
+
+  // TLB.
+  kTlbHit,
+  kTlbMiss,
+  kTlbFlushAll,          // full VPID flush
+  kTlbFlushPcid,         // targeted single-PCID flush
+  kTlbFlushAvoided,      // flushes avoided by the PCID mapping optimization
+
+  // Interrupts.
+  kInterruptInjected,
+  kVirtualInterruptDelivered,
+  kInterruptPended,  // arrived while the guest masked its virtual IF
+  kInterruptWhileGuestRunning,
+
+  // Guest kernel activity.
+  kProcessForked,
+  kProcessExeced,
+  kMmapCall,
+  kMunmapCall,
+  kCowBreak,
+  kIoRequest,
+
+  kCount,
+};
+
+constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
+
+// Human-readable counter name ("world_switch", "l0_exit", ...).
+std::string_view counter_name(Counter counter);
+
+class CounterSet {
+ public:
+  void add(Counter counter, std::uint64_t delta = 1) {
+    values_[static_cast<std::size_t>(counter)] += delta;
+  }
+
+  std::uint64_t get(Counter counter) const {
+    return values_[static_cast<std::size_t>(counter)];
+  }
+
+  void reset() { values_.fill(0); }
+
+  // Difference against an earlier snapshot, counter by counter.
+  CounterSet delta_since(const CounterSet& earlier) const {
+    CounterSet d;
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      d.values_[i] = values_[i] - earlier.values_[i];
+    }
+    return d;
+  }
+
+ private:
+  std::array<std::uint64_t, kCounterCount> values_{};
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_METRICS_COUNTERS_H_

@@ -1,0 +1,58 @@
+#include "src/metrics/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pvm {
+
+std::string render_counter_report(const CounterSet& counters) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto counter = static_cast<Counter>(i);
+    const std::uint64_t value = counters.get(counter);
+    if (value == 0) {
+      continue;
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-32s %12llu\n",
+                  std::string(counter_name(counter)).c_str(),
+                  static_cast<unsigned long long>(value));
+    out << line;
+  }
+  return out.str();
+}
+
+DerivedStats derive_stats(const CounterSet& counters) {
+  DerivedStats stats;
+  const double faults = static_cast<double>(counters.get(Counter::kGuestPageFault) +
+                                            counters.get(Counter::kShadowPageFault));
+  if (faults > 0) {
+    stats.switches_per_fault =
+        static_cast<double>(counters.get(Counter::kWorldSwitch)) / faults;
+    stats.l0_exits_per_fault = static_cast<double>(counters.get(Counter::kL0Exit)) / faults;
+  }
+  const double lookups = static_cast<double>(counters.get(Counter::kTlbHit) +
+                                             counters.get(Counter::kTlbMiss));
+  if (lookups > 0) {
+    stats.tlb_hit_rate = static_cast<double>(counters.get(Counter::kTlbHit)) / lookups;
+  }
+  const double fills = static_cast<double>(counters.get(Counter::kSptEntryFilled));
+  if (fills > 0) {
+    stats.prefault_coverage =
+        static_cast<double>(counters.get(Counter::kPrefaultFill)) / fills;
+  }
+  return stats;
+}
+
+std::string render_derived_stats(const CounterSet& counters) {
+  const DerivedStats stats = derive_stats(counters);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "switches/fault: %.2f  l0-exits/fault: %.3f  tlb-hit-rate: %.3f  "
+                "prefault-coverage: %.3f\n",
+                stats.switches_per_fault, stats.l0_exits_per_fault, stats.tlb_hit_rate,
+                stats.prefault_coverage);
+  return buffer;
+}
+
+}  // namespace pvm

@@ -1,0 +1,30 @@
+// Full counter report rendering: every non-zero counter as an aligned table,
+// plus derived ratios the paper's analysis cares about (switches per fault,
+// L0 exits per fault, TLB hit rate).
+
+#ifndef PVM_SRC_METRICS_REPORT_H_
+#define PVM_SRC_METRICS_REPORT_H_
+
+#include <string>
+
+#include "src/metrics/counters.h"
+
+namespace pvm {
+
+// Renders all non-zero counters, one per line, aligned.
+std::string render_counter_report(const CounterSet& counters);
+
+// Derived per-fault statistics; zero-safe.
+struct DerivedStats {
+  double switches_per_fault = 0;
+  double l0_exits_per_fault = 0;
+  double tlb_hit_rate = 0;
+  double prefault_coverage = 0;  // prefault fills / SPT fills
+};
+DerivedStats derive_stats(const CounterSet& counters);
+
+std::string render_derived_stats(const CounterSet& counters);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_METRICS_REPORT_H_

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure; this
+// keeps the formatting consistent and diff-friendly.
+
+#ifndef PVM_SRC_METRICS_TABLE_H_
+#define PVM_SRC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pvm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; it may have fewer cells than the header (padded blank).
+  void add_row(std::vector<std::string> row);
+
+  // Convenience cell formatters.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::uint64_t value);
+
+  // Renders with aligned columns, a header underline, and a trailing newline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_METRICS_TABLE_H_

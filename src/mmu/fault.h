@@ -1,0 +1,31 @@
+// Fault descriptors passed between guests and hypervisors.
+
+#ifndef PVM_SRC_MMU_FAULT_H_
+#define PVM_SRC_MMU_FAULT_H_
+
+#include <cstdint>
+
+#include "src/arch/addresses.h"
+#include "src/arch/page_table.h"
+
+namespace pvm {
+
+// A fault raised against a guest-visible page table (GPT or SPT).
+struct PageFaultInfo {
+  std::uint64_t gva = 0;
+  AccessType access = AccessType::kRead;
+  bool user_mode = true;
+  // True if a translation existed but permissions forbade the access
+  // (e.g. a COW or write-protect fault); false for a not-present fault.
+  bool protection = false;
+};
+
+// A fault raised against an extended page table (guest-physical miss).
+struct EptViolationInfo {
+  std::uint64_t gpa = 0;
+  AccessType access = AccessType::kRead;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_MMU_FAULT_H_

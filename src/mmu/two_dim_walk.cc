@@ -1,0 +1,84 @@
+#include "src/mmu/two_dim_walk.h"
+
+namespace pvm {
+
+namespace {
+
+// Translates one GPA frame through the EPT; returns true and sets
+// `host_frame` on success, false on violation. Accumulates walk loads.
+bool ept_translate_frame(const PageTable& ept, std::uint64_t gpa_frame, AccessType access,
+                         std::uint64_t* host_frame, int* loads) {
+  const WalkResult walk = ept.walk(gpa_frame << kPageShift, access, /*user_mode=*/false);
+  *loads += walk.levels_walked;
+  if (!walk.present || !walk.permission_ok) {
+    return false;
+  }
+  *host_frame = walk.pte.frame_number();
+  return true;
+}
+
+}  // namespace
+
+TwoDimWalk walk_two_dimensional(const PageTable& guest_pt, const PageTable& ept,
+                                std::uint64_t va, AccessType access, bool user_mode) {
+  TwoDimWalk result;
+  result.guest = guest_pt.walk(va, access, user_mode);
+
+  // Each guest table page the hardware loaded had to be translated through
+  // the EPT first. Table loads are reads; table *updates* (A/D bit writes)
+  // are ignored here for simplicity.
+  for (int i = 0; i < result.guest.levels_walked; ++i) {
+    ++result.total_loads;  // the guest-dimension load itself
+    std::uint64_t host_frame = 0;
+    if (!ept_translate_frame(ept, result.guest.node_frames[i], AccessType::kRead, &host_frame,
+                             &result.total_loads)) {
+      result.outcome = TwoDimWalk::Outcome::kEptViolation;
+      result.violating_gpa = result.guest.node_frames[i] << kPageShift;
+      result.violating_access = AccessType::kRead;
+      return result;
+    }
+  }
+
+  if (!result.guest.present) {
+    result.outcome = TwoDimWalk::Outcome::kGuestNotPresent;
+    return result;
+  }
+  if (!result.guest.permission_ok) {
+    result.outcome = TwoDimWalk::Outcome::kGuestProtection;
+    return result;
+  }
+
+  // Final data access through the EPT.
+  std::uint64_t host_frame = 0;
+  if (!ept_translate_frame(ept, result.guest.pte.frame_number(), access, &host_frame,
+                           &result.total_loads)) {
+    result.outcome = TwoDimWalk::Outcome::kEptViolation;
+    result.violating_gpa = result.guest.pte.frame_number() << kPageShift;
+    result.violating_access = access;
+    return result;
+  }
+
+  result.outcome = TwoDimWalk::Outcome::kOk;
+  result.host_frame = host_frame;
+  return result;
+}
+
+TwoDimWalk walk_one_dimensional(const PageTable& table, std::uint64_t va, AccessType access,
+                                bool user_mode) {
+  TwoDimWalk result;
+  result.guest = table.walk(va, access, user_mode);
+  result.total_loads = result.guest.levels_walked;
+  if (!result.guest.present) {
+    result.outcome = TwoDimWalk::Outcome::kGuestNotPresent;
+    return result;
+  }
+  if (!result.guest.permission_ok) {
+    result.outcome = TwoDimWalk::Outcome::kGuestProtection;
+    return result;
+  }
+  result.outcome = TwoDimWalk::Outcome::kOk;
+  result.host_frame = result.guest.pte.frame_number();
+  return result;
+}
+
+}  // namespace pvm

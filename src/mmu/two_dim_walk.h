@@ -1,0 +1,54 @@
+// Two-dimensional (guest PT x EPT) hardware page walk.
+//
+// Models what an EPT-enabled MMU does: every load of a guest page-table entry
+// first translates the table page's guest-physical address through the EPT,
+// and the final data GPA is translated through the EPT as well. A 4x4
+// configuration therefore costs up to 4*5 + 4 = 24 loads — the well-known
+// quadratic blow-up of nested paging, which the cost model charges per load.
+//
+// Outcomes distinguish the two fault kinds the paper's protocols handle
+// differently: guest page faults (GPT miss / permission) are delivered to the
+// guest kernel; EPT violations are delivered to the hypervisor that owns the
+// EPT.
+
+#ifndef PVM_SRC_MMU_TWO_DIM_WALK_H_
+#define PVM_SRC_MMU_TWO_DIM_WALK_H_
+
+#include <cstdint>
+
+#include "src/arch/page_table.h"
+#include "src/mmu/fault.h"
+
+namespace pvm {
+
+struct TwoDimWalk {
+  enum class Outcome {
+    kOk,              // full translation, permissions allow the access
+    kGuestNotPresent,  // guest table miss -> guest page fault (not present)
+    kGuestProtection,  // guest leaf present but forbids access -> guest #PF
+    kEptViolation,     // some GPA (table page or data page) missing in EPT
+  };
+
+  Outcome outcome = Outcome::kOk;
+  WalkResult guest;              // the guest-dimension walk
+  std::uint64_t host_frame = 0;  // final lower-space frame when kOk
+  std::uint64_t violating_gpa = 0;  // GPA that missed in the EPT
+  AccessType violating_access = AccessType::kRead;
+  int total_loads = 0;  // memory accesses performed by the hardware walker
+};
+
+// Walks `guest_pt` for `va`, translating every touched guest table frame and
+// the final data frame through `ept`. `user_mode` applies to the guest
+// dimension only (EPT has no user bit in this model).
+TwoDimWalk walk_two_dimensional(const PageTable& guest_pt, const PageTable& ept,
+                                std::uint64_t va, AccessType access, bool user_mode);
+
+// Single-dimension convenience wrapper producing the same outcome taxonomy
+// (no EPT): used by shadow-paging configurations where the hardware walks
+// SPT directly (bare-metal kvm-spt) and by EPT-only hardware walks.
+TwoDimWalk walk_one_dimensional(const PageTable& table, std::uint64_t va, AccessType access,
+                                bool user_mode);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_MMU_TWO_DIM_WALK_H_

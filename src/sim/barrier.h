@@ -1,0 +1,58 @@
+// Cyclic barrier for simulated threads (fluidanimate-style phase sync).
+
+#ifndef PVM_SRC_SIM_BARRIER_H_
+#define PVM_SRC_SIM_BARRIER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace pvm {
+
+class SimBarrier {
+ public:
+  SimBarrier(Simulation& sim, int parties) : sim_(&sim), parties_(parties) {}
+
+  struct Awaiter {
+    SimBarrier* barrier;
+
+    bool await_ready() noexcept {
+      if (barrier->waiting_ + 1 == barrier->parties_) {
+        // Last arriver releases everyone and passes through.
+        for (std::coroutine_handle<> handle : barrier->waiters_) {
+          barrier->sim_->schedule(handle, barrier->sim_->now());
+        }
+        barrier->waiters_.clear();
+        barrier->waiting_ = 0;
+        ++barrier->generation_;
+        return true;
+      }
+      return false;
+    }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> handle) noexcept {
+      ++barrier->waiting_;
+      barrier->waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Awaitable: suspends until all `parties` have arrived.
+  Awaiter arrive_and_wait() { return Awaiter{this}; }
+
+  std::uint64_t generation() const { return generation_; }
+  int waiting() const { return waiting_; }
+
+ private:
+  Simulation* sim_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_SIM_BARRIER_H_

@@ -1,0 +1,34 @@
+#include "src/sim/resource.h"
+
+namespace pvm {
+
+ScopedResource& ScopedResource::operator=(ScopedResource&& other) noexcept {
+  if (this != &other) {
+    release();
+    resource_ = std::exchange(other.resource_, nullptr);
+  }
+  return *this;
+}
+
+ScopedResource::~ScopedResource() { release(); }
+
+void ScopedResource::release() {
+  if (resource_ != nullptr) {
+    resource_->release();
+    resource_ = nullptr;
+  }
+}
+
+void Resource::release() {
+  if (!waiters_.empty()) {
+    // Hand the unit to the oldest waiter; it resumes at the current virtual
+    // time. available_ stays unchanged: ownership moves directly.
+    std::coroutine_handle<> next = waiters_.front();
+    waiters_.pop_front();
+    sim_->schedule(next, sim_->now());
+    return;
+  }
+  ++available_;
+}
+
+}  // namespace pvm

@@ -1,0 +1,97 @@
+#include "src/sim/simulation.h"
+
+#include <stdexcept>
+
+namespace pvm {
+
+Simulation::~Simulation() {
+  // Drop any queued resumptions first, then reclaim root frames. Destroying a
+  // suspended coroutine frame is safe; destroying a completed one is too.
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+  for (auto handle : roots_) {
+    if (handle) {
+      handle.destroy();
+    }
+  }
+}
+
+void Simulation::spawn(Task<void> task) {
+  auto handle = task.release();
+  if (!handle) {
+    throw std::invalid_argument("Simulation::spawn: empty task");
+  }
+  handle.promise().sim = this;
+  roots_.push_back(handle);
+  schedule(handle, now_);
+}
+
+void Simulation::schedule(std::coroutine_handle<> handle, SimTime when) {
+  if (when < now_) {
+    throw std::logic_error("Simulation::schedule: time went backwards");
+  }
+  queue_.push(Event{when, next_seq_++, handle});
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.handle.resume();
+    ++processed;
+    ++events_processed_;
+  }
+  rethrow_failed_roots();
+  return processed;
+}
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.handle.resume();
+    ++processed;
+    ++events_processed_;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  rethrow_failed_roots();
+  return processed;
+}
+
+bool Simulation::all_tasks_done() const {
+  for (auto handle : roots_) {
+    if (handle && !handle.done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Simulation::pending_task_count() const {
+  std::size_t pending = 0;
+  for (auto handle : roots_) {
+    if (handle && !handle.done()) {
+      ++pending;
+    }
+  }
+  return pending;
+}
+
+void Simulation::rethrow_failed_roots() {
+  for (auto handle : roots_) {
+    if (handle && handle.done() && handle.promise().exception) {
+      std::exception_ptr exception = handle.promise().exception;
+      handle.promise().exception = nullptr;
+      std::rethrow_exception(exception);
+    }
+  }
+}
+
+}  // namespace pvm

@@ -1,0 +1,67 @@
+#include "src/trace/trace.h"
+
+#include <sstream>
+
+namespace pvm {
+
+std::string_view trace_actor_name(TraceActor actor) {
+  switch (actor) {
+    case TraceActor::kL2User:
+      return "L2-user";
+    case TraceActor::kL2Kernel:
+      return "L2-kernel";
+    case TraceActor::kSwitcher:
+      return "switcher";
+    case TraceActor::kL1Hypervisor:
+      return "L1-hv";
+    case TraceActor::kL0Hypervisor:
+      return "L0-hv";
+    case TraceActor::kHardware:
+      return "hw";
+  }
+  return "?";
+}
+
+std::vector<std::string> TraceLog::messages_for(TraceActor actor) const {
+  std::vector<std::string> result;
+  for (const auto& record : records_) {
+    if (record.actor == actor) {
+      result.push_back(record.message);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> TraceLog::messages() const {
+  std::vector<std::string> result;
+  result.reserve(records_.size());
+  for (const auto& record : records_) {
+    result.push_back(record.message);
+  }
+  return result;
+}
+
+bool TraceLog::contains_sequence(const std::vector<std::string>& needle) const {
+  std::size_t matched = 0;
+  for (const auto& record : records_) {
+    if (matched < needle.size() && record.message == needle[matched]) {
+      ++matched;
+    }
+  }
+  return matched == needle.size();
+}
+
+std::string TraceLog::render() const {
+  std::ostringstream out;
+  std::size_t step = 1;
+  for (const auto& record : records_) {
+    out << step++ << ". [" << record.time_ns << " ns] " << trace_actor_name(record.actor) << ": "
+        << record.message << '\n';
+  }
+  if (dropped_ > 0) {
+    out << "(" << dropped_ << " earlier records dropped)\n";
+  }
+  return out.str();
+}
+
+}  // namespace pvm

@@ -1,0 +1,85 @@
+// Event tracing for world-switch protocols.
+//
+// When enabled, every protocol step (VM exit, fault injection, VMCS sync,
+// switcher transition, ...) appends a record tagged with the acting layer.
+// The renderer prints the numbered step sequences of the paper's Figure 3
+// (SPT-on-EPT / EPT-on-EPT) and Figure 9 (PVM-on-EPT), which the integration
+// tests compare against the published protocols.
+
+#ifndef PVM_SRC_TRACE_TRACE_H_
+#define PVM_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvm {
+
+enum class TraceActor {
+  kL2User,
+  kL2Kernel,
+  kSwitcher,
+  kL1Hypervisor,
+  kL0Hypervisor,
+  kHardware,
+};
+
+std::string_view trace_actor_name(TraceActor actor);
+
+struct TraceRecord {
+  std::uint64_t time_ns;
+  TraceActor actor;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t max_records = 65536) : max_records_(max_records) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void emit(std::uint64_t time_ns, TraceActor actor, std::string message) {
+    if (!enabled_) {
+      return;
+    }
+    if (records_.size() >= max_records_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(TraceRecord{time_ns, actor, std::move(message)});
+  }
+
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::deque<TraceRecord>& records() const { return records_; }
+
+  // All messages from a given actor, in order.
+  std::vector<std::string> messages_for(TraceActor actor) const;
+
+  // All messages in order (for protocol-sequence assertions).
+  std::vector<std::string> messages() const;
+
+  // True if the message sequence contains `needle` as a subsequence.
+  bool contains_sequence(const std::vector<std::string>& needle) const;
+
+  // Renders a numbered, indented step listing.
+  std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t max_records_;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_TRACE_TRACE_H_

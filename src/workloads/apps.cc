@@ -1,0 +1,227 @@
+#include "src/workloads/apps.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/sim/barrier.h"
+#include "src/sim/random.h"
+
+namespace pvm {
+
+namespace {
+
+SimTime scaled(double scale, std::uint64_t ns) {
+  return static_cast<SimTime>(scale * static_cast<double>(ns));
+}
+
+}  // namespace
+
+Task<void> app_kbuild(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                      AppParams params) {
+  GuestKernel& kernel = container.kernel();
+  const int units = static_cast<int>(24 * params.size);
+
+  for (int unit = 0; unit < units; ++unit) {
+    // make spawns cc1 via fork+exec.
+    GuestProcess* cc = co_await kernel.sys_fork(vcpu, proc);
+    co_await kernel.mem().activate_process(vcpu, *cc, false);
+    co_await kernel.sys_exec(vcpu, *cc, /*fresh_pages=*/40);
+
+    // Compile: compute plus compiler heap growth (fresh pages, kept until
+    // the process exits).
+    co_await container.compute(scaled(params.compute_scale, 10 * kNsPerMs));
+    const std::uint64_t heap = co_await kernel.sys_mmap(vcpu, *cc, 512 * kPageSize);
+    for (int i = 0; i < 512; ++i) {
+      co_await kernel.touch(vcpu, *cc, heap + static_cast<std::uint64_t>(i) * kPageSize, true);
+    }
+
+    // Emit the object file.
+    co_await kernel.sys_file_op(vcpu, *cc, 60 * kNsPerUs, 8, 0);
+    co_await kernel.do_io(vcpu, *cc, container.io(), 96 * 1024);
+
+    co_await kernel.sys_exit(vcpu, *cc);
+    co_await kernel.mem().activate_process(vcpu, proc, false);
+  }
+  // Final link: read objects, one large write.
+  co_await container.compute(scaled(params.compute_scale, 40 * kNsPerMs));
+  co_await kernel.do_io(vcpu, proc, container.io(), 2 * 1024 * 1024);
+}
+
+Task<double> app_blogbench(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                           AppParams params) {
+  GuestKernel& kernel = container.kernel();
+  Simulation& sim = container.sim();
+  Xoshiro256 rng(params.seed);
+  const int iterations = static_cast<int>(400 * params.size);
+
+  const SimTime start = sim.now();
+  for (int i = 0; i < iterations; ++i) {
+    const double draw = rng.next_double();
+    if (draw < 0.25) {
+      // Write an article: create + data pages + disk write.
+      co_await kernel.sys_file_op(vcpu, proc, 40 * kNsPerUs, 8, 0);
+      co_await kernel.do_io(vcpu, proc, container.io(), 16 * 1024);
+    } else if (draw < 0.35) {
+      // Rewrite/delete.
+      co_await kernel.sys_file_op(vcpu, proc, 28 * kNsPerUs, 4, 8);
+    } else {
+      // Read traffic: open/close + cached reads.
+      co_await kernel.sys_simple(vcpu, proc, 12 * kNsPerUs, 3);
+    }
+    co_await container.compute(scaled(params.compute_scale, 8 * kNsPerUs));
+  }
+  const double seconds = static_cast<double>(sim.now() - start) / 1e9;
+  co_return static_cast<double>(iterations) / seconds;
+}
+
+Task<double> app_specjbb(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                         AppParams params) {
+  GuestKernel& kernel = container.kernel();
+  Simulation& sim = container.sim();
+  const int transactions = static_cast<int>(3000 * params.size);
+  constexpr int kOpsPerTlab = 24;          // transactions per fresh TLAB
+  constexpr std::uint64_t kTlabBytes = 1ull << 20;
+
+  std::uint64_t live_tlab = 0;
+  std::uint64_t old_tlab = 0;
+
+  const SimTime start = sim.now();
+  for (int op = 0; op < transactions; ++op) {
+    if (op % kOpsPerTlab == 0) {
+      // New TLAB: allocate and touch (JVM bump-pointer allocation), and let
+      // the GC reclaim the one before last (constant live set, heavy page
+      // churn — the behaviour that exposes nested memory virtualization).
+      if (old_tlab != 0) {
+        co_await kernel.sys_munmap(vcpu, proc, old_tlab);
+      }
+      old_tlab = live_tlab;
+      live_tlab = co_await kernel.sys_mmap(vcpu, proc, kTlabBytes);
+      for (std::uint64_t page = 0; page < kTlabBytes / kPageSize; ++page) {
+        co_await kernel.touch(vcpu, proc, live_tlab + page * kPageSize, true);
+      }
+    }
+    // Transaction body: compute plus a few object accesses.
+    co_await container.compute(scaled(params.compute_scale, 35 * kNsPerUs));
+    co_await kernel.touch(vcpu, proc, live_tlab + (static_cast<std::uint64_t>(op) % 200) * kPageSize,
+                          true);
+  }
+  const double seconds = static_cast<double>(sim.now() - start) / 1e9;
+  co_return static_cast<double>(transactions) / seconds / 1000.0;  // kbops
+}
+
+Task<void> app_fluidanimate(SecureContainer& container, AppParams params, int threads,
+                            int frames) {
+  GuestKernel& kernel = container.kernel();
+  Simulation& sim = container.sim();
+
+  auto barrier = std::make_shared<SimBarrier>(sim, threads);
+  std::vector<Task<void>> workers;
+  std::vector<SimTime> done(threads, 0);
+
+  auto worker = [&kernel, &container, barrier, params, frames](Vcpu& vcpu,
+                                                               int index) -> Task<void> {
+    GuestProcess* proc = co_await kernel.create_init_process(vcpu, 48);
+    // Each thread's slice of the particle grid.
+    const std::uint64_t grid = co_await kernel.sys_mmap(vcpu, *proc, 96 * kPageSize);
+    for (int i = 0; i < 96; ++i) {
+      co_await kernel.touch(vcpu, *proc, grid + static_cast<std::uint64_t>(i) * kPageSize, true);
+    }
+    for (int frame = 0; frame < frames; ++frame) {
+      // Five pipeline stages per frame, each ending in a blocking barrier
+      // (fluidanimate's rebuild/density/force/collision/advance phases).
+      for (int stage = 0; stage < 5; ++stage) {
+        const std::uint64_t jitter =
+            1 + ((static_cast<std::uint64_t>(index) * 2654435761u +
+                  static_cast<std::uint64_t>(frame * 5 + stage)) %
+                 5);
+        co_await container.compute(scaled(params.compute_scale, (8 + jitter) * kNsPerMs / 20));
+        for (int i = 0; i < 8; ++i) {
+          co_await kernel.touch(
+              vcpu, *proc,
+              grid + ((static_cast<std::uint64_t>(frame * 7 + stage * 13 + i * 11)) % 96) *
+                         kPageSize,
+              true);
+        }
+        // Blocking synchronization: idle in HLT until the slowest thread
+        // arrives, then pay the wakeup path.
+        co_await barrier->arrive_and_wait();
+        co_await kernel.cpu().halt(vcpu);
+      }
+    }
+    co_await kernel.sys_exit(vcpu, *proc);
+  };
+
+  // Run the workers to completion inside this task.
+  struct Joiner {
+    int remaining;
+  };
+  auto joiner = std::make_shared<Joiner>(Joiner{threads});
+  for (int t = 0; t < threads; ++t) {
+    Vcpu& vcpu = container.add_vcpu();
+    container.sim().spawn([](Task<void> inner, std::shared_ptr<Joiner> j) -> Task<void> {
+      co_await std::move(inner);
+      --j->remaining;
+    }(worker(vcpu, t), joiner));
+  }
+  while (joiner->remaining > 0) {
+    co_await sim.delay(kNsPerMs);
+  }
+}
+
+Task<void> app_cloudsuite(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                          CloudSuiteKind kind, AppParams params) {
+  GuestKernel& kernel = container.kernel();
+  Xoshiro256 rng(params.seed);
+
+  switch (kind) {
+    case CloudSuiteKind::kDataAnalytics: {
+      // Map-reduce style: read a split, compute, short-lived buffers.
+      const int splits = static_cast<int>(20 * params.size);
+      for (int s = 0; s < splits; ++s) {
+        co_await kernel.do_io(vcpu, proc, container.io(), 1024 * 1024);
+        const std::uint64_t buffer = co_await kernel.sys_mmap(vcpu, proc, 128 * kPageSize);
+        for (int i = 0; i < 128; ++i) {
+          co_await kernel.touch(vcpu, proc,
+                                buffer + static_cast<std::uint64_t>(i) * kPageSize, true);
+        }
+        co_await container.compute(scaled(params.compute_scale, 6 * kNsPerMs));
+        co_await kernel.sys_munmap(vcpu, proc, buffer);
+      }
+      break;
+    }
+    case CloudSuiteKind::kGraphAnalytics: {
+      // Large resident graph; iterations do irregular reads (TLB-hostile but
+      // fault-free after load).
+      const std::uint64_t graph_pages = 4096;
+      const std::uint64_t graph = co_await kernel.sys_mmap(vcpu, proc, graph_pages * kPageSize);
+      for (std::uint64_t i = 0; i < graph_pages; ++i) {
+        co_await kernel.touch(vcpu, proc, graph + i * kPageSize, true);
+      }
+      const int iterations = static_cast<int>(6 * params.size);
+      for (int iter = 0; iter < iterations; ++iter) {
+        for (int e = 0; e < 3000; ++e) {
+          co_await kernel.touch(vcpu, proc, graph + rng.next_below(graph_pages) * kPageSize,
+                                false);
+        }
+        co_await container.compute(scaled(params.compute_scale, 12 * kNsPerMs));
+      }
+      break;
+    }
+    case CloudSuiteKind::kInMemoryAnalytics: {
+      // Resident matrix with repeated sequential scans (Spark-style).
+      const std::uint64_t pages = 8192;
+      const std::uint64_t matrix = co_await kernel.sys_mmap(vcpu, proc, pages * kPageSize);
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        co_await kernel.touch(vcpu, proc, matrix + i * kPageSize, true);
+      }
+      const int scans = static_cast<int>(4 * params.size);
+      for (int scan = 0; scan < scans; ++scan) {
+        for (std::uint64_t i = 0; i < pages; i += 4) {
+          co_await kernel.touch(vcpu, proc, matrix + i * kPageSize, false);
+        }
+        co_await container.compute(scaled(params.compute_scale, 20 * kNsPerMs));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace pvm

@@ -1,0 +1,59 @@
+// Application models for the paper's macro-benchmarks (§4.3, Figs. 11-13):
+// Kbuild, Blogbench, SPECjbb2005, fluidanimate, and the three CloudSuite
+// workloads. Each reproduces the corresponding application's *operation mix*
+// (fork/exec churn, file I/O, heap churn, blocking synchronization, large
+// scans) at a documented scale-down; absolute times are smaller than the
+// paper's but the cross-deployment ratios are driven by the same mechanisms.
+
+#ifndef PVM_SRC_WORKLOADS_APPS_H_
+#define PVM_SRC_WORKLOADS_APPS_H_
+
+#include <cstdint>
+
+#include "src/backends/platform.h"
+#include "src/sim/task.h"
+
+namespace pvm {
+
+struct AppParams {
+  // Compute-time multiplier for what-if scaling. Host CPU oversubscription
+  // no longer needs it: compute bursts queue on the platform's host-CPU
+  // pool, so the Fig. 12 slowdown emerges from contention.
+  double compute_scale = 1.0;
+  // Workload size knob (1.0 = the default scaled-down size).
+  double size = 1.0;
+  std::uint64_t seed = 42;
+};
+
+// Linux kernel build: fork+exec per compilation unit, compiler memory churn,
+// object file writes. Completes when all units are built.
+Task<void> app_kbuild(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                      AppParams params);
+
+// Busy file server: file create/read/write/delete mix. Returns the
+// Blogbench-style score (operations per simulated second).
+Task<double> app_blogbench(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                           AppParams params);
+
+// JVM transaction benchmark: per-transaction compute plus TLAB-style heap
+// allocation with periodic GC-like release. Returns throughput in kbops.
+Task<double> app_specjbb(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                         AppParams params);
+
+// PARSEC fluidanimate: `threads` workers iterating frames with blocking
+// (HLT) barrier synchronization and a shared grid in memory.
+Task<void> app_fluidanimate(SecureContainer& container, AppParams params, int threads = 4,
+                            int frames = 24);
+
+enum class CloudSuiteKind {
+  kDataAnalytics,      // I/O + compute + short-lived buffers
+  kGraphAnalytics,     // large resident graph, irregular access
+  kInMemoryAnalytics,  // large resident matrix, repeated scans
+};
+
+Task<void> app_cloudsuite(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                          CloudSuiteKind kind, AppParams params);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_WORKLOADS_APPS_H_

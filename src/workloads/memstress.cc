@@ -1,0 +1,36 @@
+#include "src/workloads/memstress.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/sim/random.h"
+
+namespace pvm {
+
+Task<void> memstress_process(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                             MemStressParams params) {
+  GuestKernel& kernel = container.kernel();
+  Simulation& sim = container.sim();
+  const std::uint64_t pages_per_chunk = params.chunk_bytes / kPageSize;
+  Xoshiro256 rng(params.seed + proc.pid() * 7919);
+  const auto jittered = [&](std::uint64_t ns) -> std::uint64_t {
+    if (params.jitter <= 0) {
+      return ns;
+    }
+    const double factor = 1.0 + params.jitter * (2.0 * rng.next_double() - 1.0);
+    return static_cast<std::uint64_t>(static_cast<double>(ns) * factor);
+  };
+
+  std::uint64_t touched = 0;
+  while (touched < params.total_bytes) {
+    const std::uint64_t base = co_await kernel.sys_mmap(vcpu, proc, params.chunk_bytes);
+    for (std::uint64_t i = 0; i < pages_per_chunk; ++i) {
+      co_await kernel.touch(vcpu, proc, base + i * kPageSize, /*write=*/true);
+      co_await sim.delay(jittered(params.compute_per_page_ns));
+    }
+    touched += params.chunk_bytes;
+    if (params.release_chunks) {
+      co_await kernel.sys_munmap(vcpu, proc, base);
+    }
+  }
+}
+
+}  // namespace pvm

@@ -1,0 +1,89 @@
+#include "src/workloads/runner.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/workloads/timer.h"
+
+namespace pvm {
+
+namespace {
+
+Task<void> timed(Simulation& sim, Task<void> inner, SimTime* duration) {
+  const SimTime start = sim.now();
+  co_await std::move(inner);
+  *duration = sim.now() - start;
+}
+
+}  // namespace
+
+ConcurrentResult run_processes_in_container(VirtualPlatform& platform,
+                                            SecureContainer& container, int process_count,
+                                            const ProcessBody& body, int resident_pages) {
+  Simulation& sim = platform.sim();
+
+  // Stage 1: create one process per worker, each pinned to its own vCPU.
+  std::vector<Vcpu*> vcpus;
+  std::vector<GuestProcess*> procs(process_count, nullptr);
+  for (int i = 0; i < process_count; ++i) {
+    vcpus.push_back(&container.add_vcpu());
+  }
+  for (int i = 0; i < process_count; ++i) {
+    sim.spawn([](GuestKernel& kernel, Vcpu& vcpu, GuestProcess** out,
+                 int pages) -> Task<void> {
+      *out = co_await kernel.create_init_process(vcpu, pages);
+    }(container.kernel(), *vcpus[i], &procs[i], resident_pages));
+  }
+  sim.run();
+
+  // Stage 2: run the bodies concurrently.
+  ConcurrentResult result;
+  result.task_times.resize(process_count, 0);
+  const SimTime start = sim.now();
+  for (int i = 0; i < process_count; ++i) {
+    sim.spawn(timed(sim, body(i, *vcpus[i], *procs[i]), &result.task_times[i]));
+  }
+  sim.run();
+  result.makespan = sim.now() - start;
+  return result;
+}
+
+ContainersResult run_containers(VirtualPlatform& platform, int container_count,
+                                const ContainerBody& body, int init_pages, int timer_hz) {
+  Simulation& sim = platform.sim();
+
+  std::vector<SecureContainer*> containers;
+  for (int i = 0; i < container_count; ++i) {
+    containers.push_back(&platform.create_container("c" + std::to_string(i)));
+  }
+  for (SecureContainer* container : containers) {
+    sim.spawn(container->boot(init_pages));
+  }
+  sim.run();
+
+  ContainersResult result;
+  for (SecureContainer* container : containers) {
+    result.boot_latencies.push_back(container->boot_latency());
+  }
+
+  result.task_times.resize(container_count, 0);
+  const SimTime start = sim.now();
+  for (int i = 0; i < container_count; ++i) {
+    SecureContainer& container = *containers[i];
+    auto stop = std::make_shared<bool>(false);
+    if (timer_hz > 0) {
+      sim.spawn(timer_ticks(container, timer_hz, stop));
+    }
+    sim.spawn([](Simulation& s, Task<void> inner, SimTime* duration,
+                 std::shared_ptr<bool> stop_flag) -> Task<void> {
+      const SimTime body_start = s.now();
+      co_await std::move(inner);
+      *duration = s.now() - body_start;
+      *stop_flag = true;
+    }(sim, body(i, container, container.vcpu(0), *container.init_process()),
+      &result.task_times[i], stop));
+  }
+  sim.run();
+  result.makespan = sim.now() - start;
+  return result;
+}
+
+}  // namespace pvm

@@ -1,0 +1,58 @@
+// Concurrency harnesses: run a workload body across N processes of one
+// container, or across N containers, and collect per-task virtual times.
+
+#ifndef PVM_SRC_WORKLOADS_RUNNER_H_
+#define PVM_SRC_WORKLOADS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/sim/task.h"
+
+namespace pvm {
+
+struct ConcurrentResult {
+  std::vector<SimTime> task_times;  // per-task durations (ns)
+  SimTime makespan = 0;             // start of first to end of last
+
+  double mean_seconds() const {
+    if (task_times.empty()) {
+      return 0.0;
+    }
+    double sum = 0;
+    for (const SimTime t : task_times) {
+      sum += static_cast<double>(t);
+    }
+    return sum / static_cast<double>(task_times.size()) / 1e9;
+  }
+  double makespan_seconds() const { return static_cast<double>(makespan) / 1e9; }
+};
+
+// Body run per process: (process index, vcpu, process).
+using ProcessBody = std::function<Task<void>(int, Vcpu&, GuestProcess&)>;
+// Body run per container: (container index, container, vcpu0, init process).
+using ContainerBody = std::function<Task<void>(int, SecureContainer&, Vcpu&, GuestProcess&)>;
+
+// Spawns `process_count` processes inside `container` (each on its own
+// vCPU), runs `body` in all of them concurrently, and reports durations.
+// The container must already be booted.
+ConcurrentResult run_processes_in_container(VirtualPlatform& platform,
+                                            SecureContainer& container, int process_count,
+                                            const ProcessBody& body, int resident_pages = 32);
+
+// Boots `container_count` containers concurrently, then runs `body` in each
+// (one process, one vCPU per container). Also records boot latencies.
+struct ContainersResult : ConcurrentResult {
+  std::vector<SimTime> boot_latencies;
+};
+// `timer_hz` > 0 additionally runs a scheduler-tick task per container for
+// the duration of its body (the per-vCPU interrupt load real guests carry).
+ContainersResult run_containers(VirtualPlatform& platform, int container_count,
+                                const ContainerBody& body, int init_pages = 96,
+                                int timer_hz = 0);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_WORKLOADS_RUNNER_H_

@@ -1,0 +1,20 @@
+#include "src/workloads/timer.h"
+
+namespace pvm {
+
+Task<void> timer_ticks(SecureContainer& container, int hz, std::shared_ptr<bool> stop) {
+  if (hz <= 0) {
+    co_return;
+  }
+  Vcpu& vcpu = container.add_vcpu();
+  const SimTime period = kNsPerSec / static_cast<SimTime>(hz);
+  while (!*stop) {
+    co_await container.sim().delay(period);
+    if (*stop) {
+      break;
+    }
+    co_await container.cpu().interrupt(vcpu);
+  }
+}
+
+}  // namespace pvm

@@ -1,0 +1,24 @@
+// Periodic guest timer ticks.
+//
+// Real guests take a scheduler tick per vCPU; under hardware-assisted
+// nesting every tick costs two L0 round trips (§3.3.3), while PVM needs a
+// single hardware injection. The tick task runs on its own housekeeping vCPU
+// of the container and stops when the shared flag flips.
+
+#ifndef PVM_SRC_WORKLOADS_TIMER_H_
+#define PVM_SRC_WORKLOADS_TIMER_H_
+
+#include <memory>
+
+#include "src/backends/platform.h"
+#include "src/sim/task.h"
+
+namespace pvm {
+
+// Fires `hz` interrupts per virtual second into a fresh vCPU of `container`
+// until `*stop` becomes true.
+Task<void> timer_ticks(SecureContainer& container, int hz, std::shared_ptr<bool> stop);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_WORKLOADS_TIMER_H_

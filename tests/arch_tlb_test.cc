@@ -1,0 +1,137 @@
+// Unit tests for the tagged TLB model: hit/miss, PCID/VPID tagging, global
+// pages, flush semantics, and replacement behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/tlb.h"
+
+namespace pvm {
+namespace {
+
+Pte user_page(std::uint64_t frame) { return Pte::make(frame, PteFlags::rw_user()); }
+
+Pte global_page(std::uint64_t frame) {
+  PteFlags flags = PteFlags::rw_kernel();
+  flags.global = true;
+  return Pte::make(frame, flags);
+}
+
+TEST(TlbTest, MissOnEmpty) {
+  Tlb tlb;
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TlbTest, InsertThenHit) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(0x99));
+  const auto result = tlb.lookup(1, 1, 0x10);
+  EXPECT_TRUE(result.hit);
+  EXPECT_EQ(result.frame, 0x99u);
+  EXPECT_TRUE(result.writable);
+  EXPECT_TRUE(result.user);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(TlbTest, DifferentPcidDoesNotHit) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(0x99));
+  EXPECT_FALSE(tlb.lookup(1, 2, 0x10).hit);
+}
+
+TEST(TlbTest, DifferentVpidDoesNotHit) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(0x99));
+  EXPECT_FALSE(tlb.lookup(2, 1, 0x10).hit);
+}
+
+TEST(TlbTest, GlobalEntryMatchesAnyPcidWithinVpid) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, global_page(0x42));
+  EXPECT_TRUE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_TRUE(tlb.lookup(1, 7, 0x10).hit);
+  EXPECT_FALSE(tlb.lookup(2, 1, 0x10).hit);
+}
+
+TEST(TlbTest, FlushPcidDropsOnlyThatSpace) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(1, 2, 0x20, user_page(2));
+  tlb.insert(2, 1, 0x30, user_page(3));
+  tlb.flush_pcid(1, 1);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_TRUE(tlb.lookup(1, 2, 0x20).hit);
+  EXPECT_TRUE(tlb.lookup(2, 1, 0x30).hit);
+}
+
+TEST(TlbTest, FlushPcidSparesGlobalEntries) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(1, 1, 0x20, global_page(2));
+  tlb.flush_pcid(1, 1);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_TRUE(tlb.lookup(1, 1, 0x20).hit);
+}
+
+TEST(TlbTest, FlushVpidDropsWholeVm) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(1, 2, 0x20, user_page(2));
+  tlb.insert(1, 3, 0x30, global_page(3));
+  tlb.insert(2, 1, 0x40, user_page(4));
+  tlb.flush_vpid(1);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_FALSE(tlb.lookup(1, 2, 0x20).hit);
+  EXPECT_FALSE(tlb.lookup(1, 3, 0x30).hit);
+  EXPECT_TRUE(tlb.lookup(2, 1, 0x40).hit);
+}
+
+TEST(TlbTest, FlushAllDropsEverything) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(2, 2, 0x20, global_page(2));
+  tlb.flush_all();
+  EXPECT_EQ(tlb.valid_entries(), 0u);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_FALSE(tlb.lookup(2, 2, 0x20).hit);
+}
+
+TEST(TlbTest, FlushPageDropsBothPlainAndGlobalAlias) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(1, 1, 0x11, global_page(2));
+  tlb.flush_page(1, 1, 0x10);
+  tlb.flush_page(1, 1, 0x11);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x10).hit);
+  EXPECT_FALSE(tlb.lookup(1, 1, 0x11).hit);
+}
+
+TEST(TlbTest, ReinsertUpdatesExistingEntry) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, user_page(1));
+  tlb.insert(1, 1, 0x10, user_page(2));
+  EXPECT_EQ(tlb.valid_entries(), 1u);
+  EXPECT_EQ(tlb.lookup(1, 1, 0x10).frame, 2u);
+}
+
+TEST(TlbTest, CapacityEvictionIsBounded) {
+  Tlb tlb(16);
+  for (std::uint64_t vpn = 0; vpn < 64; ++vpn) {
+    tlb.insert(1, 1, vpn, user_page(vpn));
+  }
+  EXPECT_LE(tlb.valid_entries(), 16u);
+  EXPECT_EQ(tlb.stats().evictions, 48u);
+  // Most recent inserts survive round-robin replacement.
+  EXPECT_TRUE(tlb.lookup(1, 1, 63).hit);
+}
+
+TEST(TlbTest, ReadOnlyEntryReportsNotWritable) {
+  Tlb tlb;
+  tlb.insert(1, 1, 0x10, Pte::make(5, PteFlags::ro_user()));
+  const auto result = tlb.lookup(1, 1, 0x10);
+  EXPECT_TRUE(result.hit);
+  EXPECT_FALSE(result.writable);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,130 @@
+// Calibration bands: pins the derived operation round trips to the paper's
+// published measurements (Tables 1 & 2, §2.2/§3.3.2) within tolerances, so
+// cost-model drift is caught immediately.
+
+#include <gtest/gtest.h>
+
+#include "src/backends/platform.h"
+#include "src/workloads/lmbench.h"
+
+namespace pvm {
+namespace {
+
+double op_roundtrip_us(DeployMode mode, PrivOp op, bool kpti = true) {
+  PlatformConfig config;
+  config.mode = mode;
+  config.kpti = kpti;
+  VirtualPlatform platform(config);
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(8));
+  platform.sim().run();
+
+  constexpr int kIterations = 200;
+  const SimTime start = platform.sim().now();
+  platform.sim().spawn([](SecureContainer& cc, PrivOp o) -> Task<void> {
+    for (int i = 0; i < kIterations; ++i) {
+      if (o == PrivOp::kException) {
+        co_await cc.cpu().exception_roundtrip(cc.vcpu(0));
+      } else {
+        co_await cc.cpu().privileged_op(cc.vcpu(0), o);
+      }
+    }
+  }(c, op));
+  platform.sim().run();
+  return static_cast<double>(platform.sim().now() - start) / 1e3 / kIterations;
+}
+
+double getpid_us(DeployMode mode, bool direct_switch, bool kpti) {
+  PlatformConfig config;
+  config.mode = mode;
+  config.direct_switch = direct_switch;
+  config.kpti = kpti;
+  VirtualPlatform platform(config);
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(8));
+  platform.sim().run();
+  std::uint64_t latency = 0;
+  platform.sim().spawn([](SecureContainer& cc, std::uint64_t* out) -> Task<void> {
+    *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), LmbenchOp::kGetPid, 500,
+                                LmbenchParams{});
+  }(c, &latency));
+  platform.sim().run();
+  return static_cast<double>(latency) / 1e3;
+}
+
+void expect_band(double measured, double paper, double tolerance, const char* what) {
+  EXPECT_GE(measured, paper * (1.0 - tolerance)) << what;
+  EXPECT_LE(measured, paper * (1.0 + tolerance)) << what;
+}
+
+// --- Table 1 bands (paper values, +-25%) ---
+
+TEST(CalibrationTest, Table1Hypercall) {
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptBm, PrivOp::kHypercallNop), 0.46, 0.25,
+              "kvm (BM) hypercall");
+  expect_band(op_roundtrip_us(DeployMode::kPvmBm, PrivOp::kHypercallNop), 0.54, 0.25,
+              "pvm (BM) hypercall");
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptNst, PrivOp::kHypercallNop), 7.43, 0.25,
+              "kvm (NST) hypercall");
+  expect_band(op_roundtrip_us(DeployMode::kPvmNst, PrivOp::kHypercallNop), 0.48, 0.25,
+              "pvm (NST) hypercall");
+}
+
+TEST(CalibrationTest, Table1Exception) {
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptBm, PrivOp::kException), 1.66, 0.30,
+              "kvm (BM) exception");
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptNst, PrivOp::kException), 9.20, 0.30,
+              "kvm (NST) exception");
+  expect_band(op_roundtrip_us(DeployMode::kPvmNst, PrivOp::kException), 2.21, 0.30,
+              "pvm (NST) exception");
+}
+
+TEST(CalibrationTest, Table1Msr) {
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptBm, PrivOp::kMsrRead), 0.87, 0.25,
+              "kvm (BM) MSR");
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptNst, PrivOp::kMsrRead), 8.18, 0.25,
+              "kvm (NST) MSR");
+  expect_band(op_roundtrip_us(DeployMode::kPvmNst, PrivOp::kMsrRead), 2.88, 0.35,
+              "pvm (NST) MSR");
+}
+
+TEST(CalibrationTest, Table1Pio) {
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptBm, PrivOp::kPortIo), 3.79, 0.25,
+              "kvm (BM) PIO");
+  expect_band(op_roundtrip_us(DeployMode::kPvmBm, PrivOp::kPortIo), 4.91, 0.25, "pvm (BM) PIO");
+  expect_band(op_roundtrip_us(DeployMode::kKvmEptNst, PrivOp::kPortIo), 29.34, 0.25,
+              "kvm (NST) PIO");
+  expect_band(op_roundtrip_us(DeployMode::kPvmNst, PrivOp::kPortIo), 12.94, 0.25,
+              "pvm (NST) PIO");
+}
+
+// --- Table 2 bands ---
+
+TEST(CalibrationTest, Table2GetPid) {
+  expect_band(getpid_us(DeployMode::kKvmEptBm, true, true), 0.22, 0.30, "kvm-ept KPTI");
+  expect_band(getpid_us(DeployMode::kKvmEptBm, true, false), 0.06, 0.50, "kvm-ept no-KPTI");
+  expect_band(getpid_us(DeployMode::kKvmSptBm, true, true), 2.09, 0.25, "kvm-spt KPTI");
+  expect_band(getpid_us(DeployMode::kPvmNst, true, true), 0.30, 0.25, "pvm direct");
+  expect_band(getpid_us(DeployMode::kPvmNst, false, true), 1.93, 0.25, "pvm none");
+}
+
+TEST(CalibrationTest, PvmInsensitiveToKpti) {
+  const double on = getpid_us(DeployMode::kPvmNst, true, true);
+  const double off = getpid_us(DeployMode::kPvmNst, true, false);
+  EXPECT_DOUBLE_EQ(on, off);
+}
+
+// --- §2.2/§3.3.2 switch-cost orderings ---
+
+TEST(CalibrationTest, SwitchCostOrdering) {
+  CostModel costs;
+  // switcher switch ~0.179 us and cheaper than half a VMX round trip + exit
+  // dispatch; nested transitions are an order of magnitude above switcher.
+  expect_band(static_cast<double>(costs.switcher_switch()) / 1e3, 0.179, 0.15,
+              "switcher switch");
+  EXPECT_LT(costs.switcher_switch(), costs.vmx_roundtrip());
+  EXPECT_GT(costs.nested_forward_work, 10 * costs.switcher_switch());
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,189 @@
+// Differential testing: a randomized workload (mmap/touch/munmap/fork/COW/
+// exec/syscalls, seeded) must leave the guest in *functionally identical*
+// state under every deployment scheme — same VMAs, same resident pages, same
+// page contents-by-construction (frame assignment from the deterministic
+// allocator), same process tree. Only the virtual time may differ. This is
+// the strongest guard against a scheme "optimizing" its way into different
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/sim/random.h"
+
+namespace pvm {
+namespace {
+
+constexpr DeployMode kAllModes[] = {
+    DeployMode::kKvmEptBm,  DeployMode::kKvmSptBm,    DeployMode::kPvmBm,
+    DeployMode::kKvmEptNst, DeployMode::kPvmNst,      DeployMode::kSptOnEptNst,
+    DeployMode::kPvmDirectNst,
+};
+
+// A functional snapshot of the guest: everything except timing/frame ids.
+// (Frame numbers are excluded: different schemes draw table frames from the
+// same allocator in different orders, so data-frame ids legitimately differ;
+// what must match is the *shape*: which pages are resident, writable, COW.)
+struct GuestSnapshot {
+  struct PageState {
+    bool writable;
+    bool cow;
+  };
+  std::vector<std::uint64_t> pids;
+  // per pid: vma starts/lengths and resident-page states
+  std::map<std::uint64_t, std::vector<std::pair<std::uint64_t, std::uint64_t>>> vmas;
+  std::map<std::uint64_t, std::map<std::uint64_t, PageState>> pages;
+
+  bool operator==(const GuestSnapshot& other) const {
+    if (pids != other.pids || vmas != other.vmas) {
+      return false;
+    }
+    if (pages.size() != other.pages.size()) {
+      return false;
+    }
+    for (const auto& [pid, mine] : pages) {
+      auto it = other.pages.find(pid);
+      if (it == other.pages.end() || mine.size() != it->second.size()) {
+        return false;
+      }
+      for (const auto& [gva, state] : mine) {
+        auto page = it->second.find(gva);
+        if (page == it->second.end() || page->second.writable != state.writable ||
+            page->second.cow != state.cow) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+GuestSnapshot snapshot(GuestKernel& kernel) {
+  GuestSnapshot snap;
+  for (const auto& proc : kernel.processes()) {
+    snap.pids.push_back(proc->pid());
+    for (const auto& [start, vma] : proc->vmas()) {
+      snap.vmas[proc->pid()].push_back({start, vma.length});
+    }
+    proc->gpt().for_each_leaf([&](std::uint64_t gva, const Pte& pte) {
+      snap.pages[proc->pid()][gva] = GuestSnapshot::PageState{pte.writable(), pte.cow()};
+    });
+  }
+  return snap;
+}
+
+// The seeded workload script, identical across modes.
+Task<void> random_workload(SecureContainer& container, std::uint64_t seed, int steps) {
+  GuestKernel& kernel = container.kernel();
+  Vcpu& vcpu = container.vcpu(0);
+  GuestProcess* current = container.init_process();
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> regions;
+
+  for (int step = 0; step < steps; ++step) {
+    const double draw = rng.next_double();
+    if (draw < 0.30) {
+      // mmap a small region and touch a few pages.
+      const std::uint64_t pages = rng.next_in(1, 8);
+      const std::uint64_t base = co_await kernel.sys_mmap(vcpu, *current, pages * kPageSize);
+      regions.push_back(base);
+      for (std::uint64_t i = 0; i < pages; ++i) {
+        if (rng.next_bool(0.7)) {
+          co_await kernel.touch(vcpu, *current, base + i * kPageSize, rng.next_bool(0.6));
+        }
+      }
+    } else if (draw < 0.40 && !regions.empty()) {
+      const std::size_t index = rng.next_below(regions.size());
+      const std::uint64_t base = regions[index];
+      if (current->vmas().count(base) > 0) {
+        co_await kernel.sys_munmap(vcpu, *current, base);
+      }
+      regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(index));
+    } else if (draw < 0.55) {
+      // Touch a random resident region again (TLB/COW paths).
+      if (!regions.empty()) {
+        const std::uint64_t base = regions[rng.next_below(regions.size())];
+        if (const Vma* vma = current->find_vma(base); vma != nullptr) {
+          co_await kernel.touch(vcpu, *current, base, true);
+        }
+      }
+    } else if (draw < 0.70) {
+      co_await kernel.sys_simple(vcpu, *current, rng.next_in(100, 2000), 1);
+    } else if (draw < 0.85) {
+      // fork; child touches a couple of pages then exits (COW churn).
+      GuestProcess* child = co_await kernel.sys_fork(vcpu, *current);
+      co_await kernel.mem().activate_process(vcpu, *child, false);
+      for (int i = 0; i < 3; ++i) {
+        co_await kernel.touch(vcpu, *child,
+                              GuestProcess::kStackBase + static_cast<std::uint64_t>(i) * kPageSize,
+                              true);
+      }
+      co_await kernel.sys_exit(vcpu, *child);
+      co_await kernel.mem().activate_process(vcpu, *current, false);
+    } else {
+      co_await kernel.deliver_signal(vcpu, *current);
+    }
+  }
+}
+
+GuestSnapshot run_mode(DeployMode mode, std::uint64_t seed, int steps) {
+  PlatformConfig config;
+  config.mode = mode;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot(24));
+  platform.sim().run();
+  platform.sim().spawn(random_workload(container, seed, steps));
+  platform.sim().run();
+  EXPECT_TRUE(platform.sim().all_tasks_done());
+  return snapshot(container.kernel());
+}
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, AllSchemesAgreeOnFinalGuestState) {
+  const std::uint64_t seed = GetParam();
+  const GuestSnapshot reference = run_mode(DeployMode::kKvmEptBm, seed, 120);
+  ASSERT_FALSE(reference.pids.empty());
+  for (DeployMode mode : kAllModes) {
+    if (mode == DeployMode::kKvmEptBm) {
+      continue;
+    }
+    SCOPED_TRACE(deploy_mode_name(mode));
+    const GuestSnapshot other = run_mode(mode, seed, 120);
+    EXPECT_TRUE(reference == other) << "functional divergence under "
+                                    << deploy_mode_name(mode) << " (seed " << seed << ")";
+  }
+}
+
+TEST_P(DifferentialTest, ExtensionsPreserveSemanticsToo) {
+  const std::uint64_t seed = GetParam();
+  const GuestSnapshot reference = run_mode(DeployMode::kPvmNst, seed, 120);
+
+  for (const bool classify : {false, true}) {
+    for (const bool collab : {false, true}) {
+      PlatformConfig config;
+      config.mode = DeployMode::kPvmNst;
+      config.switcher_pf_classify = classify;
+      config.collaborative_pt = collab;
+      VirtualPlatform platform(config);
+      SecureContainer& container = platform.create_container("c0");
+      platform.sim().spawn(container.boot(24));
+      platform.sim().run();
+      platform.sim().spawn(random_workload(container, seed, 120));
+      platform.sim().run();
+      SCOPED_TRACE(std::string("classify=") + (classify ? "1" : "0") + " collab=" +
+                   (collab ? "1" : "0"));
+      EXPECT_TRUE(reference == snapshot(container.kernel()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(11, 23, 47, 101, 211, 499, 997, 2003));
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,392 @@
+// Integration tests: the world-switch protocols of §2.2/§3.3 executed
+// end-to-end, with counter deltas checked against the paper's formulas.
+
+#include <gtest/gtest.h>
+
+#include "src/backends/platform.h"
+#include "src/backends/pvm_memory_backend.h"
+
+namespace pvm {
+namespace {
+
+struct Harness {
+  explicit Harness(DeployMode mode, bool kpti = true) {
+    PlatformConfig config;
+    config.mode = mode;
+    config.kpti = kpti;
+    platform = std::make_unique<VirtualPlatform>(config);
+    container = &platform->create_container("c0");
+  }
+
+  void run(Task<void> task) {
+    platform->sim().spawn(std::move(task));
+    platform->sim().run();
+    ASSERT_TRUE(platform->sim().all_tasks_done());
+  }
+
+  void boot() {
+    run(container->boot(/*init_pages=*/16));
+    ASSERT_NE(container->init_process(), nullptr);
+  }
+
+  CounterSet delta(const CounterSet& before) const {
+    return platform->counters().delta_since(before);
+  }
+
+  std::unique_ptr<VirtualPlatform> platform;
+  SecureContainer* container = nullptr;
+};
+
+// Touch one page in an already-populated VMA region (leaf GPT table exists),
+// so the GPT repair needs exactly one store. Returns the counter delta.
+CounterSet touch_one_fresh_page(Harness& h) {
+  GuestKernel& kernel = h.container->kernel();
+  GuestProcess& proc = *h.container->init_process();
+  Vcpu& vcpu = h.container->vcpu(0);
+
+  // Warm a neighbouring page first so the GPT leaf table + shadow structure
+  // exist, then snapshot and touch the adjacent page.
+  const std::uint64_t base = GuestProcess::kHeapBase;
+  proc.vmas()[base] = Vma{base, 1ull << 20, true};
+  h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p, std::uint64_t gva) -> Task<void> {
+    co_await k.touch(v, p, gva, true);
+  }(kernel, vcpu, proc, base));
+
+  const CounterSet before = h.platform->counters();
+  h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p, std::uint64_t gva) -> Task<void> {
+    co_await k.touch(v, p, gva, true);
+  }(kernel, vcpu, proc, base + kPageSize));
+  return h.platform->counters().delta_since(before);
+}
+
+TEST(ProtocolTest, BootSucceedsInAllModes) {
+  for (DeployMode mode :
+       {DeployMode::kKvmEptBm, DeployMode::kKvmSptBm, DeployMode::kPvmBm,
+        DeployMode::kKvmEptNst, DeployMode::kPvmNst, DeployMode::kSptOnEptNst}) {
+    SCOPED_TRACE(deploy_mode_name(mode));
+    Harness h(mode);
+    h.boot();
+    EXPECT_GT(h.container->boot_latency(), 0u);
+  }
+}
+
+TEST(ProtocolTest, KvmEptBmFreshTouchCostsOneL0Exit) {
+  Harness h(DeployMode::kKvmEptBm);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  // Guest #PF handled in guest; one EPT01 violation for the new data frame.
+  EXPECT_EQ(d.get(Counter::kGuestPageFault), 1u);
+  EXPECT_EQ(d.get(Counter::kEptViolation), 1u);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 1u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 2u);  // exit + entry
+}
+
+TEST(ProtocolTest, PvmNstFreshTouchNeverExitsToL0) {
+  Harness h(DeployMode::kPvmNst);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  // The headline property: L2 page faults are handled entirely inside L1.
+  EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+  EXPECT_EQ(d.get(Counter::kGuestPageFault), 1u);
+  // Fig. 9 with n=1 trapped GPT store: 2n+4 = 6 world switches.
+  EXPECT_EQ(d.get(Counter::kGptWriteProtectTrap), 1u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 6u);
+  // Prefault filled the SPT on the iret path: no shadow fault afterwards.
+  EXPECT_EQ(d.get(Counter::kPrefaultFill), 1u);
+  EXPECT_EQ(d.get(Counter::kShadowPageFault), 0u);
+}
+
+TEST(ProtocolTest, PvmNstWithoutPrefaultTakesShadowFault) {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  config.prefault = false;
+  VirtualPlatform platform(config);
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(16));
+  platform.sim().run();
+
+  GuestProcess& proc = *c.init_process();
+  proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 1ull << 20, true};
+  platform.sim().spawn([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+    co_await k.touch(v, p, GuestProcess::kHeapBase, true);
+  }(c.kernel(), c.vcpu(0), proc));
+  platform.sim().run();
+
+  const CounterSet before = platform.counters();
+  platform.sim().spawn([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+    co_await k.touch(v, p, GuestProcess::kHeapBase + kPageSize, true);
+  }(c.kernel(), c.vcpu(0), proc));
+  platform.sim().run();
+  const CounterSet d = platform.counters().delta_since(before);
+
+  // Without prefault the retried access faults again on the SPT: 2 extra
+  // world switches (2n+4 -> 2n+6) and one shadow fault.
+  EXPECT_EQ(d.get(Counter::kShadowPageFault), 1u);
+  EXPECT_EQ(d.get(Counter::kPrefaultFill), 0u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 8u);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+}
+
+TEST(ProtocolTest, EptOnEptFreshTouchMatchesFormula) {
+  Harness h(DeployMode::kKvmEptNst);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  // Guest fault itself is free of exits (①-③)...
+  EXPECT_EQ(d.get(Counter::kGuestPageFault), 1u);
+  // ...but the EPT02 build costs n+3 L0 exits and 2n+6 world switches with
+  // n = EPT12 stores (here 1, the leaf: structure exists from the warm-up).
+  EXPECT_EQ(d.get(Counter::kL0Exit), 4u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 8u);
+  EXPECT_EQ(d.get(Counter::kVmcsSync), 1u);
+  EXPECT_EQ(d.get(Counter::kEptCompressed), 1u);
+}
+
+TEST(ProtocolTest, SptOnEptFreshTouchMatchesFormula) {
+  Harness h(DeployMode::kSptOnEptNst);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  // Fig. 3(a) with n=1 trapped GPT store: 4n+8 = 12 world switches and
+  // 2n+4 = 6 exits to L0.
+  EXPECT_EQ(d.get(Counter::kGuestPageFault), 1u);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 6u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 12u);
+  EXPECT_EQ(d.get(Counter::kShadowPageFault), 1u);
+}
+
+TEST(ProtocolTest, KvmSptBmFreshTouch) {
+  Harness h(DeployMode::kKvmSptBm);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  // Exit for the guest fault, one trapped store, exit for the shadow fill:
+  // 3 L0 exits, 6 world switches, no prefault.
+  EXPECT_EQ(d.get(Counter::kL0Exit), 3u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 6u);
+  EXPECT_EQ(d.get(Counter::kShadowPageFault), 1u);
+  EXPECT_EQ(d.get(Counter::kPrefaultFill), 0u);
+}
+
+TEST(ProtocolTest, PvmBmFreshTouchStaysLocal) {
+  Harness h(DeployMode::kPvmBm);
+  h.boot();
+  const CounterSet d = touch_one_fresh_page(h);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+  EXPECT_EQ(d.get(Counter::kWorldSwitch), 6u);
+  EXPECT_EQ(d.get(Counter::kPrefaultFill), 1u);
+}
+
+TEST(ProtocolTest, SecondTouchHitsTlbEverywhere) {
+  for (DeployMode mode :
+       {DeployMode::kKvmEptBm, DeployMode::kKvmSptBm, DeployMode::kPvmBm,
+        DeployMode::kKvmEptNst, DeployMode::kPvmNst, DeployMode::kSptOnEptNst}) {
+    SCOPED_TRACE(deploy_mode_name(mode));
+    Harness h(mode);
+    h.boot();
+    (void)touch_one_fresh_page(h);
+
+    const CounterSet before = h.platform->counters();
+    h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+      co_await k.touch(v, p, GuestProcess::kHeapBase + kPageSize, true);
+    }(h.container->kernel(), h.container->vcpu(0), *h.container->init_process()));
+    const CounterSet d = h.platform->counters().delta_since(before);
+
+    EXPECT_EQ(d.get(Counter::kTlbHit), 1u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 0u);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+    EXPECT_EQ(d.get(Counter::kGuestPageFault), 0u);
+  }
+}
+
+TEST(ProtocolTest, SyscallCosts) {
+  {  // kvm-ept: no exits, whole round trip inside the guest.
+    Harness h(DeployMode::kKvmEptBm);
+    h.boot();
+    const CounterSet before = h.platform->counters();
+    h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+      co_await k.sys_getpid(v, p);
+    }(h.container->kernel(), h.container->vcpu(0), *h.container->init_process()));
+    const CounterSet d = h.delta(before);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 0u);
+  }
+  {  // pvm with direct switch: two direct switches, no hypervisor entry.
+    Harness h(DeployMode::kPvmNst);
+    h.boot();
+    const CounterSet before = h.platform->counters();
+    h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+      co_await k.sys_getpid(v, p);
+    }(h.container->kernel(), h.container->vcpu(0), *h.container->init_process()));
+    const CounterSet d = h.delta(before);
+    EXPECT_EQ(d.get(Counter::kDirectSwitch), 2u);
+    EXPECT_EQ(d.get(Counter::kL1Exit), 0u);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+  }
+  {  // pvm without direct switch: hypervisor on both legs.
+    PlatformConfig config;
+    config.mode = DeployMode::kPvmNst;
+    config.direct_switch = false;
+    VirtualPlatform platform(config);
+    SecureContainer& c = platform.create_container("c0");
+    platform.sim().spawn(c.boot(16));
+    platform.sim().run();
+    const CounterSet before = platform.counters();
+    platform.sim().spawn([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+      co_await k.sys_getpid(v, p);
+    }(c.kernel(), c.vcpu(0), *c.init_process()));
+    platform.sim().run();
+    const CounterSet d = platform.counters().delta_since(before);
+    EXPECT_EQ(d.get(Counter::kDirectSwitch), 0u);
+    EXPECT_EQ(d.get(Counter::kL1Exit), 2u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 4u);
+  }
+}
+
+TEST(ProtocolTest, PrivilegedOpExitCounts) {
+  {  // kvm (BM): one L0 exit per hypercall.
+    Harness h(DeployMode::kKvmEptBm);
+    h.boot();
+    const CounterSet before = h.platform->counters();
+    h.run([](SecureContainer& c) -> Task<void> {
+      co_await c.cpu().privileged_op(c.vcpu(0), PrivOp::kHypercallNop);
+    }(*h.container));
+    const CounterSet d = h.delta(before);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 1u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 2u);
+  }
+  {  // kvm (NST): two L0 exits per L2 hypercall (§2.1 "doubling").
+    Harness h(DeployMode::kKvmEptNst);
+    h.boot();
+    const CounterSet before = h.platform->counters();
+    h.run([](SecureContainer& c) -> Task<void> {
+      co_await c.cpu().privileged_op(c.vcpu(0), PrivOp::kHypercallNop);
+    }(*h.container));
+    const CounterSet d = h.delta(before);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 2u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 4u);
+    EXPECT_EQ(d.get(Counter::kVmcsSync), 1u);
+  }
+  {  // pvm (NST): zero L0 exits; one L1 round trip.
+    Harness h(DeployMode::kPvmNst);
+    h.boot();
+    const CounterSet before = h.platform->counters();
+    h.run([](SecureContainer& c) -> Task<void> {
+      co_await c.cpu().privileged_op(c.vcpu(0), PrivOp::kHypercallNop);
+    }(*h.container));
+    const CounterSet d = h.delta(before);
+    EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+    EXPECT_EQ(d.get(Counter::kL1Exit), 1u);
+    EXPECT_EQ(d.get(Counter::kWorldSwitch), 2u);
+  }
+}
+
+TEST(ProtocolTest, InterruptNeedsExactlyOneL0ExitUnderPvmNst) {
+  Harness h(DeployMode::kPvmNst);
+  h.boot();
+  const CounterSet before = h.platform->counters();
+  h.run([](SecureContainer& c) -> Task<void> {
+    co_await c.cpu().interrupt(c.vcpu(0));
+  }(*h.container));
+  const CounterSet d = h.delta(before);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 1u);  // the hardware injection into L1
+  EXPECT_EQ(d.get(Counter::kInterruptInjected), 1u);
+  EXPECT_EQ(d.get(Counter::kVirtualInterruptDelivered), 1u);
+}
+
+TEST(ProtocolTest, MaskedInterruptPendsAndFiresOnUnmask) {
+  // §3.3.3: the guest toggles the shared virtual RFLAGS.IF word without any
+  // exits; an interrupt arriving while masked is pended and delivered when
+  // the guest re-enables interrupts.
+  Harness h(DeployMode::kPvmNst);
+  h.boot();
+  Vcpu& vcpu = h.container->vcpu(0);
+  PvmHypervisor& hv = *h.platform->pvm();
+
+  // Masking itself costs no world switches.
+  const CounterSet before_mask = h.platform->counters();
+  h.run([](PvmHypervisor& p, Vcpu& v) -> Task<void> {
+    co_await p.guest_set_interrupt_flag(v.switcher_state, v.state, false);
+  }(hv, vcpu));
+  EXPECT_EQ(h.delta(before_mask).get(Counter::kWorldSwitch), 0u);
+
+  // An interrupt while masked: the single L0 injection still happens, but
+  // nothing is delivered into the guest.
+  const CounterSet before_irq = h.platform->counters();
+  h.run([](SecureContainer& c) -> Task<void> {
+    co_await c.cpu().interrupt(c.vcpu(0));
+  }(*h.container));
+  const CounterSet d_irq = h.delta(before_irq);
+  EXPECT_EQ(d_irq.get(Counter::kInterruptPended), 1u);
+  EXPECT_EQ(d_irq.get(Counter::kVirtualInterruptDelivered), 0u);
+
+  // Unmask: the pended interrupt fires now, entirely inside L1.
+  const CounterSet before_unmask = h.platform->counters();
+  h.run([](PvmHypervisor& p, Vcpu& v) -> Task<void> {
+    co_await p.guest_set_interrupt_flag(v.switcher_state, v.state, true);
+  }(hv, vcpu));
+  const CounterSet d_unmask = h.delta(before_unmask);
+  EXPECT_EQ(d_unmask.get(Counter::kVirtualInterruptDelivered), 1u);
+  EXPECT_EQ(d_unmask.get(Counter::kL0Exit), 0u);
+  EXPECT_FALSE(vcpu.switcher_state.pending_interrupt);
+}
+
+TEST(ProtocolTest, MultiplePendedVectorsDrainInPriorityOrder) {
+  Harness h(DeployMode::kPvmNst);
+  h.boot();
+  Vcpu& vcpu = h.container->vcpu(0);
+  PvmHypervisor& hv = *h.platform->pvm();
+
+  h.run([](PvmHypervisor& p, Vcpu& v) -> Task<void> {
+    co_await p.guest_set_interrupt_flag(v.switcher_state, v.state, false);
+    co_await p.deliver_interrupt_to_guest(v.switcher_state, v.state, 0x40);
+    co_await p.deliver_interrupt_to_guest(v.switcher_state, v.state, 0xEC);
+    co_await p.deliver_interrupt_to_guest(v.switcher_state, v.state, 0x80);
+  }(hv, vcpu));
+  EXPECT_EQ(vcpu.switcher_state.apic.pending_count(), 3);
+
+  const CounterSet before = h.platform->counters();
+  h.run([](PvmHypervisor& p, Vcpu& v) -> Task<void> {
+    co_await p.guest_set_interrupt_flag(v.switcher_state, v.state, true);
+  }(hv, vcpu));
+  const CounterSet d = h.delta(before);
+  EXPECT_EQ(d.get(Counter::kVirtualInterruptDelivered), 3u);
+  EXPECT_EQ(d.get(Counter::kL0Exit), 0u);
+  EXPECT_EQ(vcpu.switcher_state.apic.pending_count(), 0);
+  EXPECT_EQ(vcpu.switcher_state.apic.in_service_count(), 0);
+}
+
+TEST(ProtocolTest, ShadowCoherenceAfterWorkload) {
+  Harness h(DeployMode::kPvmNst);
+  h.boot();
+  GuestKernel& kernel = h.container->kernel();
+  GuestProcess& proc = *h.container->init_process();
+  Vcpu& vcpu = h.container->vcpu(0);
+
+  h.run([](GuestKernel& k, Vcpu& v, GuestProcess& p) -> Task<void> {
+    const std::uint64_t base = co_await k.sys_mmap(v, p, 64 * kPageSize);
+    for (int i = 0; i < 64; ++i) {
+      co_await k.touch(v, p, base + static_cast<std::uint64_t>(i) * kPageSize, true);
+    }
+    // Drop half the region again.
+    co_await k.sys_munmap(v, p, base);
+  }(kernel, vcpu, proc));
+
+  // Invariant: every present SPT leaf corresponds to a present GPT leaf
+  // whose GPA translates through gpa_map to the SPT frame.
+  auto* backend = dynamic_cast<PvmMemoryBackend*>(&h.container->mem());
+  ASSERT_NE(backend, nullptr);
+  PvmMemoryEngine& engine = backend->engine();
+  const PageTable& user_spt = engine.spt(proc.pid(), false);
+  std::size_t checked = 0;
+  user_spt.for_each_leaf([&](std::uint64_t gva, const Pte& spt_pte) {
+    const Pte* gpt_pte = proc.gpt().find_pte(gva);
+    ASSERT_NE(gpt_pte, nullptr) << "SPT maps gva " << gva << " absent from GPT";
+    ASSERT_TRUE(gpt_pte->present());
+    const Pte* slot = engine.gpa_map().find_pte(gpt_pte->frame_number() << kPageShift);
+    ASSERT_NE(slot, nullptr);
+    ASSERT_EQ(slot->frame_number(), spt_pte.frame_number());
+    ++checked;
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,133 @@
+// Unit tests for the PCID mapping optimization (§3.3.2): ring-separated
+// ranges 32-47 / 48-63, stable mappings, LRU stealing, release semantics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/core/pcid_mapper.h"
+
+namespace pvm {
+namespace {
+
+TEST(PcidMapperTest, KernelAndUserRangesAreDisjoint) {
+  PcidMapper mapper;
+  const auto kernel = mapper.map(1, true);
+  const auto user = mapper.map(1, false);
+  EXPECT_GE(kernel.hw_pcid, PcidMapper::kKernelBase);
+  EXPECT_LT(kernel.hw_pcid, PcidMapper::kKernelBase + PcidMapper::kSlotsPerRing);
+  EXPECT_GE(user.hw_pcid, PcidMapper::kUserBase);
+  EXPECT_LT(user.hw_pcid, PcidMapper::kUserBase + PcidMapper::kSlotsPerRing);
+}
+
+TEST(PcidMapperTest, MappingIsStableForAProcess) {
+  PcidMapper mapper;
+  const auto first = mapper.map(7, true);
+  for (int i = 0; i < 100; ++i) {
+    const auto again = mapper.map(7, true);
+    EXPECT_EQ(again.hw_pcid, first.hw_pcid);
+    EXPECT_FALSE(again.stolen);
+  }
+  EXPECT_EQ(mapper.steals(), 0u);
+}
+
+TEST(PcidMapperTest, SixteenProcessesGetDistinctSlots) {
+  PcidMapper mapper;
+  std::set<std::uint16_t> slots;
+  for (std::uint64_t pid = 1; pid <= 16; ++pid) {
+    slots.insert(mapper.map(pid, false).hw_pcid);
+  }
+  EXPECT_EQ(slots.size(), 16u);
+  EXPECT_EQ(mapper.steals(), 0u);
+}
+
+TEST(PcidMapperTest, SeventeenthProcessStealsLru) {
+  PcidMapper mapper;
+  for (std::uint64_t pid = 1; pid <= 16; ++pid) {
+    mapper.map(pid, false);
+  }
+  // Touch everyone except pid 3 so pid 3 becomes the LRU victim.
+  for (std::uint64_t pid = 1; pid <= 16; ++pid) {
+    if (pid != 3) {
+      mapper.map(pid, false);
+    }
+  }
+  const auto fresh = mapper.map(99, false);
+  EXPECT_TRUE(fresh.stolen);
+  EXPECT_EQ(mapper.steals(), 1u);
+  const std::uint16_t stolen_slot = fresh.hw_pcid;
+  // pid 3 lost its slot: remapping it steals another (the new LRU).
+  const auto remapped = mapper.map(3, false);
+  EXPECT_TRUE(remapped.stolen);
+  EXPECT_NE(remapped.hw_pcid, stolen_slot);
+}
+
+TEST(PcidMapperTest, ReleaseFreesSlotWithoutSteal) {
+  PcidMapper mapper;
+  for (std::uint64_t pid = 1; pid <= 16; ++pid) {
+    mapper.map(pid, true);
+  }
+  const std::uint16_t freed = mapper.map(5, true).hw_pcid;
+  mapper.release(5);
+  const auto next = mapper.map(100, true);
+  EXPECT_FALSE(next.stolen);
+  EXPECT_EQ(next.hw_pcid, freed);  // the freed slot is reused
+  EXPECT_EQ(mapper.steals(), 0u);
+}
+
+TEST(PcidMapperTest, ReleaseDropsBothRings) {
+  PcidMapper mapper;
+  mapper.map(9, true);
+  mapper.map(9, false);
+  EXPECT_EQ(mapper.live_mappings(), 2u);
+  mapper.release(9);
+  EXPECT_EQ(mapper.live_mappings(), 0u);
+}
+
+TEST(PcidMapperTest, RingsStealIndependently) {
+  PcidMapper mapper;
+  for (std::uint64_t pid = 1; pid <= 17; ++pid) {
+    mapper.map(pid, true);  // 17th steals in the kernel ring
+  }
+  EXPECT_EQ(mapper.steals(), 1u);
+  // The user ring is untouched: no steal there.
+  const auto user = mapper.map(200, false);
+  EXPECT_FALSE(user.stolen);
+  EXPECT_EQ(mapper.steals(), 1u);
+}
+
+TEST(PcidMapperTest, NoSlotCollisionsUnderChurn) {
+  // Churn maps and releases, shadowing the mapper's state; at every step the
+  // live pids of a ring must hold distinct hardware PCIDs in range.
+  PcidMapper mapper;
+  std::map<std::uint64_t, std::uint16_t> shadow_kernel;  // pid -> slot
+  for (std::uint64_t round = 0; round < 400; ++round) {
+    const std::uint64_t pid = (round * 7) % 40 + 1;
+    if (round % 5 == 4) {
+      mapper.release(pid);
+      shadow_kernel.erase(pid);
+    } else {
+      const auto mapping = mapper.map(pid, /*kernel_ring=*/true);
+      ASSERT_GE(mapping.hw_pcid, PcidMapper::kKernelBase);
+      ASSERT_LT(mapping.hw_pcid, PcidMapper::kKernelBase + PcidMapper::kSlotsPerRing);
+      if (mapping.stolen) {
+        // Some other pid lost this slot; remove it from the shadow.
+        std::erase_if(shadow_kernel, [&](const auto& kv) {
+          return kv.first != pid && kv.second == mapping.hw_pcid;
+        });
+      }
+      shadow_kernel[pid] = mapping.hw_pcid;
+      // Distinctness across live mappings.
+      std::set<std::uint16_t> slots;
+      for (const auto& [p, slot] : shadow_kernel) {
+        ASSERT_TRUE(slots.insert(slot).second)
+            << "slot " << slot << " double-assigned at round " << round;
+      }
+    }
+    ASSERT_LE(mapper.live_mappings(), 32u);
+  }
+}
+
+}  // namespace
+}  // namespace pvm

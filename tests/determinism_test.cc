@@ -1,0 +1,117 @@
+// Whole-stack determinism: identical configurations must produce bit-equal
+// virtual times and counters across runs — the property that makes the
+// benchmark harness trustworthy and every regression bisectable.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/lmbench.h"
+#include "src/workloads/memstress.h"
+#include "src/workloads/runner.h"
+
+namespace pvm {
+namespace {
+
+struct RunSignature {
+  SimTime final_time;
+  std::uint64_t events;
+  std::uint64_t world_switches;
+  std::uint64_t l0_exits;
+  std::uint64_t faults;
+  std::vector<SimTime> task_times;
+
+  bool operator==(const RunSignature&) const = default;
+};
+
+RunSignature run_memstress(DeployMode mode, int processes) {
+  PlatformConfig config;
+  config.mode = mode;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot(16));
+  platform.sim().run();
+
+  MemStressParams params;
+  params.total_bytes = 4ull << 20;
+  const ConcurrentResult result = run_processes_in_container(
+      platform, container, processes,
+      [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
+        return memstress_process(container, vcpu, proc, params);
+      });
+
+  return RunSignature{platform.sim().now(),
+                      platform.sim().events_processed(),
+                      platform.counters().get(Counter::kWorldSwitch),
+                      platform.counters().get(Counter::kL0Exit),
+                      platform.counters().get(Counter::kGuestPageFault),
+                      result.task_times};
+}
+
+class DeterminismAllModes : public ::testing::TestWithParam<DeployMode> {};
+
+TEST_P(DeterminismAllModes, MemstressIsBitIdenticalAcrossRuns) {
+  const RunSignature first = run_memstress(GetParam(), 4);
+  const RunSignature second = run_memstress(GetParam(), 4);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.faults, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeterminismAllModes,
+                         ::testing::Values(DeployMode::kKvmEptBm, DeployMode::kKvmSptBm,
+                                           DeployMode::kKvmEptNst, DeployMode::kPvmNst,
+                                           DeployMode::kSptOnEptNst),
+                         [](const ::testing::TestParamInfo<DeployMode>& param_info) {
+                           std::string name(deploy_mode_name(param_info.param));
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(DeterminismTest, LmbenchLatencyIsStable) {
+  auto measure = [] {
+    PlatformConfig config;
+    config.mode = DeployMode::kPvmNst;
+    VirtualPlatform platform(config);
+    SecureContainer& c = platform.create_container("c0");
+    platform.sim().spawn(c.boot(32));
+    platform.sim().run();
+    std::uint64_t latency = 0;
+    platform.sim().spawn([](SecureContainer& cc, std::uint64_t* out) -> Task<void> {
+      *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), LmbenchOp::kForkProc, 6,
+                                  LmbenchParams{});
+    }(c, &latency));
+    platform.sim().run();
+    return latency;
+  };
+  EXPECT_EQ(measure(), measure());
+}
+
+TEST(DeterminismTest, ContainerCountDoesNotPerturbSingleContainerWork) {
+  // A second, idle container must not change the first one's virtual timing
+  // (no hidden global state).
+  auto measure = [](bool extra_container) {
+    PlatformConfig config;
+    config.mode = DeployMode::kPvmNst;
+    VirtualPlatform platform(config);
+    SecureContainer& c = platform.create_container("c0");
+    if (extra_container) {
+      platform.create_container("idle");
+    }
+    platform.sim().spawn(c.boot(16));
+    platform.sim().run();
+    const SimTime start = platform.sim().now();
+    platform.sim().spawn([](SecureContainer& cc) -> Task<void> {
+      for (int i = 0; i < 50; ++i) {
+        co_await cc.kernel().sys_getpid(cc.vcpu(0), *cc.init_process());
+      }
+    }(c));
+    platform.sim().run();
+    return platform.sim().now() - start;
+  };
+  EXPECT_EQ(measure(false), measure(true));
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,109 @@
+// Tests for the virtual local APIC: IRR/ISR semantics, priority classes,
+// EOI, and idempotent raising.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/apic.h"
+
+namespace pvm {
+namespace {
+
+TEST(VirtualApicTest, EmptyHasNothingPending) {
+  VirtualApic apic;
+  EXPECT_FALSE(apic.highest_pending().has_value());
+  EXPECT_FALSE(apic.accept().has_value());
+  EXPECT_EQ(apic.pending_count(), 0);
+}
+
+TEST(VirtualApicTest, RaiseAcceptEoiLifecycle) {
+  VirtualApic apic;
+  EXPECT_TRUE(apic.raise(0x40));
+  EXPECT_TRUE(apic.irr_test(0x40));
+  ASSERT_TRUE(apic.highest_pending().has_value());
+  EXPECT_EQ(*apic.highest_pending(), 0x40);
+
+  const auto accepted = apic.accept();
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(*accepted, 0x40);
+  EXPECT_FALSE(apic.irr_test(0x40));
+  EXPECT_TRUE(apic.isr_test(0x40));
+
+  apic.eoi();
+  EXPECT_FALSE(apic.isr_test(0x40));
+  EXPECT_EQ(apic.in_service_count(), 0);
+}
+
+TEST(VirtualApicTest, ExceptionVectorsRejected) {
+  VirtualApic apic;
+  EXPECT_FALSE(apic.raise(14));  // #PF is not an external interrupt
+  EXPECT_EQ(apic.pending_count(), 0);
+}
+
+TEST(VirtualApicTest, HighestVectorWinsAmongPending) {
+  VirtualApic apic;
+  apic.raise(0x30);
+  apic.raise(0xA0);
+  apic.raise(0x55);
+  EXPECT_EQ(*apic.highest_pending(), 0xA0);
+  EXPECT_EQ(*apic.accept(), 0xA0);
+  // 0xA0 in service (class 10): lower classes stay masked until EOI.
+  EXPECT_FALSE(apic.highest_pending().has_value());
+  apic.eoi();  // retire 0xA0
+  EXPECT_EQ(*apic.accept(), 0x55);
+  apic.eoi();  // retire 0x55
+  EXPECT_EQ(*apic.accept(), 0x30);
+}
+
+TEST(VirtualApicTest, SamePriorityClassMasksDelivery) {
+  VirtualApic apic;
+  apic.raise(0x42);
+  (void)apic.accept();
+  apic.raise(0x41);  // same class (0x4x) as in-service 0x42
+  EXPECT_FALSE(apic.highest_pending().has_value());
+  apic.raise(0x51);  // higher class: deliverable (interrupt nesting)
+  EXPECT_EQ(*apic.highest_pending(), 0x51);
+  apic.eoi();
+  EXPECT_EQ(*apic.highest_pending(), 0x51);
+  EXPECT_EQ(*apic.accept(), 0x51);
+}
+
+TEST(VirtualApicTest, RaisingPendingVectorIsIdempotent) {
+  VirtualApic apic;
+  apic.raise(0x60);
+  apic.raise(0x60);
+  apic.raise(0x60);
+  EXPECT_EQ(apic.pending_count(), 1);
+  (void)apic.accept();
+  EXPECT_EQ(apic.pending_count(), 0);
+  EXPECT_EQ(apic.in_service_count(), 1);
+}
+
+TEST(VirtualApicTest, FullSweepAllVectors) {
+  VirtualApic apic;
+  for (int vector = VirtualApic::kFirstExternalVector; vector < 256; ++vector) {
+    ASSERT_TRUE(apic.raise(static_cast<std::uint8_t>(vector)));
+  }
+  EXPECT_EQ(apic.pending_count(), 256 - VirtualApic::kFirstExternalVector);
+  // Vectors drain strictly by descending priority as EOIs retire them.
+  int previous = 256;
+  int drained = 0;
+  while (true) {
+    const auto vector = apic.accept();
+    if (!vector) {
+      if (apic.in_service_count() == 0) {
+        break;
+      }
+      apic.eoi();
+      continue;
+    }
+    ASSERT_LT(static_cast<int>(*vector), previous);
+    previous = *vector;
+    ++drained;
+    apic.eoi();
+  }
+  EXPECT_EQ(drained, 256 - VirtualApic::kFirstExternalVector);
+  EXPECT_EQ(apic.pending_count(), 0);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,114 @@
+// Tests for the two-dimensional (GPT x EPT) hardware walk model.
+
+#include <gtest/gtest.h>
+
+#include "src/mmu/two_dim_walk.h"
+
+namespace pvm {
+namespace {
+
+// Guest frame f lands at host frame f + 0x100000 in these tests.
+constexpr std::uint64_t kHostOffset = 0x100000;
+
+void ept_map_frame(PageTable& ept, std::uint64_t gpa_frame) {
+  ept.map(gpa_frame << kPageShift, gpa_frame + kHostOffset, PteFlags::rw_kernel());
+}
+
+TEST(TwoDimWalkTest, FullTranslationSucceeds) {
+  FrameAllocator guest_frames("guest", 1u << 20);
+  PageTable gpt("gpt", &guest_frames);
+  PageTable ept("ept", nullptr);
+
+  const std::uint64_t data_frame = guest_frames.allocate_or_throw();
+  gpt.map(0x40001000, data_frame, PteFlags::rw_user());
+
+  // Map every guest table frame and the data frame in the EPT.
+  const WalkResult gwalk = gpt.walk(0x40001000, AccessType::kRead, true);
+  for (int i = 0; i < gwalk.levels_walked; ++i) {
+    ept_map_frame(ept, gwalk.node_frames[i]);
+  }
+  ept_map_frame(ept, data_frame);
+
+  const TwoDimWalk walk =
+      walk_two_dimensional(gpt, ept, 0x40001000, AccessType::kWrite, true);
+  EXPECT_EQ(walk.outcome, TwoDimWalk::Outcome::kOk);
+  EXPECT_EQ(walk.host_frame, data_frame + kHostOffset);
+  // 4 guest levels, each preceded by an EPT walk (4 loads) + final data EPT
+  // walk: 4*(1+4) + 4 = 24 loads.
+  EXPECT_EQ(walk.total_loads, 24);
+}
+
+TEST(TwoDimWalkTest, GuestMissReportsGuestFault) {
+  FrameAllocator guest_frames("guest", 1u << 20);
+  PageTable gpt("gpt", &guest_frames);
+  PageTable ept("ept", nullptr);
+  // Root table frame must be EPT-mapped for the hardware to even start.
+  ept_map_frame(ept, gpt.root_frame());
+
+  const TwoDimWalk walk = walk_two_dimensional(gpt, ept, 0x1000, AccessType::kRead, true);
+  EXPECT_EQ(walk.outcome, TwoDimWalk::Outcome::kGuestNotPresent);
+  EXPECT_EQ(walk.guest.missing_level, kPageTableLevels);
+}
+
+TEST(TwoDimWalkTest, GuestProtectionFaultDetected) {
+  FrameAllocator guest_frames("guest", 1u << 20);
+  PageTable gpt("gpt", &guest_frames);
+  PageTable ept("ept", nullptr);
+  const std::uint64_t data_frame = guest_frames.allocate_or_throw();
+  gpt.map(0x5000, data_frame, PteFlags::ro_user());
+  const WalkResult gwalk = gpt.walk(0x5000, AccessType::kRead, true);
+  for (int i = 0; i < gwalk.levels_walked; ++i) {
+    ept_map_frame(ept, gwalk.node_frames[i]);
+  }
+  ept_map_frame(ept, data_frame);
+
+  const TwoDimWalk walk = walk_two_dimensional(gpt, ept, 0x5000, AccessType::kWrite, true);
+  EXPECT_EQ(walk.outcome, TwoDimWalk::Outcome::kGuestProtection);
+}
+
+TEST(TwoDimWalkTest, MissingTableFrameInEptIsViolation) {
+  FrameAllocator guest_frames("guest", 1u << 20);
+  PageTable gpt("gpt", &guest_frames);
+  PageTable ept("ept", nullptr);
+  const std::uint64_t data_frame = guest_frames.allocate_or_throw();
+  gpt.map(0x5000, data_frame, PteFlags::rw_user());
+  // EPT left empty: the very first table load (the root) violates.
+  const TwoDimWalk walk = walk_two_dimensional(gpt, ept, 0x5000, AccessType::kRead, true);
+  EXPECT_EQ(walk.outcome, TwoDimWalk::Outcome::kEptViolation);
+  EXPECT_EQ(walk.violating_gpa, gpt.root_frame() << kPageShift);
+}
+
+TEST(TwoDimWalkTest, MissingDataFrameInEptIsViolation) {
+  FrameAllocator guest_frames("guest", 1u << 20);
+  PageTable gpt("gpt", &guest_frames);
+  PageTable ept("ept", nullptr);
+  const std::uint64_t data_frame = guest_frames.allocate_or_throw();
+  gpt.map(0x5000, data_frame, PteFlags::rw_user());
+  const WalkResult gwalk = gpt.walk(0x5000, AccessType::kRead, true);
+  for (int i = 0; i < gwalk.levels_walked; ++i) {
+    ept_map_frame(ept, gwalk.node_frames[i]);
+  }
+  // Data frame intentionally not mapped.
+  const TwoDimWalk walk = walk_two_dimensional(gpt, ept, 0x5000, AccessType::kWrite, true);
+  EXPECT_EQ(walk.outcome, TwoDimWalk::Outcome::kEptViolation);
+  EXPECT_EQ(walk.violating_gpa, data_frame << kPageShift);
+  EXPECT_EQ(walk.violating_access, AccessType::kWrite);
+}
+
+TEST(OneDimWalkTest, MatchesPlainWalk) {
+  PageTable pt("spt", nullptr);
+  pt.map(0x9000, 0x77, PteFlags::rw_user());
+  const TwoDimWalk hit = walk_one_dimensional(pt, 0x9000, AccessType::kRead, true);
+  EXPECT_EQ(hit.outcome, TwoDimWalk::Outcome::kOk);
+  EXPECT_EQ(hit.host_frame, 0x77u);
+  EXPECT_EQ(hit.total_loads, 4);
+
+  const TwoDimWalk miss = walk_one_dimensional(pt, 0xA000, AccessType::kRead, true);
+  EXPECT_EQ(miss.outcome, TwoDimWalk::Outcome::kGuestNotPresent);
+
+  const TwoDimWalk prot = walk_one_dimensional(pt, 0x9000, AccessType::kWrite, false);
+  EXPECT_EQ(prot.outcome, TwoDimWalk::Outcome::kOk);
+}
+
+}  // namespace
+}  // namespace pvm

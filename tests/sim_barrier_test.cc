@@ -1,0 +1,86 @@
+// Tests for the cyclic simulation barrier.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/barrier.h"
+
+namespace pvm {
+namespace {
+
+TEST(SimBarrierTest, ReleasesWhenAllArrive) {
+  Simulation sim;
+  SimBarrier barrier(sim, 3);
+  std::vector<SimTime> released;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn([](Simulation& s, SimBarrier& b, std::vector<SimTime>& out,
+                 SimTime delay) -> Task<void> {
+      co_await s.delay(delay);
+      co_await b.arrive_and_wait();
+      out.push_back(s.now());
+    }(sim, barrier, released, static_cast<SimTime>(100 * (i + 1))));
+  }
+  sim.run();
+  // Everyone is released at the last arriver's time.
+  ASSERT_EQ(released.size(), 3u);
+  for (const SimTime t : released) {
+    EXPECT_EQ(t, 300u);
+  }
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+TEST(SimBarrierTest, CyclicReuseAcrossGenerations) {
+  Simulation sim;
+  SimBarrier barrier(sim, 2);
+  std::vector<int> log;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Simulation& s, SimBarrier& b, std::vector<int>& out, int id) -> Task<void> {
+      for (int round = 0; round < 5; ++round) {
+        co_await s.delay(static_cast<SimTime>(10 * (id + 1)));
+        co_await b.arrive_and_wait();
+        if (id == 0) {
+          out.push_back(round);
+        }
+      }
+    }(sim, barrier, log, i));
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(barrier.generation(), 5u);
+  EXPECT_EQ(barrier.waiting(), 0);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(SimBarrierTest, SinglePartyPassesThrough) {
+  Simulation sim;
+  SimBarrier barrier(sim, 1);
+  bool done = false;
+  sim.spawn([](Simulation& s, SimBarrier& b, bool& flag) -> Task<void> {
+    co_await b.arrive_and_wait();
+    co_await b.arrive_and_wait();
+    flag = true;
+    co_await s.delay(0);
+  }(sim, barrier, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(barrier.generation(), 2u);
+}
+
+TEST(SimBarrierTest, SlowestPartyDeterminesPhaseLength) {
+  Simulation sim;
+  SimBarrier barrier(sim, 4);
+  SimTime end = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulation& s, SimBarrier& b, int id, SimTime* out) -> Task<void> {
+      co_await s.delay(id == 2 ? 1000u : 10u);  // one straggler
+      co_await b.arrive_and_wait();
+      *out = s.now();
+    }(sim, barrier, i, &end));
+  }
+  sim.run();
+  EXPECT_EQ(end, 1000u);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,271 @@
+// Unit tests for the discrete-event simulation core: clock semantics, task
+// composition, FIFO resources, determinism, and failure propagation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace pvm {
+namespace {
+
+Task<void> delay_then_record(Simulation& sim, SimTime delay, std::vector<SimTime>& log) {
+  co_await sim.delay(delay);
+  log.push_back(sim.now());
+}
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(SimulationTest, DelayAdvancesClock) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 250, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 250u);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(SimulationTest, MultipleDelaysAccumulate) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn([](Simulation& s, std::vector<SimTime>& out) -> Task<void> {
+    co_await s.delay(100);
+    out.push_back(s.now());
+    co_await s.delay(50);
+    out.push_back(s.now());
+    co_await s.delay(0);
+    out.push_back(s.now());
+  }(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 150, 150}));
+}
+
+TEST(SimulationTest, TasksInterleaveInTimeOrder) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 300, log));
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 200, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(SimulationTest, TiesBreakInSpawnOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto make = [&](int id) -> Task<void> {
+    co_await sim.delay(10);
+    order.push_back(id);
+  };
+  sim.spawn(make(1));
+  sim.spawn(make(2));
+  sim.spawn(make(3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+Task<int> subtask_returning(Simulation& sim, int value) {
+  co_await sim.delay(10);
+  co_return value;
+}
+
+TEST(SimulationTest, NestedTaskReturnsValueAndChargesTime) {
+  Simulation sim;
+  int got = 0;
+  sim.spawn([](Simulation& s, int& out) -> Task<void> {
+    out = co_await subtask_returning(s, 42);
+  }(sim, got));
+  sim.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+Task<int> deeply_nested(Simulation& sim, int depth) {
+  if (depth == 0) {
+    co_await sim.delay(1);
+    co_return 1;
+  }
+  const int below = co_await deeply_nested(sim, depth - 1);
+  co_return below + 1;
+}
+
+TEST(SimulationTest, DeepNestingWorks) {
+  Simulation sim;
+  int result = 0;
+  sim.spawn([](Simulation& s, int& out) -> Task<void> {
+    out = co_await deeply_nested(s, 200);
+  }(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 201);
+  EXPECT_EQ(sim.now(), 1u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 900, log));
+  sim.run_until(500);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(sim.now(), 500u);
+  EXPECT_FALSE(sim.all_tasks_done());
+  EXPECT_EQ(sim.pending_task_count(), 1u);
+  sim.run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(SimulationTest, ExceptionInRootTaskPropagates) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task<void> {
+    co_await s.delay(5);
+    throw std::runtime_error("boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulationTest, ExceptionInSubtaskPropagatesToParent) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn([](Simulation& s, bool& flag) -> Task<void> {
+    auto failing = [](Simulation& inner) -> Task<void> {
+      co_await inner.delay(1);
+      throw std::logic_error("inner");
+    };
+    try {
+      co_await failing(s);
+    } catch (const std::logic_error&) {
+      flag = true;
+    }
+  }(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(ResourceTest, UncontendedAcquireDoesNotWait) {
+  Simulation sim;
+  Resource lock(sim, "lock");
+  SimTime acquired_at = 1;
+  sim.spawn([](Simulation& s, Resource& r, SimTime& at) -> Task<void> {
+    ScopedResource guard = co_await r.scoped();
+    at = s.now();
+  }(sim, lock, acquired_at));
+  sim.run();
+  EXPECT_EQ(acquired_at, 0u);
+  EXPECT_EQ(lock.acquisitions(), 1u);
+  EXPECT_EQ(lock.total_wait_ns(), 0u);
+  EXPECT_TRUE(lock.available());
+}
+
+Task<void> hold_lock(Simulation& sim, Resource& lock, SimTime hold, std::vector<SimTime>& log) {
+  ScopedResource guard = co_await lock.scoped();
+  log.push_back(sim.now());
+  co_await sim.delay(hold);
+}
+
+TEST(ResourceTest, ContendedAcquiresSerializeFifo) {
+  Simulation sim;
+  Resource lock(sim, "mmu_lock");
+  std::vector<SimTime> log;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(hold_lock(sim, lock, 100, log));
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{0, 100, 200, 300}));
+  EXPECT_EQ(lock.acquisitions(), 4u);
+  // Waiters queued for 100+200+300 ns total.
+  EXPECT_EQ(lock.total_wait_ns(), 600u);
+  EXPECT_EQ(lock.peak_queue_depth(), 3u);
+}
+
+TEST(ResourceTest, CapacityTwoAllowsTwoConcurrentHolders) {
+  Simulation sim;
+  Resource pool(sim, "pool", 2);
+  std::vector<SimTime> log;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(hold_lock(sim, pool, 100, log));
+  }
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{0, 0, 100, 100}));
+}
+
+TEST(ResourceTest, ManualAcquireRelease) {
+  Simulation sim;
+  Resource lock(sim, "lock");
+  std::vector<int> order;
+  sim.spawn([](Simulation& s, Resource& r, std::vector<int>& out) -> Task<void> {
+    co_await r.acquire();
+    out.push_back(1);
+    co_await s.delay(10);
+    r.release();
+  }(sim, lock, order));
+  sim.spawn([](Simulation& s, Resource& r, std::vector<int>& out) -> Task<void> {
+    co_await r.acquire();
+    out.push_back(2);
+    r.release();
+    co_await s.delay(0);
+  }(sim, lock, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(ResourceTest, MoveAssignGuardReleases) {
+  Simulation sim;
+  Resource lock(sim, "lock");
+  sim.spawn([](Simulation& s, Resource& r) -> Task<void> {
+    ScopedResource a = co_await r.scoped();
+    EXPECT_FALSE(r.available());
+    a = ScopedResource();  // releases
+    EXPECT_TRUE(r.available());
+    co_await s.delay(1);
+  }(sim, lock));
+  sim.run();
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    Resource lock(sim, "lock");
+    std::vector<SimTime> log;
+    Xoshiro256 rng(1234);
+    for (int i = 0; i < 32; ++i) {
+      sim.spawn(hold_lock(sim, lock, rng.next_in(1, 50), log));
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(RandomTest, ReproducibleStreams) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_in(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pvm

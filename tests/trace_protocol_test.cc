@@ -1,0 +1,134 @@
+// Trace-sequence tests: the rendered protocol steps of each scheme must
+// follow the paper's figures in order (Fig. 9 for PVM-on-EPT, Fig. 3(b) for
+// EPT-on-EPT, Fig. 3(a) for SPT-on-EPT), and the metrics report must expose
+// the derived per-fault statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/backends/platform.h"
+#include "src/metrics/report.h"
+
+namespace pvm {
+namespace {
+
+struct TraceHarness {
+  explicit TraceHarness(DeployMode mode) {
+    PlatformConfig config;
+    config.mode = mode;
+    platform = std::make_unique<VirtualPlatform>(config);
+    container = &platform->create_container("c0");
+    platform->sim().spawn(container->boot(16));
+    platform->sim().run();
+    GuestProcess& proc = *container->init_process();
+    proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 1ull << 20, true};
+    platform->sim().spawn([](SecureContainer& c, GuestProcess& p) -> Task<void> {
+      co_await c.kernel().touch(c.vcpu(0), p, GuestProcess::kHeapBase, true);
+    }(*container, proc));
+    platform->sim().run();
+  }
+
+  void traced_fresh_touch() {
+    platform->trace().set_enabled(true);
+    platform->sim().spawn([](SecureContainer& c, GuestProcess& p) -> Task<void> {
+      co_await c.kernel().touch(c.vcpu(0), p, GuestProcess::kHeapBase + kPageSize, true);
+    }(*container, *container->init_process()));
+    platform->sim().run();
+  }
+
+  std::unique_ptr<VirtualPlatform> platform;
+  SecureContainer* container;
+};
+
+TEST(TraceProtocolTest, PvmOnEptFollowsFigure9) {
+  TraceHarness h(DeployMode::kPvmNst);
+  h.traced_fresh_touch();
+  // Fig. 9 order: #PF exit -> entry to v_ring0 (inject) -> WP trap for the
+  // GPT store -> iret hypercall -> prefault -> entry to v_ring3.
+  EXPECT_TRUE(h.platform->trace().contains_sequence({
+      "vm exit (#PF)",
+      "vm entry (v_ring0)",
+      "vm exit (GPT write-protect)",
+      "vm entry (v_ring0)",
+      "vm exit (hypercall)",
+      "vm entry (v_ring3)",
+  })) << h.platform->trace().render();
+  // The prefault happened between the iret and the final entry.
+  bool saw_prefault = false;
+  for (const auto& record : h.platform->trace().records()) {
+    if (record.actor == TraceActor::kL1Hypervisor &&
+        record.message.rfind("prefault", 0) == 0) {
+      saw_prefault = true;
+    }
+  }
+  EXPECT_TRUE(saw_prefault);
+  // And absolutely no L0 actor appears.
+  EXPECT_TRUE(h.platform->trace().messages_for(TraceActor::kL0Hypervisor).empty());
+}
+
+TEST(TraceProtocolTest, EptOnEptFollowsFigure3b) {
+  TraceHarness h(DeployMode::kKvmEptNst);
+  h.traced_fresh_touch();
+  EXPECT_TRUE(h.platform->trace().contains_sequence({
+      "L2 exit -> L0 (forward to L1)",                    // ➊-➌
+      "emulate write-protected EPT12 store (l1-instance)",  // ➎-➐
+      "L1 vmresume trap (l1-instance)",                     // ➑-➒
+      "vm_resume L2 (real entry)",                          // ➓
+      "vm exit from l1-instance",                           // ⓫ second violation
+      "vm entry to l1-instance",                            // ⓭
+  })) << h.platform->trace().render();
+}
+
+TEST(TraceProtocolTest, SptOnEptHasTwoPhases) {
+  TraceHarness h(DeployMode::kSptOnEptNst);
+  h.traced_fresh_touch();
+  // Phase 1 (guest fault, via L0 twice) ... phase 2 ends with the SPT fill.
+  const auto l1_messages = h.platform->trace().messages_for(TraceActor::kL1Hypervisor);
+  ASSERT_FALSE(l1_messages.empty());
+  EXPECT_EQ(l1_messages.back().rfind("fill SPT12", 0), 0u);
+  // Exactly 6 L0 exits appear as forward/resume pairs (2n+4 with n=1).
+  int forwards = 0;
+  int resumes = 0;
+  for (const auto& message : h.platform->trace().messages_for(TraceActor::kL0Hypervisor)) {
+    if (message == "L2 exit -> L0 (forward to L1)") {
+      ++forwards;
+    }
+    if (message == "vm_resume L2 (real entry)") {
+      ++resumes;
+    }
+  }
+  EXPECT_EQ(forwards, 3);
+  EXPECT_EQ(resumes, 3);
+}
+
+TEST(MetricsReportTest, RendersNonZeroCountersAndDerivedStats) {
+  TraceHarness h(DeployMode::kPvmNst);
+  h.traced_fresh_touch();
+  // A repeated touch so the TLB records at least one hit.
+  h.platform->sim().spawn([](SecureContainer& c, GuestProcess& p) -> Task<void> {
+    co_await c.kernel().touch(c.vcpu(0), p, GuestProcess::kHeapBase + kPageSize, true);
+  }(*h.container, *h.container->init_process()));
+  h.platform->sim().run();
+  const std::string report = render_counter_report(h.platform->counters());
+  EXPECT_NE(report.find("world_switch"), std::string::npos);
+  EXPECT_NE(report.find("guest_page_fault"), std::string::npos);
+  EXPECT_EQ(report.find("ept_compressed"), std::string::npos);  // zero stays hidden
+
+  const DerivedStats stats = derive_stats(h.platform->counters());
+  EXPECT_GT(stats.switches_per_fault, 0.0);
+  EXPECT_GT(stats.tlb_hit_rate, 0.0);
+  EXPECT_LE(stats.tlb_hit_rate, 1.0);
+  EXPECT_GT(stats.prefault_coverage, 0.0);
+  EXPECT_NE(render_derived_stats(h.platform->counters()).find("switches/fault"),
+            std::string::npos);
+}
+
+TEST(MetricsReportTest, EmptyCountersAreSafe) {
+  CounterSet counters;
+  EXPECT_TRUE(render_counter_report(counters).empty());
+  const DerivedStats stats = derive_stats(counters);
+  EXPECT_EQ(stats.switches_per_fault, 0.0);
+  EXPECT_EQ(stats.tlb_hit_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -1,0 +1,90 @@
+// Tests for the protocol trace log.
+
+#include <gtest/gtest.h>
+
+#include "src/trace/trace.h"
+
+namespace pvm {
+namespace {
+
+TEST(TraceLogTest, DisabledByDefault) {
+  TraceLog log;
+  log.emit(1, TraceActor::kL0Hypervisor, "should be dropped");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLogTest, RecordsWhenEnabled) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(10, TraceActor::kL2User, "#PF");
+  log.emit(20, TraceActor::kSwitcher, "vm exit");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].message, "#PF");
+  EXPECT_EQ(log.records()[1].actor, TraceActor::kSwitcher);
+}
+
+TEST(TraceLogTest, MessagesForActorFilters) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(1, TraceActor::kL1Hypervisor, "a");
+  log.emit(2, TraceActor::kL0Hypervisor, "b");
+  log.emit(3, TraceActor::kL1Hypervisor, "c");
+  EXPECT_EQ(log.messages_for(TraceActor::kL1Hypervisor),
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(TraceLogTest, ContainsSequence) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(1, TraceActor::kL2User, "#PF");
+  log.emit(2, TraceActor::kL0Hypervisor, "exit");
+  log.emit(3, TraceActor::kL0Hypervisor, "inject #PF");
+  log.emit(4, TraceActor::kL1Hypervisor, "resume L2");
+  EXPECT_TRUE(log.contains_sequence({"#PF", "inject #PF", "resume L2"}));
+  EXPECT_FALSE(log.contains_sequence({"resume L2", "#PF"}));
+  EXPECT_TRUE(log.contains_sequence({}));
+}
+
+TEST(TraceLogTest, RingBufferDropsOldest) {
+  TraceLog log(3);
+  log.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    log.emit(i, TraceActor::kHardware, std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.records().front().message, "2");
+}
+
+TEST(TraceLogTest, RenderIncludesActorsAndSteps) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(5, TraceActor::kL0Hypervisor, "update VMCS02");
+  const std::string out = log.render();
+  EXPECT_NE(out.find("1. "), std::string::npos);
+  EXPECT_NE(out.find("L0-hv"), std::string::npos);
+  EXPECT_NE(out.find("update VMCS02"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  TraceLog log(2);
+  log.set_enabled(true);
+  log.emit(1, TraceActor::kHardware, "x");
+  log.emit(2, TraceActor::kHardware, "y");
+  log.emit(3, TraceActor::kHardware, "z");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(TraceLogTest, ActorNamesDistinct) {
+  EXPECT_EQ(trace_actor_name(TraceActor::kL2User), "L2-user");
+  EXPECT_EQ(trace_actor_name(TraceActor::kL2Kernel), "L2-kernel");
+  EXPECT_EQ(trace_actor_name(TraceActor::kSwitcher), "switcher");
+  EXPECT_EQ(trace_actor_name(TraceActor::kL1Hypervisor), "L1-hv");
+  EXPECT_EQ(trace_actor_name(TraceActor::kL0Hypervisor), "L0-hv");
+  EXPECT_EQ(trace_actor_name(TraceActor::kHardware), "hw");
+}
+
+}  // namespace
+}  // namespace pvm
