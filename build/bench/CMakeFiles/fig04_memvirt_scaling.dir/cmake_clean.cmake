@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_memvirt_scaling.dir/fig04_memvirt_scaling.cc.o"
+  "CMakeFiles/fig04_memvirt_scaling.dir/fig04_memvirt_scaling.cc.o.d"
+  "fig04_memvirt_scaling"
+  "fig04_memvirt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_memvirt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_apps.dir/fig11_apps.cc.o"
+  "CMakeFiles/fig11_apps.dir/fig11_apps.cc.o.d"
+  "fig11_apps"
+  "fig11_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

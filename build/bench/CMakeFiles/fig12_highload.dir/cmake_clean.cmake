@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_highload.dir/fig12_highload.cc.o"
+  "CMakeFiles/fig12_highload.dir/fig12_highload.cc.o.d"
+  "fig12_highload"
+  "fig12_highload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_highload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

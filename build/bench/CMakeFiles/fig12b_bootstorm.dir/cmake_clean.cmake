@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_bootstorm.dir/fig12b_bootstorm.cc.o"
+  "CMakeFiles/fig12b_bootstorm.dir/fig12b_bootstorm.cc.o.d"
+  "fig12b_bootstorm"
+  "fig12b_bootstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_bootstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

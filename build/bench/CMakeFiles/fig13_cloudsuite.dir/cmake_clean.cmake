@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cloudsuite.dir/fig13_cloudsuite.cc.o"
+  "CMakeFiles/fig13_cloudsuite.dir/fig13_cloudsuite.cc.o.d"
+  "fig13_cloudsuite"
+  "fig13_cloudsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cloudsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

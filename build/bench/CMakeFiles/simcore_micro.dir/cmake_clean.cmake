@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_micro.dir/simcore_micro.cc.o"
+  "CMakeFiles/simcore_micro.dir/simcore_micro.cc.o.d"
+  "simcore_micro"
+  "simcore_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table0_switch_cost.cc" "bench/CMakeFiles/table0_switch_cost.dir/table0_switch_cost.cc.o" "gcc" "bench/CMakeFiles/table0_switch_cost.dir/table0_switch_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/pvm_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/pvm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/pvm_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/pvm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pvm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pvm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pvm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

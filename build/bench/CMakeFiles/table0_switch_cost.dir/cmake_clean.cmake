@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table0_switch_cost.dir/table0_switch_cost.cc.o"
+  "CMakeFiles/table0_switch_cost.dir/table0_switch_cost.cc.o.d"
+  "table0_switch_cost"
+  "table0_switch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table0_switch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table0b_protocol_counts.dir/table0b_protocol_counts.cc.o"
+  "CMakeFiles/table0b_protocol_counts.dir/table0b_protocol_counts.cc.o.d"
+  "table0b_protocol_counts"
+  "table0b_protocol_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table0b_protocol_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

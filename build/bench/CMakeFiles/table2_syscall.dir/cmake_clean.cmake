@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_syscall.dir/table2_syscall.cc.o"
+  "CMakeFiles/table2_syscall.dir/table2_syscall.cc.o.d"
+  "table2_syscall"
+  "table2_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

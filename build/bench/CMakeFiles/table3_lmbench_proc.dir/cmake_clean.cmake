@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_lmbench_proc.dir/table3_lmbench_proc.cc.o"
+  "CMakeFiles/table3_lmbench_proc.dir/table3_lmbench_proc.cc.o.d"
+  "table3_lmbench_proc"
+  "table3_lmbench_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lmbench_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_file_vm.dir/table4_file_vm.cc.o"
+  "CMakeFiles/table4_file_vm.dir/table4_file_vm.cc.o.d"
+  "table4_file_vm"
+  "table4_file_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_file_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

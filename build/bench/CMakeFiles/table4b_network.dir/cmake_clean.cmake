@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4b_network.dir/table4b_network.cc.o"
+  "CMakeFiles/table4b_network.dir/table4b_network.cc.o.d"
+  "table4b_network"
+  "table4b_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4b_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_cloud.dir/nested_cloud.cpp.o"
+  "CMakeFiles/nested_cloud.dir/nested_cloud.cpp.o.d"
+  "nested_cloud"
+  "nested_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_container_demo.dir/secure_container_demo.cpp.o"
+  "CMakeFiles/secure_container_demo.dir/secure_container_demo.cpp.o.d"
+  "secure_container_demo"
+  "secure_container_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_container_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

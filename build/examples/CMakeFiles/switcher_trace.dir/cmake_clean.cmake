@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switcher_trace.dir/switcher_trace.cpp.o"
+  "CMakeFiles/switcher_trace.dir/switcher_trace.cpp.o.d"
+  "switcher_trace"
+  "switcher_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switcher_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

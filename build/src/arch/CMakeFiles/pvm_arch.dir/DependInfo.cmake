@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/page_table.cc" "src/arch/CMakeFiles/pvm_arch.dir/page_table.cc.o" "gcc" "src/arch/CMakeFiles/pvm_arch.dir/page_table.cc.o.d"
+  "/root/repo/src/arch/tlb.cc" "src/arch/CMakeFiles/pvm_arch.dir/tlb.cc.o" "gcc" "src/arch/CMakeFiles/pvm_arch.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

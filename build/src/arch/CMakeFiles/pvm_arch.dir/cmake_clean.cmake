@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_arch.dir/page_table.cc.o"
+  "CMakeFiles/pvm_arch.dir/page_table.cc.o.d"
+  "CMakeFiles/pvm_arch.dir/tlb.cc.o"
+  "CMakeFiles/pvm_arch.dir/tlb.cc.o.d"
+  "libpvm_arch.a"
+  "libpvm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/ept_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/ept_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/ept_memory_backend.cc.o.d"
+  "/root/repo/src/backends/ept_on_ept_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/ept_on_ept_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/ept_on_ept_memory_backend.cc.o.d"
+  "/root/repo/src/backends/kvm_spt_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/kvm_spt_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/kvm_spt_memory_backend.cc.o.d"
+  "/root/repo/src/backends/platform.cc" "src/backends/CMakeFiles/pvm_backends.dir/platform.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/platform.cc.o.d"
+  "/root/repo/src/backends/pvm_cpu_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_cpu_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_cpu_backend.cc.o.d"
+  "/root/repo/src/backends/pvm_direct_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_direct_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_direct_memory_backend.cc.o.d"
+  "/root/repo/src/backends/pvm_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/pvm_memory_backend.cc.o.d"
+  "/root/repo/src/backends/spt_on_ept_memory_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/spt_on_ept_memory_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/spt_on_ept_memory_backend.cc.o.d"
+  "/root/repo/src/backends/vmx_cpu_backend.cc" "src/backends/CMakeFiles/pvm_backends.dir/vmx_cpu_backend.cc.o" "gcc" "src/backends/CMakeFiles/pvm_backends.dir/vmx_cpu_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/pvm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/pvm_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/pvm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pvm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pvm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pvm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_backends.dir/ept_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/ept_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/ept_on_ept_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/ept_on_ept_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/kvm_spt_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/kvm_spt_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/platform.cc.o"
+  "CMakeFiles/pvm_backends.dir/platform.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/pvm_cpu_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/pvm_cpu_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/pvm_direct_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/pvm_direct_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/pvm_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/pvm_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/spt_on_ept_memory_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/spt_on_ept_memory_backend.cc.o.d"
+  "CMakeFiles/pvm_backends.dir/vmx_cpu_backend.cc.o"
+  "CMakeFiles/pvm_backends.dir/vmx_cpu_backend.cc.o.d"
+  "libpvm_backends.a"
+  "libpvm_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instruction_emulator.cc" "src/core/CMakeFiles/pvm_core.dir/instruction_emulator.cc.o" "gcc" "src/core/CMakeFiles/pvm_core.dir/instruction_emulator.cc.o.d"
+  "/root/repo/src/core/memory_engine.cc" "src/core/CMakeFiles/pvm_core.dir/memory_engine.cc.o" "gcc" "src/core/CMakeFiles/pvm_core.dir/memory_engine.cc.o.d"
+  "/root/repo/src/core/pvm_hypervisor.cc" "src/core/CMakeFiles/pvm_core.dir/pvm_hypervisor.cc.o" "gcc" "src/core/CMakeFiles/pvm_core.dir/pvm_hypervisor.cc.o.d"
+  "/root/repo/src/core/switcher.cc" "src/core/CMakeFiles/pvm_core.dir/switcher.cc.o" "gcc" "src/core/CMakeFiles/pvm_core.dir/switcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/pvm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pvm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pvm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_core.dir/instruction_emulator.cc.o"
+  "CMakeFiles/pvm_core.dir/instruction_emulator.cc.o.d"
+  "CMakeFiles/pvm_core.dir/memory_engine.cc.o"
+  "CMakeFiles/pvm_core.dir/memory_engine.cc.o.d"
+  "CMakeFiles/pvm_core.dir/pvm_hypervisor.cc.o"
+  "CMakeFiles/pvm_core.dir/pvm_hypervisor.cc.o.d"
+  "CMakeFiles/pvm_core.dir/switcher.cc.o"
+  "CMakeFiles/pvm_core.dir/switcher.cc.o.d"
+  "libpvm_core.a"
+  "libpvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/backend_iface.cc" "src/guest/CMakeFiles/pvm_guest.dir/backend_iface.cc.o" "gcc" "src/guest/CMakeFiles/pvm_guest.dir/backend_iface.cc.o.d"
+  "/root/repo/src/guest/guest_kernel.cc" "src/guest/CMakeFiles/pvm_guest.dir/guest_kernel.cc.o" "gcc" "src/guest/CMakeFiles/pvm_guest.dir/guest_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/pvm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/pvm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/pvm_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pvm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pvm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

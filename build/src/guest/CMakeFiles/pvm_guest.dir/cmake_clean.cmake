@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_guest.dir/backend_iface.cc.o"
+  "CMakeFiles/pvm_guest.dir/backend_iface.cc.o.d"
+  "CMakeFiles/pvm_guest.dir/guest_kernel.cc.o"
+  "CMakeFiles/pvm_guest.dir/guest_kernel.cc.o.d"
+  "libpvm_guest.a"
+  "libpvm_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

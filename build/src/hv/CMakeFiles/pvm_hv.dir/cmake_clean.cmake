@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_hv.dir/host_hypervisor.cc.o"
+  "CMakeFiles/pvm_hv.dir/host_hypervisor.cc.o.d"
+  "CMakeFiles/pvm_hv.dir/migration.cc.o"
+  "CMakeFiles/pvm_hv.dir/migration.cc.o.d"
+  "libpvm_hv.a"
+  "libpvm_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_metrics.dir/counters.cc.o"
+  "CMakeFiles/pvm_metrics.dir/counters.cc.o.d"
+  "CMakeFiles/pvm_metrics.dir/report.cc.o"
+  "CMakeFiles/pvm_metrics.dir/report.cc.o.d"
+  "CMakeFiles/pvm_metrics.dir/table.cc.o"
+  "CMakeFiles/pvm_metrics.dir/table.cc.o.d"
+  "libpvm_metrics.a"
+  "libpvm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

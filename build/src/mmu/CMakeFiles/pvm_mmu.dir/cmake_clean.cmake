@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_mmu.dir/two_dim_walk.cc.o"
+  "CMakeFiles/pvm_mmu.dir/two_dim_walk.cc.o.d"
+  "libpvm_mmu.a"
+  "libpvm_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvm_mmu.a"
+)

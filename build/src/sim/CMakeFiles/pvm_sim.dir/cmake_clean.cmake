@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_sim.dir/resource.cc.o"
+  "CMakeFiles/pvm_sim.dir/resource.cc.o.d"
+  "CMakeFiles/pvm_sim.dir/simulation.cc.o"
+  "CMakeFiles/pvm_sim.dir/simulation.cc.o.d"
+  "libpvm_sim.a"
+  "libpvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_trace.dir/trace.cc.o"
+  "CMakeFiles/pvm_trace.dir/trace.cc.o.d"
+  "libpvm_trace.a"
+  "libpvm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_workloads.dir/apps.cc.o"
+  "CMakeFiles/pvm_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/pvm_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/pvm_workloads.dir/lmbench.cc.o.d"
+  "CMakeFiles/pvm_workloads.dir/memstress.cc.o"
+  "CMakeFiles/pvm_workloads.dir/memstress.cc.o.d"
+  "CMakeFiles/pvm_workloads.dir/runner.cc.o"
+  "CMakeFiles/pvm_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/pvm_workloads.dir/timer.cc.o"
+  "CMakeFiles/pvm_workloads.dir/timer.cc.o.d"
+  "libpvm_workloads.a"
+  "libpvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

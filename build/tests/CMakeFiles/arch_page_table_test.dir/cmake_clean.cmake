@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_page_table_test.dir/arch_page_table_test.cc.o"
+  "CMakeFiles/arch_page_table_test.dir/arch_page_table_test.cc.o.d"
+  "arch_page_table_test"
+  "arch_page_table_test.pdb"
+  "arch_page_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_tlb_test.dir/arch_tlb_test.cc.o"
+  "CMakeFiles/arch_tlb_test.dir/arch_tlb_test.cc.o.d"
+  "arch_tlb_test"
+  "arch_tlb_test.pdb"
+  "arch_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

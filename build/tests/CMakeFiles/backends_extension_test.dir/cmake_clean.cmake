@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_extension_test.dir/backends_extension_test.cc.o"
+  "CMakeFiles/backends_extension_test.dir/backends_extension_test.cc.o.d"
+  "backends_extension_test"
+  "backends_extension_test.pdb"
+  "backends_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_isolation_test.dir/backends_isolation_test.cc.o"
+  "CMakeFiles/backends_isolation_test.dir/backends_isolation_test.cc.o.d"
+  "backends_isolation_test"
+  "backends_isolation_test.pdb"
+  "backends_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_instruction_emulator_test.dir/core_instruction_emulator_test.cc.o"
+  "CMakeFiles/core_instruction_emulator_test.dir/core_instruction_emulator_test.cc.o.d"
+  "core_instruction_emulator_test"
+  "core_instruction_emulator_test.pdb"
+  "core_instruction_emulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_instruction_emulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

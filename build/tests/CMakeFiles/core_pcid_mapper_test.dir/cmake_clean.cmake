@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pcid_mapper_test.dir/core_pcid_mapper_test.cc.o"
+  "CMakeFiles/core_pcid_mapper_test.dir/core_pcid_mapper_test.cc.o.d"
+  "core_pcid_mapper_test"
+  "core_pcid_mapper_test.pdb"
+  "core_pcid_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pcid_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_switcher_test.dir/core_switcher_test.cc.o"
+  "CMakeFiles/core_switcher_test.dir/core_switcher_test.cc.o.d"
+  "core_switcher_test"
+  "core_switcher_test.pdb"
+  "core_switcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_switcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_apic_test.dir/hv_apic_test.cc.o"
+  "CMakeFiles/hv_apic_test.dir/hv_apic_test.cc.o.d"
+  "hv_apic_test"
+  "hv_apic_test.pdb"
+  "hv_apic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_apic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_migration_test.dir/hv_migration_test.cc.o"
+  "CMakeFiles/hv_migration_test.dir/hv_migration_test.cc.o.d"
+  "hv_migration_test"
+  "hv_migration_test.pdb"
+  "hv_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

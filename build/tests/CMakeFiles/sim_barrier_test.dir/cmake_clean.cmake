@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_barrier_test.dir/sim_barrier_test.cc.o"
+  "CMakeFiles/sim_barrier_test.dir/sim_barrier_test.cc.o.d"
+  "sim_barrier_test"
+  "sim_barrier_test.pdb"
+  "sim_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

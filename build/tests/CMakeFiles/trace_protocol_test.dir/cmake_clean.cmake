@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_protocol_test.dir/trace_protocol_test.cc.o"
+  "CMakeFiles/trace_protocol_test.dir/trace_protocol_test.cc.o.d"
+  "trace_protocol_test"
+  "trace_protocol_test.pdb"
+  "trace_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_page_table_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/mmu_walk_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_switcher_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pcid_mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/core_memory_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_extension_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_property_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/core_instruction_emulator_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_apic_test[1]_include.cmake")
