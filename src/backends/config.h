@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/sim/simulation.h"
+
 namespace pvm {
 
 enum class DeployMode {
@@ -81,6 +83,20 @@ struct PlatformConfig {
 
   // Host hardware parallelism (2x Xeon 8269CY with HT = 104 threads).
   int host_cpus = 104;
+
+  // Tie-breaking rule for same-timestamp simulation events (simcheck's
+  // schedule-exploration axis). kFifo reproduces the historical schedule
+  // bit-for-bit; each (kRandom, schedule_seed) pair deterministically
+  // explores a different legal interleaving.
+  SchedulePolicy schedule_policy = SchedulePolicy::kFifo;
+  std::uint64_t schedule_seed = 0;
+
+  // Arms the SPT coherence oracle on every shadow-paging engine the
+  // platform creates: structural invariants are re-verified after each
+  // quiescent engine mutation (strict guest-PT agreement is additionally
+  // checked at explicit quiescent points unless collaborative_pt defers
+  // sync legitimately).
+  bool coherence_oracle = false;
 };
 
 }  // namespace pvm

@@ -18,7 +18,7 @@ KvmSptMemoryBackend::KvmSptMemoryBackend(HostHypervisor& l0, HostHypervisor::Vm&
 }
 
 void KvmSptMemoryBackend::on_process_created(GuestProcess& proc) {
-  engine_->create_process(proc.pid());
+  engine_->create_process(proc.pid(), &proc.gpt());
 }
 
 Task<void> KvmSptMemoryBackend::on_process_destroyed(Vcpu& vcpu, GuestProcess& proc) {

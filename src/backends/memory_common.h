@@ -26,6 +26,10 @@ class MemoryBackendBase : public MemoryBackend {
     co_return;
   }
 
+  // The VPID tagging this backend's TLB entries. Fault-injection harnesses
+  // (src/check) need it to drive engine zaps from outside the backend.
+  std::uint16_t vpid() const { return vpid_; }
+
  protected:
   MemoryBackendBase(Simulation& sim, const CostModel& costs, CounterSet& counters,
                     TraceLog& trace, std::string label, std::uint16_t vpid)

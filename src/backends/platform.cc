@@ -37,6 +37,8 @@ Task<void> SecureContainer::boot(int init_pages) {
 
 VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
     : config_(config), l0_(sim_, costs_, counters_, trace_, config.host_frames) {
+  // Before any work is spawned, so the whole run uses one schedule.
+  sim_.set_schedule_policy(config_.schedule_policy, config_.schedule_seed);
   if (deploy_mode_is_nested(config_.mode)) {
     // The general-purpose instances leased from the IaaS cloud:
     // long-running, EPT01 warm (§4's assumption).
@@ -58,6 +60,12 @@ VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
     options.collaborative_pt = config_.collaborative_pt;
     pvm_ = std::make_unique<PvmHypervisor>(sim_, costs_, counters_, trace_, options);
   }
+}
+
+VirtualPlatform::~VirtualPlatform() {
+  // Pending frames hold ScopedResource guards on locks owned by the members
+  // below; destroy the frames while those locks are still alive.
+  sim_.abandon_pending();
 }
 
 SecureContainer& VirtualPlatform::create_container(const std::string& name) {
@@ -161,7 +169,27 @@ SecureContainer& VirtualPlatform::create_container(const std::string& name) {
   if (auto* soe = dynamic_cast<SptOnEptMemoryBackend*>(raw->mem_.get())) {
     soe->engine().set_vcpu_count_provider(vcpu_provider);
   }
+  if (config_.coherence_oracle) {
+    if (PvmMemoryEngine* engine = raw->shadow_engine()) {
+      // Collaborative PT sync legitimately defers shadow updates through its
+      // batch ring, so strict guest-PT agreement would false-positive there.
+      engine->enable_coherence_oracle(/*strict_gpt=*/!config_.collaborative_pt);
+    }
+  }
   return *raw;
+}
+
+PvmMemoryEngine* SecureContainer::shadow_engine() {
+  if (engine_) {
+    return engine_.get();
+  }
+  if (auto* spt = dynamic_cast<KvmSptMemoryBackend*>(mem_.get())) {
+    return &spt->engine();
+  }
+  if (auto* soe = dynamic_cast<SptOnEptMemoryBackend*>(mem_.get())) {
+    return &soe->engine();
+  }
+  return nullptr;
 }
 
 std::size_t VirtualPlatform::total_vcpus() const {

@@ -65,6 +65,11 @@ class SecureContainer {
   GuestProcess* init_process() { return init_process_; }
   SimTime boot_latency() const { return boot_latency_; }
 
+  // The shadow-paging engine backing this container, if the deployment mode
+  // has one (PVM modes, kvm-spt, spt-on-ept); null for EPT/direct-paging
+  // modes. simcheck uses it to run strict oracle checks at quiescent points.
+  PvmMemoryEngine* shadow_engine();
+
  private:
   friend class VirtualPlatform;
   SecureContainer() = default;
@@ -88,6 +93,10 @@ class SecureContainer {
 class VirtualPlatform {
  public:
   explicit VirtualPlatform(const PlatformConfig& config);
+  // Destroys any still-pending root coroutines before the members (locks,
+  // engines, containers) their frames hold guards on — required when the
+  // platform is torn down after a deadlocked run (simcheck does this).
+  ~VirtualPlatform();
   VirtualPlatform(const VirtualPlatform&) = delete;
   VirtualPlatform& operator=(const VirtualPlatform&) = delete;
 

@@ -13,7 +13,7 @@ PvmMemoryBackend::PvmMemoryBackend(PvmHypervisor& hypervisor, PvmMemoryEngine& e
       l1_vm_(l1_vm) {}
 
 void PvmMemoryBackend::on_process_created(GuestProcess& proc) {
-  engine_->create_process(proc.pid());
+  engine_->create_process(proc.pid(), &proc.gpt());
 }
 
 Task<void> PvmMemoryBackend::on_process_destroyed(Vcpu& vcpu, GuestProcess& proc) {

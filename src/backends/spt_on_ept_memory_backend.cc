@@ -21,7 +21,7 @@ SptOnEptMemoryBackend::SptOnEptMemoryBackend(HostHypervisor& l0, HostHypervisor:
 }
 
 void SptOnEptMemoryBackend::on_process_created(GuestProcess& proc) {
-  engine_->create_process(proc.pid());
+  engine_->create_process(proc.pid(), &proc.gpt());
 }
 
 Task<void> SptOnEptMemoryBackend::on_process_destroyed(Vcpu& vcpu, GuestProcess& proc) {

@@ -1,0 +1,72 @@
+// Fault-injection agents for simcheck (the schedule-exploration harness).
+//
+// Each agent is a root task spawned alongside a workload. They inject the
+// rare concurrency the paper's fine-grained SPT protocol must survive but
+// normal workloads almost never produce:
+//   - zap storms: the shadow engine invalidates random translations mid-run,
+//     modelling L1 memory management (reclaim, THP collapse, KSM) racing the
+//     fault path,
+//   - mid-run bulk zaps: whole-process shadow teardown fired while fills for
+//     that process are in flight (the bulk-teardown hypercall racing faults),
+//   - process churn: fork/exec/exit cycles that arm COW on shared pages,
+//     recycle PCIDs, and tear address spaces down concurrently.
+// All randomness comes from a seeded Xoshiro256, so every (seed, schedule)
+// pair replays bit-for-bit.
+
+#ifndef PVM_SRC_CHECK_CHAOS_H_
+#define PVM_SRC_CHECK_CHAOS_H_
+
+#include <cstdint>
+
+#include "src/backends/platform.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace pvm {
+
+struct ChaosParams {
+  std::uint64_t seed = 1;
+
+  // Zap-storm shape: `rounds` sweeps, `interval_ns` apart; each sweep zaps
+  // every currently guest-mapped page with `zap_probability`, and with
+  // `bulk_zap_probability` instead drops the whole process's shadow tables.
+  int rounds = 6;
+  SimTime interval_ns = 30 * kNsPerUs;
+  double zap_probability = 0.2;
+  double bulk_zap_probability = 0.15;
+
+  // Process-churn shape: fork/exec/touch/exit cycles from the init process.
+  int churn_iterations = 2;
+  int churn_pages = 4;
+
+  // Retouch-agent shape: a private always-mapped arena of `retouch_pages`,
+  // each page re-touched with `touch_probability` per round.
+  int retouch_pages = 8;
+  double touch_probability = 0.5;
+};
+
+// All agents borrow `proc` for their whole lifetime: the caller must keep the
+// process alive (no sys_exit) until the agents have drained.
+
+// Periodically zaps random translations of `proc` (and occasionally bulk-zaps
+// the whole process) through the container's shadow engine. Immediately
+// returns on deployment modes without a shadow engine.
+Task<void> chaos_zap_storm(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                           ChaosParams params);
+
+// Models a second thread of `proc` on its own vCPU: mmaps a private arena and
+// keeps re-touching it. After the zap storm drops the arena's shadow entries,
+// these touches *refault* — fills with no guest-PT store in front of them —
+// which is the only fill traffic that can overlap a concurrent bulk zap of
+// the same process (demand fills serialize behind the GPT-store emulation on
+// the structural lock first). This is what drives Counter::kSptFillRaced.
+Task<void> chaos_retouch(SecureContainer& container, Vcpu& vcpu, GuestProcess& proc,
+                         ChaosParams params);
+
+// Runs fork/exec/touch/exit cycles from the container's init process on a
+// dedicated vCPU, racing the main workload's fault traffic.
+Task<void> chaos_process_churn(SecureContainer& container, Vcpu& vcpu, ChaosParams params);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_CHECK_CHAOS_H_

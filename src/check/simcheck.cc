@@ -1,0 +1,247 @@
+#include "src/check/simcheck.h"
+
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/guest/guest_kernel.h"
+#include "src/workloads/memstress.h"
+
+namespace pvm {
+
+std::string_view simcheck_mode_token(DeployMode mode) {
+  switch (mode) {
+    case DeployMode::kKvmEptBm:
+      return "ept-bm";
+    case DeployMode::kKvmSptBm:
+      return "kvm-spt";
+    case DeployMode::kPvmBm:
+      return "pvm-bm";
+    case DeployMode::kKvmEptNst:
+      return "ept";
+    case DeployMode::kPvmNst:
+      return "pvm";
+    case DeployMode::kSptOnEptNst:
+      return "spt-on-ept";
+    case DeployMode::kPvmDirectNst:
+      return "pvm-direct";
+  }
+  return "?";
+}
+
+bool parse_mode_token(std::string_view token, DeployMode* mode) {
+  for (const DeployMode m :
+       {DeployMode::kKvmEptBm, DeployMode::kKvmSptBm, DeployMode::kPvmBm,
+        DeployMode::kKvmEptNst, DeployMode::kPvmNst, DeployMode::kSptOnEptNst,
+        DeployMode::kPvmDirectNst}) {
+    if (token == simcheck_mode_token(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_policy_token(std::string_view token, SchedulePolicy* policy) {
+  for (const SchedulePolicy p :
+       {SchedulePolicy::kFifo, SchedulePolicy::kRandom, SchedulePolicy::kLifo}) {
+    if (token == schedule_policy_name(p)) {
+      *policy = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string case_label(const SimcheckCase& c) {
+  std::ostringstream label;
+  label << deploy_mode_name(c.mode) << " policy=" << schedule_policy_name(c.policy)
+        << " seed=" << c.schedule_seed;
+  if (deploy_mode_is_pvm(c.mode)) {
+    label << " locks=" << (c.fine_grained_locks ? "fine" : "coarse")
+          << " prefault=" << (c.prefault ? "on" : "off")
+          << " pcid=" << (c.pcid_mapping ? "on" : "off");
+  }
+  return label.str();
+}
+
+}  // namespace
+
+SimcheckResult run_simcheck_case(const SimcheckCase& c) {
+  SimcheckResult result;
+  try {
+    PlatformConfig config;
+    config.mode = c.mode;
+    config.fine_grained_locks = c.fine_grained_locks;
+    config.prefault = c.prefault;
+    config.pcid_mapping = c.pcid_mapping;
+    config.schedule_policy = c.policy;
+    config.schedule_seed = c.schedule_seed;
+    config.coherence_oracle = true;
+
+    VirtualPlatform platform(config);
+    Simulation& sim = platform.sim();
+    SecureContainer& container = platform.create_container("simcheck");
+    sim.spawn(container.boot(), "boot");
+    sim.run();
+    if (!sim.all_tasks_done()) {
+      result.ok = false;
+      result.failure = "deadlock during boot\n" + sim.blocked_report();
+      return result;
+    }
+
+    // Stage 1: one worker process per vCPU (vCPU 0 boots the container and
+    // keeps init; workers start at vCPU 1).
+    std::vector<Vcpu*> vcpus;
+    std::vector<GuestProcess*> procs(c.processes, nullptr);
+    for (int i = 0; i < c.processes; ++i) {
+      vcpus.push_back(&container.add_vcpu());
+    }
+    for (int i = 0; i < c.processes; ++i) {
+      sim.spawn([](GuestKernel& kernel, Vcpu& vcpu, GuestProcess** out) -> Task<void> {
+        *out = co_await kernel.create_init_process(vcpu, /*resident_pages=*/16);
+      }(container.kernel(), *vcpus[i], &procs[i]),
+                "create#" + std::to_string(i));
+    }
+    sim.run();
+    if (!sim.all_tasks_done()) {
+      result.ok = false;
+      result.failure = "deadlock during process creation\n" + sim.blocked_report();
+      return result;
+    }
+
+    // Stage 2: concurrent memstress bodies plus the fault-injection agents.
+    // The agents borrow the worker processes, so exits wait for stage 3.
+    for (int i = 0; i < c.processes; ++i) {
+      MemStressParams stress;
+      stress.total_bytes = c.memstress_bytes;
+      stress.chunk_bytes = 256ull << 10;
+      stress.seed = c.schedule_seed * 1000003ull + static_cast<std::uint64_t>(i) + 1;
+      sim.spawn(memstress_process(container, *vcpus[i], *procs[i], stress),
+                "memstress#" + std::to_string(i));
+      if (c.chaos) {
+        // Dense storm: short intervals so zaps land inside fill windows (the
+        // kSptFillRaced abort paths), long enough to overlap most of the run.
+        ChaosParams agent;
+        agent.seed = c.chaos_seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(i);
+        // Tuned so even the slowest backend's bounded fault-retry loop makes
+        // progress between zaps of the same page (denser per-page zaps can
+        // livelock spt-on-ept's 24-attempt loop — real behavior, but not the
+        // protocol property under test); bulk zaps drive the fill races.
+        agent.rounds = 60;
+        agent.interval_ns = 4 * kNsPerUs;
+        agent.zap_probability = 0.25;
+        agent.bulk_zap_probability = 0.2;
+        sim.spawn(chaos_zap_storm(container, *vcpus[i], *procs[i], agent),
+                  "zapstorm#" + std::to_string(i));
+        // The process's "second thread" on its own vCPU: its refaults after
+        // storm zaps are the fills that can race a concurrent bulk zap.
+        sim.spawn(chaos_retouch(container, container.add_vcpu(), *procs[i], agent),
+                  "retouch#" + std::to_string(i));
+      }
+    }
+    if (c.chaos) {
+      ChaosParams churn;
+      churn.seed = c.chaos_seed;
+      sim.spawn(chaos_process_churn(container, container.vcpu(0), churn), "churn");
+    }
+    sim.run();
+    if (!sim.all_tasks_done()) {
+      result.ok = false;
+      result.failure = "deadlock in workload/chaos stage\n" + sim.blocked_report();
+      return result;
+    }
+
+    // Stage 3: concurrent worker exits — three address-space teardowns
+    // contending on the engine's structural lock.
+    for (int i = 0; i < c.processes; ++i) {
+      sim.spawn(container.kernel().sys_exit(*vcpus[i], *procs[i]),
+                "exit#" + std::to_string(i));
+    }
+    sim.run();
+    if (!sim.all_tasks_done()) {
+      result.ok = false;
+      result.failure = "deadlock in teardown stage\n" + sim.blocked_report();
+      return result;
+    }
+
+    // Quiescent point: every task drained, so the strict guest-PT agreement
+    // check is sound (unless the backend defers sync, which the platform
+    // already encoded in the oracle's strictness).
+    if (PvmMemoryEngine* engine = container.shadow_engine()) {
+      engine->verify_coherence(engine->coherence_oracle_strict());
+      result.shadow_frames = engine->shadow_table_frames();
+    }
+
+    result.events = sim.events_processed();
+    result.fills = platform.counters().get(Counter::kSptEntryFilled);
+    result.fill_races = platform.counters().get(Counter::kSptFillRaced);
+  } catch (const SptCoherenceError& e) {
+    result.ok = false;
+    result.failure = std::string("coherence violation: ") + e.what();
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.failure = std::string("exception: ") + e.what();
+  }
+  return result;
+}
+
+int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
+  int failing_combinations = 0;
+  for (const DeployMode mode : options.modes) {
+    for (const SchedulePolicy policy : options.policies) {
+      int passed = 0;
+      bool failed = false;
+      for (int i = 0; i < options.seeds; ++i) {
+        const std::uint64_t seed = options.first_seed + static_cast<std::uint64_t>(i);
+        SimcheckCase c;
+        c.mode = mode;
+        c.policy = policy;
+        c.schedule_seed = seed;
+        // Cycle the PVM ablations from the seed so a sweep covers the
+        // lock-granularity x prefault x PCID cross-product without
+        // multiplying the run count. Non-PVM engines read the same Options,
+        // so the cycling exercises their configurations too.
+        c.fine_grained_locks = (seed & 1) != 0;
+        c.prefault = (seed & 2) != 0;
+        c.pcid_mapping = (seed & 4) != 0;
+        c.chaos = options.chaos;
+        c.chaos_seed = seed + 17;
+        c.processes = options.processes;
+        c.memstress_bytes = options.memstress_bytes;
+
+        const SimcheckResult r = run_simcheck_case(c);
+        if (options.verbose) {
+          out << (r.ok ? "ok   " : "FAIL ") << case_label(c) << ": events=" << r.events
+              << " fills=" << r.fills << " races=" << r.fill_races << "\n";
+        }
+        if (!r.ok) {
+          // Seeds run ascending, so the first failure is the minimal failing
+          // seed for this (mode, policy) combination.
+          out << "FAIL " << case_label(c) << "\n"
+              << "     minimal failing seed: " << seed << "\n"
+              << "     reproduce: simcheck --modes " << simcheck_mode_token(mode)
+              << " --policies " << schedule_policy_name(policy) << " --seeds 1 --first-seed "
+              << seed << (options.chaos ? "" : " --no-chaos") << "\n"
+              << r.failure << "\n";
+          failed = true;
+          ++failing_combinations;
+          break;
+        }
+        ++passed;
+      }
+      if (!failed) {
+        out << "ok   " << deploy_mode_name(mode) << " x " << schedule_policy_name(policy)
+            << ": " << passed << " seeds\n";
+      }
+    }
+  }
+  return failing_combinations;
+}
+
+}  // namespace pvm

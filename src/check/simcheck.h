@@ -1,0 +1,90 @@
+// simcheck: systematic schedule exploration with the SPT coherence oracle.
+//
+// One simcheck case = one deployment mode + one (SchedulePolicy, seed) pair +
+// one ablation of the PVM optimizations, running a multi-process memstress
+// workload with fault-injection agents (chaos.h) and the coherence oracle
+// armed. Because the discrete-event kernel breaks same-timestamp ties by
+// policy+seed, every case deterministically executes a *different* legal
+// interleaving of the same concurrent protocol — and replays bit-for-bit.
+//
+// A sweep walks seeds in ascending order per (mode, policy) combination, so
+// the first failure it reports is the minimal failing seed; the report
+// carries the oracle's violation list or, on deadlock, which root tasks are
+// blocked in which Resource queues.
+
+#ifndef PVM_SRC_CHECK_SIMCHECK_H_
+#define PVM_SRC_CHECK_SIMCHECK_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/backends/config.h"
+#include "src/check/chaos.h"
+#include "src/metrics/counters.h"
+
+namespace pvm {
+
+// CLI-safe spelling of a deployment mode ("pvm", "kvm-spt", "ept", ...);
+// shared by the simcheck binary's --modes parser and the sweep's printed
+// reproduce commands so a failure report pastes back verbatim.
+std::string_view simcheck_mode_token(DeployMode mode);
+
+// Parses a mode / policy token; returns false on an unknown spelling.
+bool parse_mode_token(std::string_view token, DeployMode* mode);
+bool parse_policy_token(std::string_view token, SchedulePolicy* policy);
+
+struct SimcheckCase {
+  DeployMode mode = DeployMode::kPvmNst;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  std::uint64_t schedule_seed = 0;
+
+  // PVM-optimization ablation under test (ignored by non-PVM modes except
+  // where the backend shares the engine options).
+  bool fine_grained_locks = true;
+  bool prefault = true;
+  bool pcid_mapping = true;
+
+  bool chaos = true;
+  std::uint64_t chaos_seed = 1;
+
+  int processes = 3;
+  std::uint64_t memstress_bytes = 1ull << 20;  // per process
+};
+
+struct SimcheckResult {
+  bool ok = true;
+  std::string failure;  // oracle violations, exception, or deadlock report
+
+  std::uint64_t events = 0;       // events the schedule executed
+  std::uint64_t fills = 0;        // Counter::kSptEntryFilled
+  std::uint64_t fill_races = 0;   // Counter::kSptFillRaced
+  std::uint64_t shadow_frames = 0;  // final shadow table footprint
+};
+
+// Runs one case end to end: boot, processes, workload + chaos, drain, then a
+// strict quiescent oracle check. Never throws; failures land in `failure`.
+SimcheckResult run_simcheck_case(const SimcheckCase& c);
+
+struct SweepOptions {
+  std::vector<DeployMode> modes;
+  std::vector<SchedulePolicy> policies;
+  int seeds = 64;
+  std::uint64_t first_seed = 1;
+  bool chaos = true;
+  int processes = 3;
+  std::uint64_t memstress_bytes = 1ull << 20;
+  bool verbose = false;
+};
+
+// Sweeps seeds (ascending) x policies x modes, cycling the PVM lock /
+// prefault / PCID ablations from the seed's low bits so the cross-product is
+// covered. Reports each combination's minimal failing seed to `out`.
+// Returns the number of failing (mode, policy) combinations.
+int run_simcheck_sweep(const SweepOptions& options, std::ostream& out);
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_CHECK_SIMCHECK_H_

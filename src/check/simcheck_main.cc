@@ -1,0 +1,129 @@
+// simcheck driver: sweeps schedule seeds x tie-break policies x deployment
+// modes with the SPT coherence oracle armed, and reports the minimal failing
+// seed per combination. Exit code = number of failing combinations.
+//
+//   simcheck --modes pvm,kvm-spt --policies random --seeds 64
+//   simcheck --modes pvm --policies lifo --seeds 1 --first-seed 42  # replay
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/check/simcheck.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: simcheck [options]\n"
+         "  --modes m1,m2,...     pvm | pvm-bm | pvm-direct | kvm-spt |\n"
+         "                        spt-on-ept | ept | ept-bm | all\n"
+         "                        (default: pvm,kvm-spt,ept)\n"
+         "  --policies p1,p2,...  fifo | random | lifo | all (default: all)\n"
+         "  --seeds N             seeds per (mode, policy) (default: 64)\n"
+         "  --first-seed N        first schedule seed (default: 1)\n"
+         "  --processes N         concurrent worker processes (default: 3)\n"
+         "  --bytes N             memstress bytes per process (default: 1 MiB)\n"
+         "  --no-chaos            disable fault-injection agents\n"
+         "  --verbose             print every case, not just failures\n";
+}
+
+std::vector<std::string> split_csv(std::string_view list) {
+  std::vector<std::string> tokens;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    tokens.emplace_back(list.substr(0, comma));
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    list.remove_prefix(comma + 1);
+  }
+  return tokens;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "simcheck: " << message << "\n";
+  usage(std::cerr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pvm::SweepOptions options;
+  options.modes = {pvm::DeployMode::kPvmNst, pvm::DeployMode::kKvmSptBm,
+                   pvm::DeployMode::kKvmEptNst};
+  options.policies = {pvm::SchedulePolicy::kFifo, pvm::SchedulePolicy::kRandom,
+                      pvm::SchedulePolicy::kLifo};
+
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      die(std::string(argv[i]) + " needs a value");
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--modes") {
+      const std::string value = next_value(i);
+      options.modes.clear();
+      if (value == "all") {
+        options.modes = {pvm::DeployMode::kKvmEptBm,    pvm::DeployMode::kKvmSptBm,
+                         pvm::DeployMode::kPvmBm,       pvm::DeployMode::kKvmEptNst,
+                         pvm::DeployMode::kPvmNst,      pvm::DeployMode::kSptOnEptNst,
+                         pvm::DeployMode::kPvmDirectNst};
+      } else {
+        for (const std::string& token : split_csv(value)) {
+          pvm::DeployMode mode;
+          if (!pvm::parse_mode_token(token, &mode)) {
+            die("unknown mode '" + token + "'");
+          }
+          options.modes.push_back(mode);
+        }
+      }
+    } else if (arg == "--policies") {
+      const std::string value = next_value(i);
+      if (value != "all") {
+        options.policies.clear();
+        for (const std::string& token : split_csv(value)) {
+          pvm::SchedulePolicy policy;
+          if (!pvm::parse_policy_token(token, &policy)) {
+            die("unknown policy '" + token + "'");
+          }
+          options.policies.push_back(policy);
+        }
+      }
+    } else if (arg == "--seeds") {
+      options.seeds = std::atoi(next_value(i).c_str());
+    } else if (arg == "--first-seed") {
+      options.first_seed = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--processes") {
+      options.processes = std::atoi(next_value(i).c_str());
+    } else if (arg == "--bytes") {
+      options.memstress_bytes = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--no-chaos") {
+      options.chaos = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      die("unknown option '" + std::string(arg) + "'");
+    }
+  }
+  if (options.modes.empty() || options.policies.empty() || options.seeds <= 0) {
+    die("nothing to sweep");
+  }
+
+  const int failures = pvm::run_simcheck_sweep(options, std::cout);
+  if (failures == 0) {
+    std::cout << "simcheck: all combinations passed\n";
+  } else {
+    std::cout << "simcheck: " << failures << " failing combination(s)\n";
+  }
+  return failures;
+}

@@ -1,5 +1,6 @@
 #include "src/core/memory_engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pvm {
@@ -17,7 +18,7 @@ PvmMemoryEngine::PvmMemoryEngine(Simulation& sim, const CostModel& costs, Counte
       locks_(sim, name_, options.fine_grained_locks),
       gpa_map_(name_ + ".gpa_map", nullptr) {}
 
-void PvmMemoryEngine::create_process(std::uint64_t pid) {
+void PvmMemoryEngine::create_process(std::uint64_t pid, const PageTable* guest_pt) {
   ProcessShadow shadow;
   shadow.kernel_spt =
       std::make_unique<PageTable>(name_ + ".spt_k." + std::to_string(pid), l1_frames_);
@@ -25,7 +26,21 @@ void PvmMemoryEngine::create_process(std::uint64_t pid) {
     shadow.user_spt =
         std::make_unique<PageTable>(name_ + ".spt_u." + std::to_string(pid), l1_frames_);
   }
+  shadow.guest_pt = guest_pt;
   shadows_[pid] = std::move(shadow);
+}
+
+void PvmMemoryEngine::erase_process_rmap_state(std::uint64_t pid) {
+  for (auto it = leaf_gfn_.begin(); it != leaf_gfn_.end();) {
+    if (std::get<0>(it->first) == pid) {
+      it = leaf_gfn_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [gfn, entries] : rmap_) {
+    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
+  }
 }
 
 void PvmMemoryEngine::destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid) {
@@ -33,10 +48,8 @@ void PvmMemoryEngine::destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t
   if (it == shadows_.end()) {
     return;
   }
-  // Drop reverse-map entries pointing at this process.
-  for (auto& [gfn, entries] : rmap_) {
-    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
-  }
+  MutationScope mutation(this);
+  erase_process_rmap_state(pid);
   // Flush any TLB entries tagged with the process's mapped PCIDs. Without
   // PCID mapping all processes share the VPID tag, so flush it whole.
   if (options_.pcid_mapping) {
@@ -51,6 +64,7 @@ void PvmMemoryEngine::destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t
     tlb.flush_vpid(vpid);
   }
   shadows_.erase(it);
+  maybe_check_after_mutation();
 }
 
 PvmMemoryEngine::ProcessShadow& PvmMemoryEngine::shadow_for(std::uint64_t pid) {
@@ -114,8 +128,10 @@ std::uint64_t PvmMemoryEngine::translate_or_allocate_gpa(std::uint64_t gpa_frame
 
 Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
                                      Pte gpt_leaf, bool is_prefault) {
+  MutationScope mutation(this);
   PageTable& table = spt(pid, kernel_ring);
   const std::uint64_t gfn = gpt_leaf.frame_number();
+  const LeafKey key{pid, kernel_ring, gva};
 
   // Phase 1 (lock-free, one of PVM's optimizations): walk the shadow table
   // to find out whether this fill is structural (needs new shadow pages) or
@@ -124,17 +140,47 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   const bool structural = probe.missing_level > 1;
   co_await sim_->delay(static_cast<std::uint64_t>(probe.levels_walked) * costs_->walk_load);
 
-  // Phase 2: translate GPA_L2 -> GPA_L1 under the gfn's rmap lock.
-  std::uint64_t l1_frame = 0;
+  // Phase 2: translate GPA_L2 -> GPA_L1 and record the reverse mapping under
+  // the gfn's rmap lock. The lock stays held through the install (lock order
+  // rmap -> meta/pt), so a zap of the same gfn cannot interleave between the
+  // rmap update and the leaf store.
+  Resource& rmap_lock = locks_.rmap_lock(gfn);
+  ScopedResource rmap_guard = co_await rmap_lock.scoped();
+  bool allocated = false;
+  const std::uint64_t l1_frame = translate_or_allocate_gpa(gfn, &allocated);
+  if (allocated) {
+    co_await sim_->delay(costs_->gpa_map_fill);
+  }
+  co_await sim_->delay(costs_->spt_sync_check);
+  bool fresh = false;
   {
-    ScopedResource rmap_guard = co_await locks_.rmap_lock(gfn).scoped();
-    bool allocated = false;
-    l1_frame = translate_or_allocate_gpa(gfn, &allocated);
-    if (allocated) {
-      co_await sim_->delay(costs_->gpa_map_fill);
+    // Revalidate against the live guest PT (the mmu_notifier-sequence
+    // analogue): the caller's GPT read may predate a protect/clear whose zap
+    // has already completed, and installing from it would resurrect a dead
+    // or widened-away translation. Any zap ordered *after* this point is
+    // either serialized behind our rmap lock or caught by the backpointer
+    // recheck below, so the window is closed.
+    if (const PageTable* guest_pt = shadow_for(pid).guest_pt; guest_pt != nullptr) {
+      const Pte* current = guest_pt->find_pte(gva);
+      if (current == nullptr || !current->present() || current->frame_number() != gfn ||
+          (gpt_leaf.writable() && !current->writable())) {
+        counters_->add(Counter::kSptFillRaced);
+        co_return;
+      }
     }
-    rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva});
-    co_await sim_->delay(costs_->spt_sync_check);
+    auto bp = leaf_gfn_.find(key);
+    if (bp != leaf_gfn_.end() && bp->second != gfn) {
+      // The leaf already translates a different gfn; this fill read a guest
+      // PTE that has since been overwritten. Abort — the refault retries
+      // against the current guest state.
+      counters_->add(Counter::kSptFillRaced);
+      co_return;
+    }
+    if (bp == leaf_gfn_.end()) {
+      fresh = true;
+      leaf_gfn_.emplace(key, gfn);
+      rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva});
+    }
   }
 
   // Phase 3: install the SPT leaf. Structural changes take the meta lock;
@@ -142,11 +188,27 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   // (Deliberately an if/else, not a conditional expression: GCC 12
   // miscompiles `cond ? co_await a : co_await b` into an extra release.)
   {
+    // In coarse mode every accessor is the one mmu_lock, which phase 2
+    // already holds — the whole fault then runs under it, as in KVM.
+    Resource& install_lock =
+        structural ? locks_.meta_lock() : locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]);
     ScopedResource guard;
-    if (structural) {
-      guard = co_await locks_.meta_lock().scoped();
-    } else {
-      guard = co_await locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]).scoped();
+    if (&install_lock != &rmap_lock) {
+      guard = co_await install_lock.scoped();
+    }
+    // Revalidate: a bulk zap or teardown (which takes only the meta lock)
+    // may have swept this translation away while we slept on the lock above
+    // — the analogue of KVM's mmu_notifier sequence retry. Installing now
+    // would resurrect a dead leaf, so abort and let the refault retry.
+    auto recheck = leaf_gfn_.find(key);
+    if (recheck == leaf_gfn_.end() || recheck->second != gfn) {
+      if (fresh) {
+        if (auto rit = rmap_.find(gfn); rit != rmap_.end()) {
+          std::erase(rit->second, RmapEntry{pid, kernel_ring, gva});
+        }
+      }
+      counters_->add(Counter::kSptFillRaced);
+      co_return;
     }
     PteFlags flags = gpt_leaf.flags();
     flags.present = true;
@@ -162,11 +224,13 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   trace_->emit(sim_->now(), TraceActor::kL1Hypervisor,
                std::string(is_prefault ? "prefault" : "fill") + " SPT12 gva=" +
                    std::to_string(gva));
+  maybe_check_after_mutation();
 }
 
 Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t gva,
                                               GptStoreKind kind, Tlb& tlb, std::uint16_t vpid,
                                               std::uint64_t emulation_work_ns) {
+  MutationScope mutation(this);
   counters_->add(Counter::kGptWriteProtectTrap);
   // Decode + emulate the store under the structural lock, as KVM's
   // kvm_mmu_pte_write does under mmu_lock.
@@ -175,12 +239,17 @@ Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t g
     co_await sim_->delay(emulation_work_ns + costs_->spt_sync_check);
   }
   switch (kind) {
-    case GptStoreKind::kInstall:
     case GptStoreKind::kTableAlloc:
     case GptStoreKind::kMakeWritable:
-      // New or widened guest mapping: nothing to synchronize yet — the SPT
-      // fills lazily (or via prefault).
+      // Widened guest mapping: any existing shadow leaf is merely stricter
+      // than the guest's, which is safe; the SPT widens lazily on the next
+      // write fault (or via prefault).
       break;
+    case GptStoreKind::kInstall:
+      // A store over an already-shadowed slot (COW break installing a new
+      // frame) must drop the stale leaf, as kvm_mmu_pte_write does. For the
+      // common demand-paging case nothing is shadowed yet and the zap falls
+      // through at zero cost.
     case GptStoreKind::kClear:
     case GptStoreKind::kWriteProtect:
       // Narrowing change: the shadow tables must not outlive the guest
@@ -188,19 +257,46 @@ Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t g
       co_await zap_gva(pid, gva, tlb, vpid);
       break;
   }
+  maybe_check_after_mutation();
 }
 
-Task<void> PvmMemoryEngine::zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& tlb,
-                                    std::uint16_t vpid) {
-  ProcessShadow& shadow = shadow_for(pid);
-  auto zap_one = [&](PageTable& table, bool kernel_ring) -> Task<void> {
-    const WalkResult probe = table.walk(gva, AccessType::kRead, false);
-    if (!probe.present) {
+Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
+                                         Tlb& tlb, std::uint16_t vpid) {
+  PageTable& table = spt(pid, kernel_ring);
+  const LeafKey key{pid, kernel_ring, gva};
+  for (;;) {
+    auto bp = leaf_gfn_.find(key);
+    if (bp == leaf_gfn_.end()) {
+      // Nothing shadowed (backpointer and leaf are created/destroyed
+      // together under the rmap lock), so the zap is free.
       co_return;
     }
-    ScopedResource guard =
-        co_await locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]).scoped();
+    const std::uint64_t gfn = bp->second;
+    Resource& rmap_lock = locks_.rmap_lock(gfn);
+    ScopedResource rmap_guard = co_await rmap_lock.scoped();
+    // Revalidate after the wait: another zap (or a bulk teardown) may have
+    // removed or replaced the translation while we slept.
+    auto recheck = leaf_gfn_.find(key);
+    if (recheck == leaf_gfn_.end() || recheck->second != gfn) {
+      continue;  // re-read the backpointer under current state
+    }
+    const WalkResult probe = table.walk(gva, AccessType::kRead, false);
+    Resource& pt_lock = locks_.pt_lock(probe.node_frames[kPageTableLevels - 1]);
+    ScopedResource pt_guard;
+    if (&pt_lock != &rmap_lock) {  // coarse mode: one mmu_lock, already held
+      pt_guard = co_await pt_lock.scoped();
+    }
+    // A bulk zap takes only the meta lock, so it can still sweep past while
+    // we wait for the pt lock — check once more before mutating.
+    auto post = leaf_gfn_.find(key);
+    if (post == leaf_gfn_.end() || post->second != gfn) {
+      co_return;
+    }
     table.unmap(gva);
+    if (auto rit = rmap_.find(gfn); rit != rmap_.end()) {
+      std::erase(rit->second, RmapEntry{pid, kernel_ring, gva});
+    }
+    leaf_gfn_.erase(post);
     co_await sim_->delay(costs_->spt_fill);
     const std::size_t vcpus = vcpu_count_ ? vcpu_count_() : 1;
     if (options_.pcid_mapping) {
@@ -215,14 +311,22 @@ Task<void> PvmMemoryEngine::zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& t
       co_await sim_->delay(costs_->tlb_shootdown +
                            (vcpus > 1 ? (vcpus - 1) * (costs_->tlb_shootdown / 2) : 0));
     }
-  };
-  co_await zap_one(*shadow.kernel_spt, true);
-  if (options_.dual_spt) {
-    co_await zap_one(*shadow.user_spt, false);
+    co_return;
   }
 }
 
+Task<void> PvmMemoryEngine::zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& tlb,
+                                    std::uint16_t vpid) {
+  MutationScope mutation(this);
+  co_await zap_one_ring(pid, gva, true, tlb, vpid);
+  if (options_.dual_spt) {
+    co_await zap_one_ring(pid, gva, false, tlb, vpid);
+  }
+  maybe_check_after_mutation();
+}
+
 Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid) {
+  MutationScope mutation(this);
   ProcessShadow& shadow = shadow_for(pid);
   ScopedResource guard = co_await locks_.meta_lock().scoped();
   std::uint64_t leaves = shadow.kernel_spt->present_leaf_count();
@@ -231,9 +335,7 @@ Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t 
     leaves += shadow.user_spt->present_leaf_count();
     shadow.user_spt->clear();
   }
-  for (auto& [gfn, entries] : rmap_) {
-    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
-  }
+  erase_process_rmap_state(pid);
   co_await sim_->delay(costs_->spt_fill + leaves * costs_->spt_bulk_zap_per_page);
   if (options_.pcid_mapping) {
     tlb.flush_pcid(vpid, pcid_mapper_.map(pid, true).hw_pcid);
@@ -243,6 +345,7 @@ Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t 
   } else {
     tlb.flush_vpid(vpid);
   }
+  maybe_check_after_mutation();
 }
 
 Task<std::uint16_t> PvmMemoryEngine::activate(std::uint64_t pid, bool kernel_ring, Tlb& tlb,
@@ -264,6 +367,212 @@ Task<std::uint16_t> PvmMemoryEngine::activate(std::uint64_t pid, bool kernel_rin
   tlb.flush_vpid(vpid);
   counters_->add(Counter::kTlbFlushAll);
   co_return 0;
+}
+
+// ---- Coherence oracle ----
+
+void PvmMemoryEngine::maybe_check_after_mutation() const {
+  // Only fire when the completing mutator is the sole one in flight: a
+  // half-applied concurrent mutation is pending work, not a violation.
+  if (!oracle_enabled_ || inflight_mutations_ > 1) {
+    return;
+  }
+  verify_coherence(false);
+}
+
+void PvmMemoryEngine::verify_coherence(bool strict) const {
+  const std::vector<std::string> violations = check_coherence(strict);
+  if (violations.empty()) {
+    return;
+  }
+  std::string what = name_ + ": SPT coherence violated (" +
+                     std::to_string(violations.size()) + " finding(s)):";
+  for (const std::string& v : violations) {
+    what += "\n  - " + v;
+  }
+  throw SptCoherenceError(what);
+}
+
+std::vector<std::string> PvmMemoryEngine::check_coherence(bool strict) const {
+  std::vector<std::string> violations;
+  auto describe = [](std::uint64_t pid, bool kernel_ring, std::uint64_t gva) {
+    return "pid=" + std::to_string(pid) + (kernel_ring ? " ring0" : " ring3") +
+           " gva=0x" + std::to_string(gva);
+  };
+
+  std::vector<std::uint64_t> pids;
+  pids.reserve(shadows_.size());
+  for (const auto& [pid, shadow] : shadows_) {
+    pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+
+  // 1. Every installed shadow leaf has a backpointer, agrees with
+  //    gpa_map(gfn), and (dual-SPT) the user table holds no kernel-half gva.
+  for (const std::uint64_t pid : pids) {
+    const auto& shadow = shadows_.at(pid);
+    const PageTable* tables[2] = {shadow.kernel_spt.get(), shadow.user_spt.get()};
+    const bool rings[2] = {true, false};
+    for (int i = 0; i < 2; ++i) {
+      if (tables[i] == nullptr) {
+        continue;
+      }
+      const bool kernel_ring = rings[i];
+      tables[i]->for_each_leaf([&](std::uint64_t gva, const Pte& pte) {
+        const auto bp = leaf_gfn_.find(LeafKey{pid, kernel_ring, gva});
+        if (bp == leaf_gfn_.end()) {
+          violations.push_back("shadow leaf without gfn backpointer: " +
+                               describe(pid, kernel_ring, gva));
+        } else {
+          const Pte* mapping = gpa_map_.find_pte(bp->second << kPageShift);
+          if (mapping == nullptr || !mapping->present()) {
+            violations.push_back("shadow leaf gfn missing from gpa_map: " +
+                                 describe(pid, kernel_ring, gva) + " gfn=" +
+                                 std::to_string(bp->second));
+          } else if (mapping->frame_number() != pte.frame_number()) {
+            violations.push_back("shadow leaf frame disagrees with gpa_map∘gfn: " +
+                                 describe(pid, kernel_ring, gva) + " leaf->" +
+                                 std::to_string(pte.frame_number()) + " gpa_map->" +
+                                 std::to_string(mapping->frame_number()));
+          }
+        }
+        if (!kernel_ring && gva >= kGuestKernelHalfBase) {
+          violations.push_back("KPTI violated: kernel-half translation in user SPT: " +
+                               describe(pid, kernel_ring, gva));
+        }
+      });
+    }
+  }
+
+  // 2. Every backpointer has a present leaf and exactly one rmap entry.
+  for (const auto& [key, gfn] : leaf_gfn_) {
+    const auto [pid, kernel_ring, gva] = key;
+    const auto shadow_it = shadows_.find(pid);
+    if (shadow_it == shadows_.end()) {
+      violations.push_back("backpointer for destroyed process: " +
+                           describe(pid, kernel_ring, gva));
+      continue;
+    }
+    const Pte* leaf = spt(pid, kernel_ring).find_pte(gva);
+    if (leaf == nullptr || !leaf->present()) {
+      violations.push_back("backpointer without shadow leaf: " +
+                           describe(pid, kernel_ring, gva));
+    }
+    std::size_t matches = 0;
+    if (const auto rit = rmap_.find(gfn); rit != rmap_.end()) {
+      matches = static_cast<std::size_t>(
+          std::count(rit->second.begin(), rit->second.end(),
+                     RmapEntry{pid, kernel_ring, gva}));
+    }
+    if (matches != 1) {
+      violations.push_back("rmap entry count for leaf is " + std::to_string(matches) +
+                           " (want 1): " + describe(pid, kernel_ring, gva) + " gfn=" +
+                           std::to_string(gfn));
+    }
+  }
+
+  // 3. Every rmap entry corresponds to a live backpointer for the same gfn
+  //    (no stale entries left behind by zaps or teardowns).
+  std::vector<std::uint64_t> gfns;
+  gfns.reserve(rmap_.size());
+  for (const auto& [gfn, entries] : rmap_) {
+    gfns.push_back(gfn);
+  }
+  std::sort(gfns.begin(), gfns.end());
+  for (const std::uint64_t gfn : gfns) {
+    for (const RmapEntry& entry : rmap_.at(gfn)) {
+      const auto bp = leaf_gfn_.find(LeafKey{entry.pid, entry.kernel_ring, entry.gva});
+      if (bp == leaf_gfn_.end() || bp->second != gfn) {
+        violations.push_back("stale rmap entry: " +
+                             describe(entry.pid, entry.kernel_ring, entry.gva) + " gfn=" +
+                             std::to_string(gfn));
+      }
+    }
+  }
+
+  // 4. Strict (quiescent points only): every shadow leaf agrees with
+  //    guest-PT ∘ gpa_map — the gfn it caches is what the guest currently
+  //    maps, and it is never more permissive than the guest.
+  if (strict) {
+    for (const std::uint64_t pid : pids) {
+      const auto& shadow = shadows_.at(pid);
+      if (shadow.guest_pt == nullptr) {
+        continue;  // no reference table registered; structural checks only
+      }
+      const PageTable* tables[2] = {shadow.kernel_spt.get(), shadow.user_spt.get()};
+      const bool rings[2] = {true, false};
+      for (int i = 0; i < 2; ++i) {
+        if (tables[i] == nullptr) {
+          continue;
+        }
+        const bool kernel_ring = rings[i];
+        tables[i]->for_each_leaf([&](std::uint64_t gva, const Pte& pte) {
+          const Pte* guest = shadow.guest_pt->find_pte(gva);
+          if (guest == nullptr || !guest->present()) {
+            violations.push_back("shadow leaf outlives guest mapping: " +
+                                 describe(pid, kernel_ring, gva));
+            return;
+          }
+          const auto bp = leaf_gfn_.find(LeafKey{pid, kernel_ring, gva});
+          if (bp != leaf_gfn_.end() && bp->second != guest->frame_number()) {
+            violations.push_back("shadow leaf caches gfn " + std::to_string(bp->second) +
+                                 " but guest maps gfn " +
+                                 std::to_string(guest->frame_number()) + ": " +
+                                 describe(pid, kernel_ring, gva));
+          }
+          if (pte.writable() && !guest->writable()) {
+            violations.push_back("shadow leaf writable but guest mapping read-only: " +
+                                 describe(pid, kernel_ring, gva));
+          }
+        });
+      }
+    }
+  }
+  return violations;
+}
+
+// ---- Test hooks ----
+
+bool PvmMemoryEngine::debug_corrupt_spt_leaf(std::uint64_t pid, bool kernel_ring,
+                                             std::uint64_t gva) {
+  PageTable& table = spt(pid, kernel_ring);
+  return table.update_pte(gva, [](Pte& pte) {
+    pte = Pte::make(pte.frame_number() + 1, pte.flags());
+  });
+}
+
+bool PvmMemoryEngine::debug_drop_rmap_entry(std::uint64_t pid, bool kernel_ring,
+                                            std::uint64_t gva) {
+  const auto bp = leaf_gfn_.find(LeafKey{pid, kernel_ring, gva});
+  if (bp == leaf_gfn_.end()) {
+    return false;
+  }
+  const auto rit = rmap_.find(bp->second);
+  if (rit == rmap_.end()) {
+    return false;
+  }
+  return std::erase(rit->second, RmapEntry{pid, kernel_ring, gva}) > 0;
+}
+
+bool PvmMemoryEngine::debug_duplicate_rmap_entry(std::uint64_t pid, bool kernel_ring,
+                                                 std::uint64_t gva) {
+  const auto bp = leaf_gfn_.find(LeafKey{pid, kernel_ring, gva});
+  if (bp == leaf_gfn_.end()) {
+    return false;
+  }
+  rmap_.try_emplace(bp->second)
+      .first->second.push_back(RmapEntry{pid, kernel_ring, gva});
+  return true;
+}
+
+bool PvmMemoryEngine::debug_install_kernel_leaf_in_user_spt(std::uint64_t pid,
+                                                            std::uint64_t gva) {
+  if (!options_.dual_spt || gva < kGuestKernelHalfBase) {
+    return false;
+  }
+  ProcessShadow& shadow = shadow_for(pid);
+  shadow.user_spt->map(gva, /*frame_number=*/1, PteFlags::rw_user());
+  return true;
 }
 
 }  // namespace pvm

@@ -13,14 +13,32 @@
 //   - PCID mapping: give each (process, ring) shadow space its own hardware
 //     PCID so world switches flush nothing,
 //   - fine-grained locks: meta/pt/rmap locks instead of one mmu_lock.
+//
+// Lock order (fine-grained mode): rmap_lock(gfn) may be held while acquiring
+// meta_lock or a pt_lock; never the reverse. bulk_zap takes meta_lock alone,
+// so a fill that slept on meta_lock revalidates its leaf backpointer before
+// installing (the analogue of KVM's mmu_notifier sequence retry) and aborts
+// if a bulk zap raced past it.
+//
+// Coherence oracle: when enabled, after every mutation that completes while
+// no other mutation is in flight, the engine re-verifies its structural
+// invariants — SPT leaves, the gfn backpointer map, and the rmap form exact
+// bijections, leaves agree with gpa_map, and the dual-SPT (KPTI) user table
+// holds no guest-kernel-half translations. A *strict* check additionally
+// verifies every shadow leaf agrees with guest-PT∘gpa_map; it is only sound
+// at quiescent points (simcheck runs it between workload phases) and is
+// skipped for backends with deferred PT-sync rings.
 
 #ifndef PVM_SRC_CORE_MEMORY_ENGINE_H_
 #define PVM_SRC_CORE_MEMORY_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -37,13 +55,24 @@
 
 namespace pvm {
 
+// Start of the guest-kernel half of the address space (mirrors
+// GuestProcess::kKernelBase; duplicated so core/ does not depend on guest/).
+inline constexpr std::uint64_t kGuestKernelHalfBase = 0xffff800000000000ull;
+
 // The semantic effect of a trapped guest page-table store.
 enum class GptStoreKind {
-  kInstall,       // new leaf installed (demand paging)
+  kInstall,       // new leaf installed (demand paging, COW break)
   kClear,         // leaf cleared (munmap)
   kWriteProtect,  // leaf write bit dropped (COW arm)
-  kMakeWritable,  // leaf write bit raised (COW break)
+  kMakeWritable,  // leaf write bit raised (COW break, sole owner)
   kTableAlloc,    // intermediate table page installed
+};
+
+// Thrown by the coherence oracle when an SPT invariant is violated. The
+// message carries the full list of violations.
+class SptCoherenceError : public std::runtime_error {
+ public:
+  explicit SptCoherenceError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class PvmMemoryEngine {
@@ -64,8 +93,16 @@ class PvmMemoryEngine {
   PageTable& gpa_map() { return gpa_map_; }
 
   // ---- Process lifecycle ----
-  void create_process(std::uint64_t pid);
+
+  // `guest_pt` (optional) is the process's guest page table; the strict
+  // oracle checks shadow leaves against it. The engine never mutates it.
+  void create_process(std::uint64_t pid, const PageTable* guest_pt = nullptr);
   void destroy_process(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid);
+
+  // Whether the engine tracks shadow tables for `pid`. False both before
+  // create_process and in configurations that use the engine only for PCID
+  // bookkeeping (direct paging has no shadow dimension).
+  bool has_process(std::uint64_t pid) const { return shadows_.contains(pid); }
 
   // The active shadow table for (process, ring). With dual_spt disabled the
   // kernel table serves both rings.
@@ -78,13 +115,17 @@ class PvmMemoryEngine {
   // `gpt_leaf`: translates GPA_L2 -> GPA_L1 through gpa_map (allocating
   // backing on demand), installs the SPT entry under the configured locks,
   // and records the reverse mapping. `is_prefault` only affects accounting.
+  // Aborts without installing (Counter::kSptFillRaced) if a concurrent zap
+  // invalidated the translation while this fill slept on a lock; the next
+  // access refaults and retries.
   Task<void> fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring, Pte gpt_leaf,
                       bool is_prefault);
 
   // Emulates a trapped write to the guest page table and keeps the shadow
-  // tables coherent (zap on clear/write-protect). `emulation_work_ns` is the
-  // scheme's instruction-emulation cost, charged under the meta/mmu lock as
-  // in KVM's kvm_mmu_pte_write. Does not include the world switches — the
+  // tables coherent (zap on clear/write-protect, and on install over an
+  // existing shadow leaf — the COW-break case, as in kvm_mmu_pte_write).
+  // `emulation_work_ns` is the scheme's instruction-emulation cost, charged
+  // under the meta/mmu lock. Does not include the world switches — the
   // backend wraps this in the trap protocol.
   Task<void> emulate_gpt_store(std::uint64_t pid, std::uint64_t gva, GptStoreKind kind,
                                Tlb& tlb, std::uint16_t vpid,
@@ -98,7 +139,7 @@ class PvmMemoryEngine {
   }
 
   // Drops any shadow translations for (pid, gva) in both rings and flushes
-  // matching TLB entries.
+  // matching TLB entries. Free when nothing is mapped.
   Task<void> zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& tlb, std::uint16_t vpid);
 
   // Bulk teardown: drops both of a process's shadow tables wholesale and
@@ -121,19 +162,90 @@ class PvmMemoryEngine {
   // the memory cost of the dual-SPT design the paper's §5 discusses.
   std::uint64_t shadow_table_frames() const;
 
+  // ---- Coherence oracle ----
+
+  // Turns on post-mutation structural checking. `strict_gpt` additionally
+  // arms the guest-PT agreement check for explicit quiescent-point calls
+  // (disable for backends whose PT sync is legitimately deferred).
+  void enable_coherence_oracle(bool strict_gpt = true) {
+    oracle_enabled_ = true;
+    oracle_strict_ = strict_gpt;
+  }
+  bool coherence_oracle_enabled() const { return oracle_enabled_; }
+  bool coherence_oracle_strict() const { return oracle_strict_; }
+
+  // Verifies the invariants; returns a (possibly empty) list of violations.
+  // `strict` adds the guest-PT agreement check — only meaningful when no
+  // mutation is in flight and the backend has no deferred sync pending.
+  std::vector<std::string> check_coherence(bool strict) const;
+
+  // check_coherence + throw SptCoherenceError if anything is wrong.
+  void verify_coherence(bool strict) const;
+
+  // ---- Test hooks (mutation testing of the oracle; never used by the
+  // protocol paths) ----
+
+  // Redirects an existing shadow leaf to a bogus frame (breaks the
+  // leaf-vs-gpa_map agreement). Returns false if no leaf exists.
+  bool debug_corrupt_spt_leaf(std::uint64_t pid, bool kernel_ring, std::uint64_t gva);
+
+  // Erases the rmap entry for an existing leaf but keeps the leaf (creates a
+  // missing-rmap-entry violation). Returns false if no entry exists.
+  bool debug_drop_rmap_entry(std::uint64_t pid, bool kernel_ring, std::uint64_t gva);
+
+  // Duplicates the rmap entry for an existing leaf (creates a stale/dup
+  // violation). Returns false if no entry exists.
+  bool debug_duplicate_rmap_entry(std::uint64_t pid, bool kernel_ring, std::uint64_t gva);
+
+  // Installs a guest-kernel-half translation into the *user* shadow table
+  // (violates the dual-SPT KPTI invariant). No-op unless dual_spt.
+  bool debug_install_kernel_leaf_in_user_spt(std::uint64_t pid, std::uint64_t gva);
+
  private:
   struct ProcessShadow {
     std::unique_ptr<PageTable> user_spt;
     std::unique_ptr<PageTable> kernel_spt;
+    const PageTable* guest_pt = nullptr;  // strict-oracle reference, not owned
   };
 
   struct RmapEntry {
     std::uint64_t pid;
     bool kernel_ring;
     std::uint64_t gva;
+
+    bool operator==(const RmapEntry&) const = default;
+  };
+
+  // (pid, kernel_ring, gva) — one shadow leaf. std::map for deterministic
+  // iteration order in the oracle and in bulk erases.
+  using LeafKey = std::tuple<std::uint64_t, bool, std::uint64_t>;
+
+  // RAII marker for a mutation in flight; the oracle only auto-fires when
+  // the completing mutator is the sole one (a half-applied concurrent
+  // mutation is not a violation).
+  struct MutationScope {
+    PvmMemoryEngine* engine;
+    explicit MutationScope(PvmMemoryEngine* e) : engine(e) { ++engine->inflight_mutations_; }
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+    ~MutationScope() { --engine->inflight_mutations_; }
   };
 
   ProcessShadow& shadow_for(std::uint64_t pid);
+
+  // Runs the structural check if the oracle is on and the caller is the only
+  // mutation in flight. Called at the end of every mutator (throws through
+  // the coroutine promise on violation).
+  void maybe_check_after_mutation() const;
+
+  // Zaps one (pid, gva) in one ring: unmaps the leaf and erases its rmap
+  // entry and backpointer, revalidating after each lock wait.
+  Task<void> zap_one_ring(std::uint64_t pid, std::uint64_t gva, bool kernel_ring, Tlb& tlb,
+                          std::uint16_t vpid);
+
+  // Erases all backpointers and rmap entries belonging to `pid` (bulk
+  // teardown / process destruction; caller holds the structural lock).
+  void erase_process_rmap_state(std::uint64_t pid);
 
   Simulation* sim_;
   const CostModel* costs_;
@@ -149,6 +261,14 @@ class PvmMemoryEngine {
   PageTable gpa_map_;  // GPA_L2 page -> GPA_L1 frame (memslots)
   std::unordered_map<std::uint64_t, ProcessShadow> shadows_;
   std::unordered_map<std::uint64_t, std::vector<RmapEntry>> rmap_;
+  // Backpointers: which gfn each installed shadow leaf translates. Keeps the
+  // rmap exact (zaps erase precisely their own entry) and lets fills detect
+  // that a concurrent zap invalidated them.
+  std::map<LeafKey, std::uint64_t> leaf_gfn_;
+
+  bool oracle_enabled_ = false;
+  bool oracle_strict_ = true;
+  int inflight_mutations_ = 0;
 };
 
 }  // namespace pvm

@@ -40,6 +40,8 @@ std::string_view counter_name(Counter counter) {
       return "gpt_write_protect_trap";
     case Counter::kSptEntryFilled:
       return "spt_entry_filled";
+    case Counter::kSptFillRaced:
+      return "spt_fill_raced";
     case Counter::kPrefaultFill:
       return "prefault_fill";
     case Counter::kPrefaultSavedFault:

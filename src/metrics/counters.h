@@ -37,6 +37,7 @@ enum class Counter : std::size_t {
   kEptViolation,         // faults against an EPT
   kGptWriteProtectTrap,  // L2 writes to its write-protected GPT
   kSptEntryFilled,
+  kSptFillRaced,         // fills aborted because a concurrent zap won the race
   kPrefaultFill,         // SPT entries filled proactively on the iret path
   kPrefaultSavedFault,   // faults avoided because prefault already filled
   kVmcsSync,             // VMCS01/12 -> VMCS02 merge operations

@@ -22,10 +22,11 @@ void ScopedResource::release() {
 void Resource::release() {
   if (!waiters_.empty()) {
     // Hand the unit to the oldest waiter; it resumes at the current virtual
-    // time. available_ stays unchanged: ownership moves directly.
-    std::coroutine_handle<> next = waiters_.front();
+    // time, attributed to *its* root task (not the releaser's). available_
+    // stays unchanged: ownership moves directly.
+    Waiter next = waiters_.front();
     waiters_.pop_front();
-    sim_->schedule(next, sim_->now());
+    sim_->schedule(next.handle, sim_->now(), next.root);
     return;
   }
   ++available_;

@@ -4,7 +4,9 @@
 // hypervisor's serialization point, a per-shadow-page `pt_lock`, ...); larger
 // capacities model pools. Acquisition order is strictly FIFO so results are
 // deterministic. Contention statistics (total wait, acquisitions, peak queue
-// depth) are recorded for reporting.
+// depth) are recorded for reporting. Each waiter remembers the root task it
+// belongs to, so `Simulation::blocked_report()` can name who is parked where
+// when a run deadlocks.
 //
 // Usage inside a Task:
 //   ScopedResource guard = co_await lock.scoped();   // released at scope exit
@@ -48,10 +50,18 @@ class ScopedResource {
 
 class Resource {
  public:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::int64_t root;  // owning root task at enqueue time (-1 if unknown)
+  };
+
   Resource(Simulation& sim, std::string name, std::uint32_t capacity = 1)
-      : sim_(&sim), name_(std::move(name)), capacity_(capacity), available_(capacity) {}
+      : sim_(&sim), name_(std::move(name)), capacity_(capacity), available_(capacity) {
+    sim_->register_resource(this);
+  }
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
+  ~Resource() { sim_->unregister_resource(this); }
 
   struct AcquireAwaiter {
     Resource* resource;
@@ -70,7 +80,7 @@ class Resource {
     void await_suspend(std::coroutine_handle<Promise> h) noexcept {
       waited = true;
       enqueue_time = resource->sim_->now();
-      resource->waiters_.push_back(h);
+      resource->waiters_.push_back(Waiter{h, resource->sim_->active_root()});
       if (resource->waiters_.size() > resource->peak_queue_depth_) {
         resource->peak_queue_depth_ = resource->waiters_.size();
       }
@@ -117,6 +127,7 @@ class Resource {
   SimTime total_wait_ns() const { return total_wait_ns_; }
   std::size_t peak_queue_depth() const { return peak_queue_depth_; }
   std::size_t queue_depth() const { return waiters_.size(); }
+  const std::deque<Waiter>& waiters() const { return waiters_; }
 
  private:
   friend struct AcquireAwaiter;
@@ -125,7 +136,7 @@ class Resource {
   std::string name_;
   std::uint32_t capacity_;
   std::uint32_t available_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<Waiter> waiters_;
 
   std::uint64_t acquisitions_ = 0;
   SimTime total_wait_ns_ = 0;

@@ -1,37 +1,85 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/sim/resource.h"
 
 namespace pvm {
 
-Simulation::~Simulation() {
-  // Drop any queued resumptions first, then reclaim root frames. Destroying a
+namespace {
+
+// splitmix64 finalizer: decorrelates the (seed, seq) pair into a uniform tie
+// key so kRandom explores a fresh interleaving per schedule seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Simulation::~Simulation() { abandon_pending(); }
+
+void Simulation::abandon_pending() {
+  // Drop queued resumptions first, then reclaim root frames. Destroying a
   // suspended coroutine frame is safe; destroying a completed one is too.
   while (!queue_.empty()) {
     queue_.pop();
   }
-  for (auto handle : roots_) {
+  for (auto& handle : roots_) {
     if (handle) {
       handle.destroy();
+      handle = nullptr;
     }
+  }
+  // Frame destructors may have released Resources, which re-schedules their
+  // (now destroyed) waiters; purge those dangling handles without resuming.
+  while (!queue_.empty()) {
+    queue_.pop();
   }
 }
 
-void Simulation::spawn(Task<void> task) {
+void Simulation::set_schedule_policy(SchedulePolicy policy, std::uint64_t seed) {
+  policy_ = policy;
+  schedule_seed_ = seed;
+}
+
+std::uint64_t Simulation::tie_key(std::uint64_t seq) const {
+  switch (policy_) {
+    case SchedulePolicy::kFifo:
+      return seq;
+    case SchedulePolicy::kLifo:
+      return ~seq;
+    case SchedulePolicy::kRandom:
+      return mix64(schedule_seed_ ^ (seq * 0xd1342543de82ef95ull));
+  }
+  return seq;
+}
+
+void Simulation::spawn(Task<void> task, std::string name) {
   auto handle = task.release();
   if (!handle) {
     throw std::invalid_argument("Simulation::spawn: empty task");
   }
   handle.promise().sim = this;
+  const std::int64_t root = static_cast<std::int64_t>(roots_.size());
   roots_.push_back(handle);
-  schedule(handle, now_);
+  root_names_.push_back(name.empty() ? "task#" + std::to_string(root) : std::move(name));
+  schedule(handle, now_, root);
 }
 
 void Simulation::schedule(std::coroutine_handle<> handle, SimTime when) {
+  schedule(handle, when, active_root_);
+}
+
+void Simulation::schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root) {
   if (when < now_) {
     throw std::logic_error("Simulation::schedule: time went backwards");
   }
-  queue_.push(Event{when, next_seq_++, handle});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, tie_key(seq), seq, root, handle});
 }
 
 std::uint64_t Simulation::run() {
@@ -40,7 +88,9 @@ std::uint64_t Simulation::run() {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.when;
+    active_root_ = event.root;
     event.handle.resume();
+    active_root_ = -1;
     ++processed;
     ++events_processed_;
   }
@@ -54,7 +104,9 @@ std::uint64_t Simulation::run_until(SimTime deadline) {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.when;
+    active_root_ = event.root;
     event.handle.resume();
+    active_root_ = -1;
     ++processed;
     ++events_processed_;
   }
@@ -82,6 +134,55 @@ std::size_t Simulation::pending_task_count() const {
     }
   }
   return pending;
+}
+
+void Simulation::register_resource(Resource* resource) { resources_.push_back(resource); }
+
+void Simulation::unregister_resource(Resource* resource) {
+  resources_.erase(std::remove(resources_.begin(), resources_.end(), resource),
+                   resources_.end());
+}
+
+std::string Simulation::blocked_report() const {
+  std::string report;
+  std::vector<std::int64_t> pending;
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    if (roots_[i] && !roots_[i].done()) {
+      pending.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  if (pending.empty()) {
+    return report;
+  }
+  report += std::to_string(pending.size()) + "/" + std::to_string(roots_.size()) +
+            " root tasks pending:\n";
+  for (const std::int64_t root : pending) {
+    report += "  - \"" + root_names_[static_cast<std::size_t>(root)] + "\"";
+    // Name every resource FIFO queue this root task is parked in.
+    bool parked = false;
+    for (const Resource* resource : resources_) {
+      for (const auto& waiter : resource->waiters()) {
+        if (waiter.root == root) {
+          report += parked ? ", " : " waiting on ";
+          report += "\"" + resource->name() + "\"";
+          parked = true;
+        }
+      }
+    }
+    if (!parked) {
+      report += " (not in any resource queue: lost wakeup or un-fired await)";
+    }
+    report += "\n";
+  }
+  for (const Resource* resource : resources_) {
+    if (resource->queue_depth() == 0) {
+      continue;
+    }
+    report += "  resource \"" + resource->name() + "\": capacity " +
+              std::to_string(resource->capacity()) + ", " +
+              std::to_string(resource->queue_depth()) + " queued\n";
+  }
+  return report;
 }
 
 void Simulation::rethrow_failed_roots() {

@@ -5,7 +5,9 @@
 // time: protocol code charges virtual time with `co_await sim.delay(ns)` and
 // models contended structures (mmu_lock, the L0 hypervisor, ...) with
 // `Resource` (resource.h). All scheduling is deterministic: ties in time are
-// broken by insertion order.
+// broken by the configured SchedulePolicy (FIFO insertion order by default),
+// so each (policy, seed) pair explores one reproducible interleaving of
+// same-timestamp events — the schedule-exploration surface simcheck sweeps.
 
 #ifndef PVM_SRC_SIM_SIMULATION_H_
 #define PVM_SRC_SIM_SIMULATION_H_
@@ -14,11 +16,14 @@
 #include <cstdint>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/task.h"
 
 namespace pvm {
+
+class Resource;
 
 // Virtual time in nanoseconds since simulation start.
 using SimTime = std::uint64_t;
@@ -26,6 +31,25 @@ using SimTime = std::uint64_t;
 inline constexpr SimTime kNsPerUs = 1000;
 inline constexpr SimTime kNsPerMs = 1000 * 1000;
 inline constexpr SimTime kNsPerSec = 1000ull * 1000 * 1000;
+
+// Tie-breaking rule among events scheduled for the same virtual time. Every
+// policy is a *legal* serialization of the simulated concurrency (time order
+// is always respected); FIFO is the historical default, LIFO maximally
+// inverts it, and kRandom draws a deterministic per-event priority from the
+// schedule seed so each seed explores a different interleaving.
+enum class SchedulePolicy { kFifo, kRandom, kLifo };
+
+constexpr std::string_view schedule_policy_name(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo:
+      return "fifo";
+    case SchedulePolicy::kRandom:
+      return "random";
+    case SchedulePolicy::kLifo:
+      return "lifo";
+  }
+  return "?";
+}
 
 class Simulation {
  public:
@@ -37,14 +61,35 @@ class Simulation {
   // Current virtual time.
   SimTime now() const { return now_; }
 
+  // Selects the tie-breaking rule for same-timestamp events. Applies to
+  // events scheduled from now on; call before spawning work for a fully
+  // consistent schedule. (policy, seed) is reproducible bit-for-bit.
+  void set_schedule_policy(SchedulePolicy policy, std::uint64_t seed = 0);
+
+  SchedulePolicy schedule_policy() const { return policy_; }
+  std::uint64_t schedule_seed() const { return schedule_seed_; }
+
   // Adopts `task` as a root process; it starts when `run()` reaches the
   // current virtual time. The simulation owns the coroutine frame until the
-  // simulation itself is destroyed.
-  void spawn(Task<void> task);
+  // simulation itself is destroyed. `name` labels the task in diagnostics
+  // (blocked_report); an empty name becomes "task#<index>".
+  void spawn(Task<void> task, std::string name = "");
 
   // Schedules `handle` to resume at absolute virtual time `when` (>= now).
-  // Used by awaitables; not part of the typical user API.
+  // Used by awaitables; not part of the typical user API. The resumption is
+  // attributed to the root task currently executing (for deadlock reports);
+  // the 3-argument overload attributes it explicitly (used when waking a
+  // *different* task's coroutine, e.g. a Resource handing off to a waiter).
   void schedule(std::coroutine_handle<> handle, SimTime when);
+  void schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root);
+
+  // Root task (index into spawn order) whose event is currently being
+  // executed, or -1 outside run(). Awaitables capture this to attribute
+  // waiters to tasks.
+  std::int64_t active_root() const { return active_root_; }
+
+  // Name of root task `index` as given to spawn().
+  const std::string& root_name(std::size_t index) const { return root_names_.at(index); }
 
   // Runs until the event queue is empty. Returns the number of events
   // processed. Throws if a root task terminated with an exception.
@@ -61,6 +106,24 @@ class Simulation {
 
   // Number of root tasks still pending.
   std::size_t pending_task_count() const;
+
+  // Human-readable deadlock diagnosis: which root tasks are still pending
+  // and which Resource FIFO queues they are parked in. Meaningful after
+  // run() returned with !all_tasks_done(); empty string when nothing is
+  // pending.
+  std::string blocked_report() const;
+
+  // Resource registry (used by blocked_report). Resources register on
+  // construction and unregister on destruction.
+  void register_resource(Resource* resource);
+  void unregister_resource(Resource* resource);
+
+  // Destroys every root coroutine frame (running their destructors, which
+  // release any Resources the frames still hold) and drops all queued
+  // resumptions. After a deadlocked run, call this while those Resources are
+  // still alive — frame destructors touch them, and by the time ~Simulation
+  // runs, locally-scoped or member Resources have typically been destroyed.
+  void abandon_pending();
 
   // Total events processed so far.
   std::uint64_t events_processed() const { return events_processed_; }
@@ -83,25 +146,37 @@ class Simulation {
  private:
   struct Event {
     SimTime when;
+    std::uint64_t tie;  // policy-dependent tie key (seq / ~seq / hashed)
     std::uint64_t seq;
+    std::int64_t root;  // owning root task, -1 if unattributed
     std::coroutine_handle<> handle;
 
-    // Min-heap by (when, seq): earlier time first, FIFO among ties.
+    // Min-heap by (when, tie, seq): earlier time first, then the policy's
+    // tie key, then insertion order as the final deterministic arbiter.
     bool operator>(const Event& other) const {
       if (when != other.when) {
         return when > other.when;
+      }
+      if (tie != other.tie) {
+        return tie > other.tie;
       }
       return seq > other.seq;
     }
   };
 
+  std::uint64_t tie_key(std::uint64_t seq) const;
   void rethrow_failed_roots();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  SchedulePolicy policy_ = SchedulePolicy::kFifo;
+  std::uint64_t schedule_seed_ = 0;
+  std::int64_t active_root_ = -1;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::vector<std::coroutine_handle<TaskPromise<void>>> roots_;
+  std::vector<std::string> root_names_;
+  std::vector<Resource*> resources_;
 };
 
 }  // namespace pvm

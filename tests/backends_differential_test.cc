@@ -13,6 +13,8 @@
 
 #include "src/backends/platform.h"
 #include "src/sim/random.h"
+#include "src/workloads/memstress.h"
+#include "src/workloads/runner.h"
 
 namespace pvm {
 namespace {
@@ -181,6 +183,98 @@ TEST_P(DifferentialTest, ExtensionsPreserveSemanticsToo) {
     }
   }
 }
+
+// ---- PVM optimization ablations under schedule exploration ----
+//
+// The fine-grained locks and prefault are *performance* features: under any
+// legal interleaving they must leave the exact same shadow state and do the
+// same amount of functional work as the coarse/off baselines. Each seed runs
+// a different random event schedule (the simcheck exploration axis), so this
+// also guards against ablation-x-schedule interactions.
+
+// The functionally-invariant counters: what work happened, not how fast or
+// through which fast path. (Deliberately excludes e.g. kShadowPageFault and
+// kTlb*, which prefault and PCID legitimately change.)
+constexpr Counter kInvariantCounters[] = {
+    Counter::kGuestPageFault, Counter::kSptEntryFilled, Counter::kSptFillRaced,
+    Counter::kMmapCall,       Counter::kMunmapCall,     Counter::kCowBreak,
+    Counter::kProcessForked,
+};
+
+struct AblationOutcome {
+  // per pid: (kernel-ring leaves, user-ring leaves)
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> leaves;
+  std::map<std::string, std::uint64_t> counters;
+
+  bool operator==(const AblationOutcome&) const = default;
+};
+
+AblationOutcome run_pvm_memstress(std::uint64_t schedule_seed, bool fine_grained_locks,
+                                  bool prefault) {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  config.fine_grained_locks = fine_grained_locks;
+  config.prefault = prefault;
+  config.schedule_policy = SchedulePolicy::kRandom;
+  config.schedule_seed = schedule_seed;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot(24));
+  platform.sim().run();
+
+  run_processes_in_container(
+      platform, container, /*process_count=*/3,
+      [&container](int i, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
+        MemStressParams params;
+        params.total_bytes = 256ull << 10;
+        params.chunk_bytes = 64ull << 10;
+        params.release_chunks = false;  // keep the leaves for the final compare
+        params.seed = 7 + static_cast<std::uint64_t>(i);
+        return memstress_process(container, vcpu, proc, params);
+      },
+      /*resident_pages=*/8);
+  EXPECT_TRUE(platform.sim().all_tasks_done());
+
+  AblationOutcome outcome;
+  PvmMemoryEngine* engine = container.shadow_engine();
+  EXPECT_NE(engine, nullptr);
+  for (const auto& proc : container.kernel().processes()) {
+    outcome.leaves[proc->pid()] = {engine->spt_leaves(proc->pid(), true),
+                                   engine->spt_leaves(proc->pid(), false)};
+  }
+  for (const Counter counter : kInvariantCounters) {
+    outcome.counters[std::string(counter_name(counter))] = platform.counters().get(counter);
+  }
+  return outcome;
+}
+
+class AblationEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AblationEquivalenceTest, LockGranularityAndPrefaultAreFunctionallyInvisible) {
+  const std::uint64_t seed = GetParam();
+  const AblationOutcome reference =
+      run_pvm_memstress(seed, /*fine_grained_locks=*/true, /*prefault=*/true);
+  ASSERT_FALSE(reference.leaves.empty());
+  // Sanity: the workload actually built shadow state to compare.
+  EXPECT_GT(reference.counters.at("spt_entry_filled"), 0u);
+
+  for (const bool fine : {true, false}) {
+    for (const bool prefault : {true, false}) {
+      if (fine && prefault) {
+        continue;  // the reference itself
+      }
+      SCOPED_TRACE(std::string("locks=") + (fine ? "fine" : "coarse") +
+                   " prefault=" + (prefault ? "on" : "off") + " schedule_seed=" +
+                   std::to_string(seed));
+      const AblationOutcome other = run_pvm_memstress(seed, fine, prefault);
+      EXPECT_EQ(reference.leaves, other.leaves);
+      EXPECT_EQ(reference.counters, other.counters);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSchedules, AblationEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(11, 23, 47, 101, 211, 499, 997, 2003));
