@@ -18,8 +18,10 @@
 namespace pvm {
 namespace {
 
-double run_config(const PlatformConfig& config, int processes, std::uint64_t bytes) {
+double run_config(const char* name, const PlatformConfig& config, int processes,
+                  std::uint64_t bytes) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -30,14 +32,17 @@ double run_config(const PlatformConfig& config, int processes, std::uint64_t byt
       [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
         return memstress_process(container, vcpu, proc, params);
       });
+  bench_io().record_run(std::string(name) + "/" + std::to_string(processes) + "p", platform,
+                        {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "ablation_extensions");
   const auto bytes = static_cast<std::uint64_t>(bench_scale() * (32.0 * 1024 * 1024));
   print_header("Ablation: §5 future-work extensions on the Fig. 10 workload (s)",
                "PVM paper §5 'Limitations of PVM' / future work",
@@ -72,7 +77,7 @@ int main() {
   for (const Row& row : rows) {
     std::vector<std::string> cells{row.name};
     for (int processes : {1, 4, 16, 32}) {
-      cells.push_back(TextTable::cell(run_config(row.config, processes, bytes), 3));
+      cells.push_back(TextTable::cell(run_config(row.name, row.config, processes, bytes), 3));
     }
     table.add_row(std::move(cells));
   }

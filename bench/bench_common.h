@@ -11,12 +11,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/backends/platform.h"
 #include "src/metrics/table.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics_json.h"
+#include "src/obs/obs_report.h"
+#include "src/obs/span.h"
 #include "src/workloads/runner.h"
 
 namespace pvm {
@@ -63,6 +69,147 @@ inline void print_header(const char* experiment, const char* paper_ref, const ch
   }
   std::printf("==============================================================\n\n");
 }
+
+// Shared machine-readable output for the bench binaries:
+//
+//   --json <path>    export every recorded run in the versioned metrics
+//                    schema (obs::kBenchSchemaVersion)
+//   --trace <path>   export a Chrome trace-event file (load in Perfetto /
+//                    chrome://tracing) of the last recorded run
+//   --report         print the pvm-report text summary (top contended
+//                    resources, phase breakdown, op latencies) per run
+//
+// With none of the flags given, observe()/record_run() are no-ops and no
+// span recorder is attached to any platform, so simulations run exactly as
+// before (the instrumented sites see a null recorder — one pointer check).
+class BenchIo {
+ public:
+  BenchIo(int argc, char** argv, std::string bench_name)
+      : export_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (arg == "--report") {
+        report_ = true;
+      }
+    }
+    instance_slot() = this;
+  }
+
+  BenchIo(const BenchIo&) = delete;
+  BenchIo& operator=(const BenchIo&) = delete;
+
+  ~BenchIo() {
+    finish();
+    if (instance_slot() == this) {
+      instance_slot() = nullptr;
+    }
+  }
+
+  static BenchIo& instance() {
+    if (instance_slot() == nullptr) {
+      static BenchIo inactive(0, nullptr, "bench");
+      return inactive;
+    }
+    return *instance_slot();
+  }
+
+  bool active() const { return !json_path_.empty() || !trace_path_.empty() || report_; }
+
+  // Attach a fresh span recorder to a simulation. Call between constructing
+  // the simulation/platform and running work on it.
+  void observe(Simulation& sim) {
+    if (!active()) {
+      return;
+    }
+    recorders_.push_back(std::make_unique<obs::SpanRecorder>());
+    obs::SpanRecorder* recorder = recorders_.back().get();
+    recorder->set_enabled(true);
+    sim.set_spans(recorder);
+    by_sim_[&sim] = recorder;
+  }
+
+  void observe(VirtualPlatform& platform) { observe(platform.sim()); }
+
+  // Capture one completed run while its simulation is still alive. `values`
+  // are the bench's own headline numbers for this run.
+  void record_run(const std::string& label, Simulation& sim, CounterSet& counters,
+                  std::vector<std::pair<std::string, double>> values = {}) {
+    if (!active()) {
+      return;
+    }
+    obs::SpanRecorder* recorder = nullptr;
+    if (const auto it = by_sim_.find(&sim); it != by_sim_.end()) {
+      recorder = it->second;
+    }
+    export_.add_run(label, sim, counters, recorder, std::move(values));
+    if (!trace_path_.empty() && recorder != nullptr) {
+      // Written per run while the simulation is alive; the last run wins.
+      write_file(trace_path_, export_chrome_trace(*recorder, sim));
+    }
+    if (report_) {
+      std::printf("--- pvm-report: %s ---\n%s\n", label.c_str(),
+                  obs::render_obs_report(sim, recorder).c_str());
+    }
+  }
+
+  void record_run(const std::string& label, VirtualPlatform& platform,
+                  std::vector<std::pair<std::string, double>> values = {}) {
+    record_run(label, platform.sim(), platform.counters(), std::move(values));
+  }
+
+  // A values-only row (derived numbers with no backing platform).
+  void record_values(const std::string& label,
+                     std::vector<std::pair<std::string, double>> values) {
+    if (json_path_.empty()) {
+      return;
+    }
+    export_.add_values(label, std::move(values));
+  }
+
+  void finish() {
+    if (finished_) {
+      return;
+    }
+    finished_ = true;
+    if (!json_path_.empty()) {
+      write_file(json_path_, export_.to_json());
+      std::printf("[bench] wrote %zu run(s) to %s\n", export_.run_count(), json_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      std::printf("[bench] wrote Chrome trace to %s\n", trace_path_.c_str());
+    }
+  }
+
+ private:
+  static BenchIo*& instance_slot() {
+    static BenchIo* slot = nullptr;
+    return slot;
+  }
+
+  static void write_file(const std::string& path, const std::string& content) {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n", path.c_str());
+      return;
+    }
+    std::fwrite(content.data(), 1, content.size(), file);
+    std::fclose(file);
+  }
+
+  obs::BenchExport export_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool report_ = false;
+  bool finished_ = false;
+  std::vector<std::unique_ptr<obs::SpanRecorder>> recorders_;
+  std::map<const Simulation*, obs::SpanRecorder*> by_sim_;
+};
+
+inline BenchIo& bench_io() { return BenchIo::instance(); }
 
 }  // namespace pvm
 

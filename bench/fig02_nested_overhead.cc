@@ -12,10 +12,12 @@
 namespace pvm {
 namespace {
 
-std::uint64_t lmbench_latency(DeployMode mode, LmbenchOp op, int iterations) {
+std::uint64_t lmbench_latency(const std::string& label, DeployMode mode, LmbenchOp op,
+                              int iterations) {
   PlatformConfig config;
   config.mode = mode;
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& c = platform.create_container("c0");
   platform.sim().spawn(c.boot(256));
   platform.sim().run();
@@ -25,13 +27,15 @@ std::uint64_t lmbench_latency(DeployMode mode, LmbenchOp op, int iterations) {
     *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), o, iters, LmbenchParams{});
   }(c, op, iterations, &latency));
   platform.sim().run();
+  bench_io().record_run(label, platform, {{"latency_us", to_us(latency)}});
   return latency;
 }
 
-double kbuild_mean_seconds(DeployMode mode, int containers) {
+double kbuild_mean_seconds(const std::string& label, DeployMode mode, int containers) {
   PlatformConfig config;
   config.mode = mode;
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   AppParams params;
   params.size = 0.5 * bench_scale();
   const ContainersResult result = run_containers(
@@ -39,13 +43,15 @@ double kbuild_mean_seconds(DeployMode mode, int containers) {
       [&](int, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
         return app_kbuild(c, vcpu, proc, params);
       });
+  bench_io().record_run(label, platform, {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
-double specjbb_mean_seconds(DeployMode mode, int containers) {
+double specjbb_mean_seconds(const std::string& label, DeployMode mode, int containers) {
   PlatformConfig config;
   config.mode = mode;
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   AppParams params;
   params.size = 0.5 * bench_scale();
   const ContainersResult result = run_containers(
@@ -55,14 +61,16 @@ double specjbb_mean_seconds(DeployMode mode, int containers) {
           (void)co_await app_specjbb(cc, v, p, ap);
         }(c, vcpu, proc, params);
       });
+  bench_io().record_run(label, platform, {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig02_nested_overhead");
   print_header("Figure 2: kvm (NST) execution time normalized to kvm (BM)",
                "PVM paper, Fig. 2",
                "LMbench ops: 1 container; kbuild/specjbb: 16 containers");
@@ -81,22 +89,26 @@ int main() {
 
   TextTable table({"benchmark", "kvm (BM)", "kvm (NST)", "normalized"});
   for (const auto& op : kOps) {
-    const std::uint64_t bm = lmbench_latency(DeployMode::kKvmEptBm, op.op, op.iterations);
-    const std::uint64_t nst = lmbench_latency(DeployMode::kKvmEptNst, op.op, op.iterations);
+    const std::uint64_t bm =
+        lmbench_latency(std::string(op.name) + "/bm", DeployMode::kKvmEptBm, op.op,
+                        op.iterations);
+    const std::uint64_t nst =
+        lmbench_latency(std::string(op.name) + "/nst", DeployMode::kKvmEptNst, op.op,
+                        op.iterations);
     table.add_row({op.name, TextTable::cell(to_us(bm)) + " us",
                    TextTable::cell(to_us(nst)) + " us",
                    TextTable::cell(static_cast<double>(nst) / static_cast<double>(bm))});
   }
 
   {
-    const double bm = kbuild_mean_seconds(DeployMode::kKvmEptBm, 16);
-    const double nst = kbuild_mean_seconds(DeployMode::kKvmEptNst, 16);
+    const double bm = kbuild_mean_seconds("kbuild/bm", DeployMode::kKvmEptBm, 16);
+    const double nst = kbuild_mean_seconds("kbuild/nst", DeployMode::kKvmEptNst, 16);
     table.add_row({"kbuild (16c)", TextTable::cell(bm) + " s", TextTable::cell(nst) + " s",
                    TextTable::cell(nst / bm)});
   }
   {
-    const double bm = specjbb_mean_seconds(DeployMode::kKvmEptBm, 16);
-    const double nst = specjbb_mean_seconds(DeployMode::kKvmEptNst, 16);
+    const double bm = specjbb_mean_seconds("specjbb/bm", DeployMode::kKvmEptBm, 16);
+    const double nst = specjbb_mean_seconds("specjbb/nst", DeployMode::kKvmEptNst, 16);
     table.add_row({"specjbb (16c)", TextTable::cell(bm) + " s", TextTable::cell(nst) + " s",
                    TextTable::cell(nst / bm)});
   }

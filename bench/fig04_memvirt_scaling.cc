@@ -12,10 +12,12 @@
 namespace pvm {
 namespace {
 
-double run_config(DeployMode mode, int processes, std::uint64_t bytes_per_proc) {
+double run_config(const char* name, DeployMode mode, int processes,
+                  std::uint64_t bytes_per_proc) {
   PlatformConfig config;
   config.mode = mode;
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -28,14 +30,17 @@ double run_config(DeployMode mode, int processes, std::uint64_t bytes_per_proc) 
       [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
         return memstress_process(container, vcpu, proc, params);
       });
+  bench_io().record_run(std::string(name) + "/" + std::to_string(processes) + "p", platform,
+                        {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig04_memvirt_scaling");
   const auto bytes = static_cast<std::uint64_t>(bench_scale() * (48.0 * 1024 * 1024));
   print_header("Figure 4: EPT vs SPT, single-level vs nested (execution time, s)",
                "PVM paper, Fig. 4",
@@ -55,7 +60,7 @@ int main() {
   for (int processes : {1, 4, 16}) {
     std::vector<std::string> row{std::to_string(processes)};
     for (const auto& config : kConfigs) {
-      row.push_back(TextTable::cell(run_config(config.mode, processes, bytes), 3));
+      row.push_back(TextTable::cell(run_config(config.name, config.mode, processes, bytes), 3));
     }
     table.add_row(std::move(row));
   }

@@ -12,8 +12,10 @@
 namespace pvm {
 namespace {
 
-double run_config(const PlatformConfig& config, int processes, std::uint64_t bytes_per_proc) {
+double run_config(const char* name, const PlatformConfig& config, int processes,
+                  std::uint64_t bytes_per_proc) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -26,14 +28,17 @@ double run_config(const PlatformConfig& config, int processes, std::uint64_t byt
       [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
         return memstress_process(container, vcpu, proc, params);
       });
+  bench_io().record_run(std::string(name) + "/" + std::to_string(processes) + "p", platform,
+                        {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig10_pagefault_scaling");
   const auto bytes = static_cast<std::uint64_t>(bench_scale() * (32.0 * 1024 * 1024));
   print_header("Figure 10: guest page-fault handling (execution time, s)",
                "PVM paper, Fig. 10",
@@ -85,7 +90,7 @@ int main() {
   for (const auto& config : configs) {
     std::vector<std::string> row{config.name};
     for (int p : kProcs) {
-      row.push_back(TextTable::cell(run_config(config.config, p, bytes), 3));
+      row.push_back(TextTable::cell(run_config(config.name, config.config, p, bytes), 3));
     }
     table.add_row(std::move(row));
   }

@@ -23,17 +23,21 @@ constexpr int kTimerHz = 1000;  // per-container scheduler tick
 
 double kbuild_seconds(const PlatformConfig& config, int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   const ContainersResult result = run_containers(
       platform, containers,
       [&](int, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
         return app_kbuild(c, vcpu, proc, scaled_params(platform));
       },
       /*init_pages=*/96, kTimerHz);
+  bench_io().record_run("kbuild/" + std::to_string(containers) + "c", platform,
+                        {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 double blogbench_score(const PlatformConfig& config, int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   std::vector<double> scores(containers, 0);
   run_containers(platform, containers,
                  [&](int index, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
@@ -47,11 +51,14 @@ double blogbench_score(const PlatformConfig& config, int containers) {
   for (const double s : scores) {
     sum += s;
   }
+  bench_io().record_run("blogbench/" + std::to_string(containers) + "c", platform,
+                        {{"score", sum / containers}});
   return sum / containers;
 }
 
 double specjbb_kbops(const PlatformConfig& config, int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   std::vector<double> throughput(containers, 0);
   run_containers(platform, containers,
                  [&](int index, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
@@ -65,11 +72,14 @@ double specjbb_kbops(const PlatformConfig& config, int containers) {
   for (const double t : throughput) {
     sum += t;
   }
+  bench_io().record_run("specjbb/" + std::to_string(containers) + "c", platform,
+                        {{"kbops", sum / containers}});
   return sum / containers;
 }
 
 double fluidanimate_seconds(const PlatformConfig& config, int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   const ContainersResult result = run_containers(
       platform, containers,
       [&](int, SecureContainer& c, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
@@ -78,6 +88,8 @@ double fluidanimate_seconds(const PlatformConfig& config, int containers) {
         return app_fluidanimate(c, scaled_params(platform), /*threads=*/4, /*frames=*/16);
       },
       /*init_pages=*/32, kTimerHz);
+  bench_io().record_run("fluidanimate/" + std::to_string(containers) + "c", platform,
+                        {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
@@ -98,8 +110,9 @@ void print_panel(const char* title, const char* unit, Fn&& metric) {
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig11_apps");
   print_header("Figure 11: real-world applications at concurrency 1/4/16",
                "PVM paper, Fig. 11 (a)-(d)",
                "Workload sizes scaled down; cross-config ratios are the target");

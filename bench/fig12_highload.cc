@@ -23,8 +23,10 @@ struct HighLoadResult {
   double worst_boot_seconds = 0;
 };
 
-HighLoadResult run_config(const PlatformConfig& config, int containers) {
+HighLoadResult run_config(const std::string& label, const PlatformConfig& config,
+                          int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   AppParams params;
   params.size = 0.25 * bench_scale();
 
@@ -45,14 +47,19 @@ HighLoadResult run_config(const PlatformConfig& config, int containers) {
       out.crashed = true;  // the runtime would have given up on the sandbox
     }
   }
+  bench_io().record_run(label, platform,
+                        {{"mean_seconds", out.mean_seconds},
+                         {"worst_boot_seconds", out.worst_boot_seconds},
+                         {"crashed", out.crashed ? 1.0 : 0.0}});
   return out;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig12_highload");
   print_header("Figure 12: fluidanimate under high container density",
                "PVM paper, Fig. 12",
                "kvm-ept (NST) crashed in the paper (RunD startup timeout)");
@@ -62,7 +69,9 @@ int main() {
     std::vector<std::string> row{scenario.label};
     double worst_boot = 0;
     for (int containers : {50, 100, 150}) {
-      const HighLoadResult result = run_config(scenario.config, containers);
+      const HighLoadResult result = run_config(
+          scenario.label + "/" + std::to_string(containers) + "c", scenario.config,
+          containers);
       row.push_back(result.crashed ? "CRASH" : TextTable::cell(result.mean_seconds, 3));
       worst_boot = std::max(worst_boot, result.worst_boot_seconds);
     }

@@ -15,8 +15,10 @@ struct BootStats {
   double worst_ms;
 };
 
-BootStats boot_storm(const PlatformConfig& config, int containers) {
+BootStats boot_storm(const std::string& label, const PlatformConfig& config,
+                     int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   std::vector<SecureContainer*> all;
   for (int i = 0; i < containers; ++i) {
     all.push_back(&platform.create_container("c" + std::to_string(i)));
@@ -36,14 +38,20 @@ BootStats boot_storm(const PlatformConfig& config, int containers) {
                q * static_cast<double>(latencies.size() - 1))]) /
            1e6;
   };
-  return BootStats{at(0.50), at(0.99), at(1.0)};
+  const BootStats stats{at(0.50), at(0.99), at(1.0)};
+  bench_io().record_run(label, platform,
+                        {{"p50_ms", stats.p50_ms},
+                         {"p99_ms", stats.p99_ms},
+                         {"worst_ms", stats.worst_ms}});
+  return stats;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig12b_bootstorm");
   print_header("Fig. 12b (ours): cold-start boot storm, startup latency (ms)",
                "mechanism behind Fig. 12's crash + §4.4 serverless adoption",
                "N containers created and booted at t=0 on one host");
@@ -52,7 +60,8 @@ int main() {
   for (const Scenario& scenario : five_scenarios()) {
     std::vector<std::string> row{scenario.label};
     for (int n : {16, 64, 150}) {
-      const BootStats stats = boot_storm(scenario.config, n);
+      const BootStats stats =
+          boot_storm(scenario.label + "/N" + std::to_string(n), scenario.config, n);
       std::string cell = TextTable::cell(stats.p50_ms) + "/" + TextTable::cell(stats.p99_ms);
       if (n == 150) {
         cell += " (" + TextTable::cell(stats.worst_ms) + ")";

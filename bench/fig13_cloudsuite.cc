@@ -10,8 +10,10 @@
 namespace pvm {
 namespace {
 
-double run_seconds(const PlatformConfig& config, CloudSuiteKind kind, int containers) {
+double run_seconds(const std::string& label, const PlatformConfig& config,
+                   CloudSuiteKind kind, int containers) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   AppParams params;
   params.size = 0.5 * bench_scale();
   const ContainersResult result = run_containers(
@@ -20,14 +22,16 @@ double run_seconds(const PlatformConfig& config, CloudSuiteKind kind, int contai
         return app_cloudsuite(c, vcpu, proc, kind, params);
       },
       /*init_pages=*/64);
+  bench_io().record_run(label, platform, {{"mean_seconds", result.mean_seconds()}});
   return result.mean_seconds();
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "fig13_cloudsuite");
   print_header("Figure 13: CloudSuite workloads, normalized performance",
                "PVM paper, Fig. 13",
                "kvm-ept (BM) = 1.0; higher is better (time ratio inverted)");
@@ -48,12 +52,14 @@ int main() {
   for (const auto& kind : kKinds) {
     PlatformConfig config;
     config.mode = DeployMode::kKvmEptBm;
-    baseline.push_back(run_seconds(config, kind.kind, kContainers));
+    baseline.push_back(
+        run_seconds(std::string("baseline/") + kind.name, config, kind.kind, kContainers));
   }
   for (const Scenario& scenario : five_scenarios()) {
     std::vector<std::string> row{scenario.label};
     for (std::size_t i = 0; i < std::size(kKinds); ++i) {
-      const double seconds = run_seconds(scenario.config, kKinds[i].kind, kContainers);
+      const double seconds = run_seconds(scenario.label + "/" + kKinds[i].name,
+                                         scenario.config, kKinds[i].kind, kContainers);
       row.push_back(TextTable::cell(baseline[i] / seconds, 3));
     }
     table.add_row(std::move(row));

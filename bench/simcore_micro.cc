@@ -5,10 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/arch/page_table.h"
 #include "src/arch/tlb.h"
 #include "src/backends/platform.h"
 #include "src/mmu/two_dim_walk.h"
+#include "src/obs/span.h"
 #include "src/sim/random.h"
 
 namespace pvm {
@@ -130,7 +134,67 @@ void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultProtocolPvmNst);
 
+// The same protocol with a span recorder attached and enabled: the cost
+// ceiling of running with full observability on. Compare against
+// BM_FullFaultProtocolPvmNst to measure the recorder's overhead; the
+// no-recorder run is the hot path every experiment uses and must not regress.
+void BM_FullFaultProtocolPvmNstObserved(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlatformConfig config;
+    config.mode = DeployMode::kPvmNst;
+    VirtualPlatform platform(config);
+    obs::SpanRecorder recorder;
+    recorder.set_enabled(true);
+    platform.sim().set_spans(&recorder);
+    SecureContainer& c = platform.create_container("c0");
+    platform.sim().spawn(c.boot(8));
+    platform.sim().run();
+    GuestProcess& proc = *c.init_process();
+    proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 64ull << 20, true};
+    state.ResumeTiming();
+
+    platform.sim().spawn([](SecureContainer& cc, GuestProcess& p) -> Task<void> {
+      for (std::uint64_t i = 0; i < 512; ++i) {
+        co_await cc.kernel().touch(cc.vcpu(0), p, GuestProcess::kHeapBase + i * kPageSize,
+                                   true);
+      }
+    }(c, proc));
+    platform.sim().run();
+    benchmark::DoNotOptimize(recorder.spans().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FullFaultProtocolPvmNstObserved);
+
 }  // namespace
 }  // namespace pvm
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): map the repo-wide `--json <path>`
+// flag onto google-benchmark's JSON file reporter so simcore_micro takes the
+// same flag as every other bench binary.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--json" && it + 1 != args.end()) {
+      out_flag = std::string("--benchmark_out=") + *(it + 1);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

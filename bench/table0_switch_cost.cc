@@ -15,6 +15,7 @@ constexpr int kIterations = 10000;
 
 double measure_single_level_us() {
   Simulation sim;
+  bench_io().observe(sim);
   CostModel costs;
   CounterSet counters;
   TraceLog trace;
@@ -29,11 +30,14 @@ double measure_single_level_us() {
   }(l0, vm));
   sim.run();
   // A round trip is two world switches (exit + entry).
-  return to_us(sim.now() - start) / (2.0 * kIterations);
+  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
+  bench_io().record_run("single_level", sim, counters, {{"us_per_switch", us}});
+  return us;
 }
 
 double measure_pvm_switch_us() {
   Simulation sim;
+  bench_io().observe(sim);
   CostModel costs;
   CounterSet counters;
   TraceLog trace;
@@ -49,11 +53,14 @@ double measure_pvm_switch_us() {
     }
   }(switcher));
   sim.run();
-  return to_us(sim.now() - start) / (2.0 * kIterations);
+  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
+  bench_io().record_run("pvm_switcher", sim, counters, {{"us_per_switch", us}});
+  return us;
 }
 
 double measure_nested_switch_us() {
   Simulation sim;
+  bench_io().observe(sim);
   CostModel costs;
   CounterSet counters;
   TraceLog trace;
@@ -70,14 +77,17 @@ double measure_nested_switch_us() {
     }
   }(l0, l1));
   sim.run();
-  return to_us(sim.now() - start) / (2.0 * kIterations);
+  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
+  bench_io().record_run("nested_l2_l1", sim, counters, {{"us_per_switch", us}});
+  return us;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table0_switch_cost");
   print_header("Table 0: world-switch unit costs (us per switch)",
                "PVM paper, §2.2 & §3.3.2 text measurements",
                "Paper: single-level 0.105, PVM switcher 0.179, nested 1.3");

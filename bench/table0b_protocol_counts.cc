@@ -10,8 +10,9 @@
 namespace pvm {
 namespace {
 
-DerivedStats run_config(const PlatformConfig& config) {
+DerivedStats run_config(const char* name, const PlatformConfig& config) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -23,14 +24,20 @@ DerivedStats run_config(const PlatformConfig& config) {
                              [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
                                return memstress_process(container, vcpu, proc, params);
                              });
-  return derive_stats(platform.counters().delta_since(before));
+  const DerivedStats stats = derive_stats(platform.counters().delta_since(before));
+  bench_io().record_run(name, platform,
+                        {{"switches_per_fault", stats.switches_per_fault},
+                         {"l0_exits_per_fault", stats.l0_exits_per_fault},
+                         {"tlb_hit_rate", stats.tlb_hit_rate}});
+  return stats;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table0b_protocol_counts");
   print_header("Table 0b (ours): protocol costs per fault, measured in bulk",
                "PVM paper §2.2/§3.3.2 switch/exit formulas",
                "Fig. 10 workload, 4 processes; n ~ 1 GPT store per fresh page");
@@ -60,7 +67,7 @@ int main() {
   TextTable table({"config", "switches/fault", "L0 exits/fault", "TLB hit rate",
                    "prefault coverage", "paper formula (n=1)"});
   for (const Row& row : rows) {
-    const DerivedStats stats = run_config(row.config);
+    const DerivedStats stats = run_config(row.name, row.config);
     table.add_row({row.name, TextTable::cell(stats.switches_per_fault),
                    TextTable::cell(stats.l0_exits_per_fault, 3),
                    TextTable::cell(stats.tlb_hit_rate, 3),

@@ -16,11 +16,12 @@ namespace {
 
 constexpr int kIterations = 2000;
 
-double measure_op_us(DeployMode mode, bool kpti, PrivOp op) {
+double measure_op_us(const std::string& label, DeployMode mode, bool kpti, PrivOp op) {
   PlatformConfig config;
   config.mode = mode;
   config.kpti = kpti;
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& c = platform.create_container("c0");
   platform.sim().spawn(c.boot(8));
   platform.sim().run();
@@ -36,14 +37,17 @@ double measure_op_us(DeployMode mode, bool kpti, PrivOp op) {
     }
   }(c, op));
   platform.sim().run();
-  return to_us(platform.sim().now() - start) / kIterations;
+  const double us = to_us(platform.sim().now() - start) / kIterations;
+  bench_io().record_run(label + (kpti ? "/kpti" : "/nokpti"), platform, {{"roundtrip_us", us}});
+  return us;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table1_exit_latency");
   print_header("Table 1: VM exit/entry round-trip latency (us), KPTI on/off",
                "PVM paper, Table 1",
                "Each cell: measured with KPTI enabled / disabled");
@@ -70,8 +74,9 @@ int main() {
   for (const auto& op : kOps) {
     std::vector<std::string> row{op.name};
     for (const auto& config : kConfigs) {
-      const double on = measure_op_us(config.mode, true, op.op);
-      const double off = measure_op_us(config.mode, false, op.op);
+      const std::string label = std::string(config.name) + "/" + op.name;
+      const double on = measure_op_us(label, config.mode, true, op.op);
+      const double off = measure_op_us(label, config.mode, false, op.op);
       row.push_back(TextTable::cell(on) + "/" + TextTable::cell(off));
     }
     table.add_row(std::move(row));

@@ -16,8 +16,9 @@
 namespace pvm {
 namespace {
 
-double measure_getpid_us(const PlatformConfig& config) {
+double measure_getpid_us(const std::string& label, const PlatformConfig& config) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& c = platform.create_container("c0");
   platform.sim().spawn(c.boot(8));
   platform.sim().run();
@@ -28,22 +29,25 @@ double measure_getpid_us(const PlatformConfig& config) {
                                 LmbenchParams{});
   }(c, &latency));
   platform.sim().run();
-  return to_us(latency);
+  const double us = to_us(latency);
+  bench_io().record_run(label, platform, {{"getpid_us", us}});
+  return us;
 }
 
-std::string cell_on_off(PlatformConfig config) {
+std::string cell_on_off(const std::string& name, PlatformConfig config) {
   config.kpti = true;
-  const double on = measure_getpid_us(config);
+  const double on = measure_getpid_us(name + "/kpti", config);
   config.kpti = false;
-  const double off = measure_getpid_us(config);
+  const double off = measure_getpid_us(name + "/nokpti", config);
   return TextTable::cell(on) + "/" + TextTable::cell(off);
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table2_syscall");
   print_header("Table 2: get_pid syscall time (us), KPTI enabled/disabled",
                "PVM paper, Table 2",
                "Direct switching is the Fig. 8 optimization; 'none' disables it");
@@ -52,24 +56,24 @@ int main() {
 
   PlatformConfig config;
   config.mode = DeployMode::kKvmEptBm;
-  table.add_row({"kvm-ept (BM)", "", cell_on_off(config)});
+  table.add_row({"kvm-ept (BM)", "", cell_on_off("kvm-ept (BM)", config)});
   config.mode = DeployMode::kKvmSptBm;
-  table.add_row({"kvm-spt (BM)", "", cell_on_off(config)});
+  table.add_row({"kvm-spt (BM)", "", cell_on_off("kvm-spt (BM)", config)});
 
   config.mode = DeployMode::kPvmBm;
   config.direct_switch = false;
-  table.add_row({"pvm (BM)", "none", cell_on_off(config)});
+  table.add_row({"pvm (BM)", "none", cell_on_off("pvm (BM)/none", config)});
   config.direct_switch = true;
-  table.add_row({"pvm (BM)", "direct-switch", cell_on_off(config)});
+  table.add_row({"pvm (BM)", "direct-switch", cell_on_off("pvm (BM)/direct", config)});
 
   config.mode = DeployMode::kKvmEptNst;
-  table.add_row({"kvm (NST)", "", cell_on_off(config)});
+  table.add_row({"kvm (NST)", "", cell_on_off("kvm (NST)", config)});
 
   config.mode = DeployMode::kPvmNst;
   config.direct_switch = false;
-  table.add_row({"pvm (NST)", "none", cell_on_off(config)});
+  table.add_row({"pvm (NST)", "none", cell_on_off("pvm (NST)/none", config)});
   config.direct_switch = true;
-  table.add_row({"pvm (NST)", "direct-switch", cell_on_off(config)});
+  table.add_row({"pvm (NST)", "direct-switch", cell_on_off("pvm (NST)/direct", config)});
 
   std::printf("%s\n", table.render().c_str());
   std::printf("Shape checks: kvm-spt is the slowest (trapped KPTI CR3 swaps);\n");

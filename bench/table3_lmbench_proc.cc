@@ -13,8 +13,10 @@ namespace pvm {
 namespace {
 
 // Mean per-op latency with `processes` concurrent benchmark processes.
-double latency_us(const PlatformConfig& config, LmbenchOp op, int processes, int iterations) {
+double latency_us(const std::string& label, const PlatformConfig& config, LmbenchOp op,
+                  int processes, int iterations) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -35,14 +37,17 @@ double latency_us(const PlatformConfig& config, LmbenchOp op, int processes, int
   for (const std::uint64_t latency : latencies) {
     sum += static_cast<double>(latency);
   }
-  return sum / static_cast<double>(processes) / 1e3;
+  const double us = sum / static_cast<double>(processes) / 1e3;
+  bench_io().record_run(label, platform, {{"latency_us", us}});
+  return us;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table3_lmbench_proc");
   print_header("Table 3: LMbench process latencies (us; smaller is better)",
                "PVM paper, Table 3", "#C = concurrent benchmark processes");
 
@@ -75,7 +80,10 @@ int main() {
       std::vector<std::string> row{scenario.label};
       for (const auto& op : kOps) {
         const int iters = processes == 1 ? op.iters1 : op.iters32;
-        row.push_back(TextTable::cell(latency_us(scenario.config, op.op, processes, iters)));
+        const std::string label = scenario.label + "/" + op.name + "/" +
+                                  std::to_string(processes) + "p";
+        row.push_back(
+            TextTable::cell(latency_us(label, scenario.config, op.op, processes, iters)));
       }
       table.add_row(std::move(row));
     }

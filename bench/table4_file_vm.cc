@@ -10,8 +10,10 @@
 namespace pvm {
 namespace {
 
-double latency_us(const PlatformConfig& config, LmbenchOp op, int iterations) {
+double latency_us(const std::string& label, const PlatformConfig& config, LmbenchOp op,
+                  int iterations) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& c = platform.create_container("c0");
   platform.sim().spawn(c.boot(64));
   platform.sim().run();
@@ -21,14 +23,17 @@ double latency_us(const PlatformConfig& config, LmbenchOp op, int iterations) {
     *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), o, iters, LmbenchParams{});
   }(c, op, iterations, &latency));
   platform.sim().run();
-  return to_us(latency);
+  const double us = to_us(latency);
+  bench_io().record_run(label, platform, {{"latency_us", us}});
+  return us;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table4_file_vm");
   print_header("Table 4: file & VM system latencies (us; smaller is better)",
                "PVM paper, Table 4",
                "0K/10K file = create+delete pair; page/prot fault per fault");
@@ -54,7 +59,8 @@ int main() {
   for (const Scenario& scenario : five_scenarios()) {
     std::vector<std::string> row{scenario.label};
     for (const auto& op : kOps) {
-      row.push_back(TextTable::cell(latency_us(scenario.config, op.op, op.iterations)));
+      row.push_back(TextTable::cell(
+          latency_us(scenario.label + "/" + op.name, scenario.config, op.op, op.iterations)));
     }
     table.add_row(std::move(row));
   }

@@ -15,8 +15,10 @@ struct OpLatency {
   double p99_us;
 };
 
-OpLatency latency_us(const PlatformConfig& config, LmbenchOp op, int iterations) {
+OpLatency latency_us(const std::string& label, const PlatformConfig& config, LmbenchOp op,
+                     int iterations) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& c = platform.create_container("c0");
   platform.sim().spawn(c.boot(64));
   platform.sim().run();
@@ -28,14 +30,18 @@ OpLatency latency_us(const PlatformConfig& config, LmbenchOp op, int iterations)
                                 hist);
   }(c, op, iterations, &latency, &histogram));
   platform.sim().run();
-  return OpLatency{to_us(latency), to_us(histogram.quantile(0.99))};
+  const OpLatency result{to_us(latency), to_us(histogram.quantile(0.99))};
+  bench_io().record_run(label, platform,
+                        {{"mean_us", result.mean_us}, {"p99_us", result.p99_us}});
+  return result;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table4b_network");
   print_header("Table 4b: network latencies/bandwidth ops (us; smaller is better)",
                "PVM paper, §4.2 text (networking 'similar to file systems')",
                "TCP bw row is the per-64KiB-chunk cost");
@@ -58,7 +64,8 @@ int main() {
   for (const Scenario& scenario : five_scenarios()) {
     std::vector<std::string> row{scenario.label};
     for (const auto& op : kOps) {
-      const OpLatency latency = latency_us(scenario.config, op.op, op.iterations);
+      const OpLatency latency = latency_us(scenario.label + "/" + op.name, scenario.config,
+                                           op.op, op.iterations);
       row.push_back(TextTable::cell(latency.mean_us) + " (p99<" +
                     TextTable::cell(latency.p99_us, 0) + ")");
     }

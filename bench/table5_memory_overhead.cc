@@ -19,8 +19,9 @@ struct Footprint {
   std::uint64_t shadow_tables = 0;  // SPT/gpa_map pages (hypervisor overhead)
 };
 
-Footprint run_config(const PlatformConfig& config, int processes) {
+Footprint run_config(const std::string& label, const PlatformConfig& config, int processes) {
   VirtualPlatform platform(config);
+  bench_io().observe(platform);
   SecureContainer& container = platform.create_container("c0");
   platform.sim().spawn(container.boot(16));
   platform.sim().run();
@@ -47,14 +48,18 @@ Footprint run_config(const PlatformConfig& config, int processes) {
     // EPT02 at L0.
     footprint.shadow_tables = eoe->ept12().node_count() + eoe->ept02().node_count();
   }
+  bench_io().record_run(label, platform,
+                        {{"guest_tables", static_cast<double>(footprint.guest_tables)},
+                         {"shadow_tables", static_cast<double>(footprint.shadow_tables)}});
   return footprint;
 }
 
 }  // namespace
 }  // namespace pvm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvm;
+  BenchIo io(argc, argv, "table5_memory_overhead");
   print_header("Table 5 (ours): page-table memory per container (4 KiB pages)",
                "PVM paper §1 footprint remark + §5 dual-SPT cost",
                "After 8 processes x 16 MiB resident each");
@@ -62,7 +67,7 @@ int main() {
   TextTable table({"config", "guest tables", "shadow tables", "overhead vs EPT"});
   std::uint64_t ept_total = 0;
   for (const Scenario& scenario : five_scenarios()) {
-    const Footprint footprint = run_config(scenario.config, 8);
+    const Footprint footprint = run_config(scenario.label, scenario.config, 8);
     const std::uint64_t total = footprint.guest_tables + footprint.shadow_tables;
     if (scenario.config.mode == DeployMode::kKvmEptBm) {
       ept_total = total;

@@ -1,10 +1,13 @@
 #include "src/backends/ept_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 Task<void> EptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel,
                                     std::uint64_t gva, AccessType access, bool user_mode) {
   const std::uint16_t pcid = guest_pcid(proc, user_mode, kpti_);
+  obs::SpanScope op;
   for (int attempt = 0; attempt < 16; ++attempt) {
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
@@ -15,6 +18,9 @@ Task<void> EptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
         walk_two_dimensional(proc.gpt(), vm_->ept(), gva, access, user_mode);
     co_await sim_->delay(static_cast<std::uint64_t>(walk.total_loads) * costs_->walk_load);
 
+    if (walk.outcome != TwoDimWalk::Outcome::kOk && attempt == 0) {
+      op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+    }
     switch (walk.outcome) {
       case TwoDimWalk::Outcome::kOk:
         vcpu.tlb.insert(vpid_, pcid, page_number(gva),

@@ -1,5 +1,7 @@
 #include "src/backends/ept_on_ept_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel,
@@ -39,8 +41,8 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
 }
 
 Task<void> EptOnEptMemoryBackend::handle_ept02_violation(Vcpu& vcpu, std::uint64_t gpa) {
-  trace_->emit(sim_->now(), TraceActor::kHardware,
-               "EPT02 violation gpa=" + std::to_string(gpa));
+  obs::SpanScope op(sim_->spans(), obs::Phase::kOpPageFault, gpa);
+  trace_->emit(sim_->now(), TraceActor::kHardware, TraceEventKind::kEpt02Violation, {}, gpa);
 
   // ➊-➌: hardware exit to L0, which sees an EPT violation it cannot satisfy
   // from EPT02 and reflects it into L1 as an EPT12 violation.

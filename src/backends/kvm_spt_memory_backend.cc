@@ -1,5 +1,7 @@
 #include "src/backends/kvm_spt_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 KvmSptMemoryBackend::KvmSptMemoryBackend(HostHypervisor& l0, HostHypervisor::Vm& vm, bool kpti)
@@ -31,6 +33,7 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
                                        std::uint64_t gva, AccessType access, bool user_mode) {
   // Without PCID awareness every guest address space shares tag 0.
   const std::uint16_t pcid = 0;
+  obs::SpanScope op;
   for (int attempt = 0; attempt < 16; ++attempt) {
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
@@ -46,6 +49,10 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
       co_return;
+    }
+
+    if (attempt == 0) {
+      op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
     }
 
     // Every fault under shadow paging exits to the hypervisor, which

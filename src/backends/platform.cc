@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/span.h"
+
 #include "src/backends/ept_memory_backend.h"
 #include "src/backends/ept_on_ept_memory_backend.h"
 #include "src/backends/kvm_spt_memory_backend.h"
@@ -14,6 +16,7 @@
 namespace pvm {
 
 Task<void> SecureContainer::compute(SimTime ns) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kCompute, ns);
   // Timeslice through the host CPU pool: FIFO quanta approximate the host
   // scheduler's round robin. Uncontended, this degenerates to a plain delay.
   constexpr SimTime kQuantum = 1 * kNsPerMs;
@@ -27,6 +30,8 @@ Task<void> SecureContainer::compute(SimTime ns) {
 }
 
 Task<void> SecureContainer::boot(int init_pages) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kOpBoot,
+                      static_cast<std::uint64_t>(init_pages));
   const SimTime start = sim_->now();
   Vcpu& vcpu = add_vcpu();
   init_process_ = co_await kernel_->create_init_process(vcpu, init_pages);

@@ -1,5 +1,7 @@
 #include "src/backends/pvm_cpu_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 void PvmCpuBackend::world_switch_tlb_policy(Vcpu& vcpu) {
@@ -12,6 +14,7 @@ void PvmCpuBackend::world_switch_tlb_policy(Vcpu& vcpu) {
 }
 
 Task<void> PvmCpuBackend::syscall_enter(Vcpu& vcpu, GuestProcess& proc) {
+  obs::SpanScope op(hypervisor_->sim().spans(), obs::Phase::kOpSyscall);
   Switcher& switcher = hypervisor_->switcher();
   world_switch_tlb_policy(vcpu);
   if (hypervisor_->options().direct_switch) {
@@ -28,6 +31,7 @@ Task<void> PvmCpuBackend::syscall_enter(Vcpu& vcpu, GuestProcess& proc) {
 }
 
 Task<void> PvmCpuBackend::syscall_exit(Vcpu& vcpu, GuestProcess& proc) {
+  obs::SpanScope op(hypervisor_->sim().spans(), obs::Phase::kOpSyscall);
   Switcher& switcher = hypervisor_->switcher();
   world_switch_tlb_policy(vcpu);
   if (hypervisor_->options().direct_switch) {

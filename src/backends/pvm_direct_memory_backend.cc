@@ -1,5 +1,7 @@
 #include "src/backends/pvm_direct_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 PvmDirectMemoryBackend::PvmDirectMemoryBackend(PvmHypervisor& hypervisor, HostHypervisor* l0,
@@ -15,6 +17,8 @@ Task<void> PvmDirectMemoryBackend::validate_store(Vcpu& vcpu, int stores) {
   // mmu_update: the guest hands PVM a batch of page-table writes; PVM checks
   // frame ownership and type (a table frame must never be mapped writable)
   // and applies them.
+  obs::SpanScope op(sim_->spans(), obs::Phase::kOpGptStore,
+                    static_cast<std::uint64_t>(stores));
   Switcher& switcher = hypervisor_->switcher();
   const VirtRing resume_ring = vcpu.state.virt_ring;
   counters_->add(Counter::kHypercall);
@@ -33,6 +37,7 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
   const std::uint16_t pcid = guest_pcid(proc, user_mode, /*kpti=*/true);
   const VirtRing resume_ring = user_mode ? VirtRing::kVRing3 : VirtRing::kVRing0;
 
+  obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
@@ -51,6 +56,9 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
       co_return;
+    }
+    if (attempt == 0) {
+      op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       co_await l0_->ensure_backed(*l1_vm_, walk.violating_gpa);

@@ -1,5 +1,7 @@
 #include "src/backends/pvm_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 PvmMemoryBackend::PvmMemoryBackend(PvmHypervisor& hypervisor, PvmMemoryEngine& engine,
@@ -35,6 +37,10 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
   const std::uint16_t pcid = tag_pcid(proc, user_mode);
   const VirtRing resume_ring = user_mode ? VirtRing::kVRing3 : VirtRing::kVRing0;
 
+  // Operation span: opened at the first non-OK walk (a genuine fault) and
+  // closed when the access finally succeeds, so the op covers the whole
+  // resolution including the successful re-walk after the last retry.
+  obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
@@ -55,6 +61,9 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
       co_return;
+    }
+    if (attempt == 0) {
+      op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       // Rare by the warm-L1 assumption; handled by L0 without PVM knowing.
@@ -150,6 +159,7 @@ Task<void> PvmMemoryBackend::queue_sync(Vcpu& vcpu, GuestProcess& proc, std::uin
   if (sync_ring_.size() >= kSyncRingCapacity) {
     // Ring full: one dedicated round trip drains the whole batch — the
     // amortization that replaces per-store write-protect traps.
+    obs::SpanScope op(sim_->spans(), obs::Phase::kOpGptStore, gva);
     Switcher& switcher = hypervisor_->switcher();
     const VirtRing resume_ring = vcpu.state.virt_ring;
     counters_->add(Counter::kHypercall);
@@ -179,6 +189,7 @@ Task<void> PvmMemoryBackend::drain_sync_ring(Vcpu& vcpu) {
 
 Task<void> PvmMemoryBackend::trapped_store(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
                                            GptStoreKind kind) {
+  obs::SpanScope op(sim_->spans(), obs::Phase::kOpGptStore, gva);
   Switcher& switcher = hypervisor_->switcher();
   const VirtRing resume_ring = vcpu.state.virt_ring;
   co_await switcher.to_hypervisor(vcpu.switcher_state, vcpu.state,

@@ -1,5 +1,7 @@
 #include "src/backends/spt_on_ept_memory_backend.h"
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 SptOnEptMemoryBackend::SptOnEptMemoryBackend(HostHypervisor& l0, HostHypervisor::Vm& l1_vm,
@@ -33,6 +35,7 @@ Task<void> SptOnEptMemoryBackend::on_process_destroyed(Vcpu& vcpu, GuestProcess&
 Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel& kernel,
                                          std::uint64_t gva, AccessType access, bool user_mode) {
   const std::uint16_t pcid = 0;  // no PCID awareness
+  obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
@@ -49,6 +52,9 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
       co_return;
+    }
+    if (attempt == 0) {
+      op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       co_await l0_->ensure_backed(*l1_vm_, walk.violating_gpa);

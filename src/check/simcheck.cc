@@ -8,6 +8,8 @@
 
 #include "src/backends/platform.h"
 #include "src/guest/guest_kernel.h"
+#include "src/metrics/report.h"
+#include "src/obs/contention.h"
 #include "src/workloads/memstress.h"
 
 namespace pvm {
@@ -74,6 +76,19 @@ std::string case_label(const SimcheckCase& c) {
 
 SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   SimcheckResult result;
+  // Failure diagnosis: the counter table says *what* the protocol did up to
+  // the failure, the contention table says *where* tasks were queued — both
+  // deterministic, so they describe the failing interleaving exactly. The
+  // platform outlives the try so the catch blocks can capture too.
+  std::unique_ptr<VirtualPlatform> platform;
+  const auto capture_profile = [&result, &platform] {
+    if (platform == nullptr) {
+      return;
+    }
+    result.profile =
+        render_counter_report(platform->counters()) + "\n" +
+        obs::render_top_resources(obs::collect_resource_stats(platform->sim()), 8);
+  };
   try {
     PlatformConfig config;
     config.mode = c.mode;
@@ -84,14 +99,15 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     config.schedule_seed = c.schedule_seed;
     config.coherence_oracle = true;
 
-    VirtualPlatform platform(config);
-    Simulation& sim = platform.sim();
-    SecureContainer& container = platform.create_container("simcheck");
+    platform = std::make_unique<VirtualPlatform>(config);
+    Simulation& sim = platform->sim();
+    SecureContainer& container = platform->create_container("simcheck");
     sim.spawn(container.boot(), "boot");
     sim.run();
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock during boot\n" + sim.blocked_report();
+      capture_profile();
       return result;
     }
 
@@ -112,6 +128,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock during process creation\n" + sim.blocked_report();
+      capture_profile();
       return result;
     }
 
@@ -154,6 +171,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock in workload/chaos stage\n" + sim.blocked_report();
+      capture_profile();
       return result;
     }
 
@@ -167,6 +185,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock in teardown stage\n" + sim.blocked_report();
+      capture_profile();
       return result;
     }
 
@@ -179,14 +198,16 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     }
 
     result.events = sim.events_processed();
-    result.fills = platform.counters().get(Counter::kSptEntryFilled);
-    result.fill_races = platform.counters().get(Counter::kSptFillRaced);
+    result.fills = platform->counters().get(Counter::kSptEntryFilled);
+    result.fill_races = platform->counters().get(Counter::kSptFillRaced);
   } catch (const SptCoherenceError& e) {
     result.ok = false;
     result.failure = std::string("coherence violation: ") + e.what();
+    capture_profile();
   } catch (const std::exception& e) {
     result.ok = false;
     result.failure = std::string("exception: ") + e.what();
+    capture_profile();
   }
   return result;
 }
@@ -229,6 +250,9 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
               << " --policies " << schedule_policy_name(policy) << " --seeds 1 --first-seed "
               << seed << (options.chaos ? "" : " --no-chaos") << "\n"
               << r.failure << "\n";
+          if (!r.profile.empty()) {
+            out << r.profile << "\n";
+          }
           failed = true;
           ++failing_combinations;
           break;

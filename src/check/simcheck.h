@@ -57,6 +57,7 @@ struct SimcheckCase {
 struct SimcheckResult {
   bool ok = true;
   std::string failure;  // oracle violations, exception, or deadlock report
+  std::string profile;  // on failure: counter table + top-contended resources
 
   std::uint64_t events = 0;       // events the schedule executed
   std::uint64_t fills = 0;        // Counter::kSptEntryFilled

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 PvmMemoryEngine::PvmMemoryEngine(Simulation& sim, const CostModel& costs, CounterSet& counters,
@@ -128,6 +130,8 @@ std::uint64_t PvmMemoryEngine::translate_or_allocate_gpa(std::uint64_t gpa_frame
 
 Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
                                      Pte gpt_leaf, bool is_prefault) {
+  obs::SpanScope span(sim_->spans(),
+                      is_prefault ? obs::Phase::kPrefault : obs::Phase::kSptFill, gva);
   MutationScope mutation(this);
   PageTable& table = spt(pid, kernel_ring);
   const std::uint64_t gfn = gpt_leaf.frame_number();
@@ -221,15 +225,15 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
     }
     co_await sim_->delay(costs_->spt_fill);
   }
-  trace_->emit(sim_->now(), TraceActor::kL1Hypervisor,
-               std::string(is_prefault ? "prefault" : "fill") + " SPT12 gva=" +
-                   std::to_string(gva));
+  trace_->emit(sim_->now(), TraceActor::kL1Hypervisor, TraceEventKind::kSptFill,
+               is_prefault ? "prefault" : "fill", gva);
   maybe_check_after_mutation();
 }
 
 Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t gva,
                                               GptStoreKind kind, Tlb& tlb, std::uint16_t vpid,
                                               std::uint64_t emulation_work_ns) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kGptEmulate, gva);
   MutationScope mutation(this);
   counters_->add(Counter::kGptWriteProtectTrap);
   // Decode + emulate the store under the structural lock, as KVM's
@@ -262,6 +266,7 @@ Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t g
 
 Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
                                          Tlb& tlb, std::uint16_t vpid) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kZap, gva);
   PageTable& table = spt(pid, kernel_ring);
   const LeafKey key{pid, kernel_ring, gva};
   for (;;) {
@@ -299,6 +304,7 @@ Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, b
     leaf_gfn_.erase(post);
     co_await sim_->delay(costs_->spt_fill);
     const std::size_t vcpus = vcpu_count_ ? vcpu_count_() : 1;
+    obs::SpanScope shootdown(sim_->spans(), obs::Phase::kTlbShootdown);
     if (options_.pcid_mapping) {
       const PcidMapper::Mapping mapping = pcid_mapper_.map(pid, kernel_ring);
       tlb.flush_page(vpid, mapping.hw_pcid, page_number(gva));
@@ -326,6 +332,7 @@ Task<void> PvmMemoryEngine::zap_gva(std::uint64_t pid, std::uint64_t gva, Tlb& t
 }
 
 Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t vpid) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kZap);
   MutationScope mutation(this);
   ProcessShadow& shadow = shadow_for(pid);
   ScopedResource guard = co_await locks_.meta_lock().scoped();

@@ -1,12 +1,14 @@
 #include "src/core/switcher.h"
 
-#include <string>
+#include <string_view>
+
+#include "src/obs/span.h"
 
 namespace pvm {
 
 namespace {
 
-std::string reason_text(SwitchReason reason) {
+std::string_view reason_text(SwitchReason reason) {
   switch (reason) {
     case SwitchReason::kSyscall:
       return "syscall";
@@ -27,9 +29,10 @@ std::string reason_text(SwitchReason reason) {
 }  // namespace
 
 Task<void> Switcher::to_hypervisor(SwitcherState& state, VcpuState& vcpu, SwitchReason reason) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kSwitcherExit);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kL1Exit);
-  trace_->emit(sim_->now(), TraceActor::kSwitcher, "vm exit (" + reason_text(reason) + ")");
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kVmExit, reason_text(reason));
 
   // The CPU enters h_ring0 through MSR_LSTAR / the customized IDT; the
   // to_hypervisor path saves guest state into the per-CPU switcher state,
@@ -44,10 +47,11 @@ Task<void> Switcher::to_hypervisor(SwitcherState& state, VcpuState& vcpu, Switch
 }
 
 Task<void> Switcher::enter_guest(SwitcherState& state, VcpuState& vcpu, VirtRing target_ring) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kSwitcherEntry);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  trace_->emit(sim_->now(), TraceActor::kSwitcher,
-               target_ring == VirtRing::kVRing0 ? "vm entry (v_ring0)" : "vm entry (v_ring3)");
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kVmEntry,
+               target_ring == VirtRing::kVRing0 ? "v_ring0" : "v_ring3");
 
   // enter_guest saves the host context and restores the guest's, arming
   // RFLAGS.IF in the iret frame so external interrupts stay deliverable
@@ -63,9 +67,11 @@ Task<void> Switcher::enter_guest(SwitcherState& state, VcpuState& vcpu, VirtRing
 }
 
 Task<void> Switcher::direct_switch_to_kernel(SwitcherState& state, VcpuState& vcpu) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kDirectSwitch);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kDirectSwitch);
-  trace_->emit(sim_->now(), TraceActor::kSwitcher, "direct switch -> guest kernel");
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kDirectSwitch,
+               "guest kernel");
 
   // Emulate the syscall instruction: swap hardware CR3 to the kernel shadow
   // table, flip cpl/stack/gs, construct the syscall frame — all without
@@ -76,9 +82,11 @@ Task<void> Switcher::direct_switch_to_kernel(SwitcherState& state, VcpuState& vc
 }
 
 Task<void> Switcher::direct_switch_to_user(SwitcherState& state, VcpuState& vcpu) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kDirectSwitch);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kDirectSwitch);
-  trace_->emit(sim_->now(), TraceActor::kSwitcher, "direct switch -> guest user (sysret)");
+  trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kDirectSwitch,
+               "guest user (sysret)");
 
   vcpu.virt_ring = VirtRing::kVRing3;
   co_await sim_->delay(costs_->ring_crossing + costs_->direct_switch_work);

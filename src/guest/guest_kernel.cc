@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 GuestKernel::GuestKernel(Simulation& sim, const CostModel& costs, CounterSet& counters,
@@ -306,6 +308,7 @@ Task<void> GuestKernel::deliver_signal(Vcpu& vcpu, GuestProcess& proc) {
 
 Task<void> GuestKernel::do_io(Vcpu& vcpu, GuestProcess& proc, IoDevice& device,
                               std::uint64_t bytes) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kIo, bytes);
   counters_->add(Counter::kIoRequest);
   co_await cpu_->syscall_enter(vcpu, proc);
   // Doorbell kick: a privileged exit to the hypervisor owning the device.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/span.h"
+
 namespace pvm {
 
 HostHypervisor::HostHypervisor(Simulation& sim, const CostModel& costs, CounterSet& counters,
@@ -52,26 +54,37 @@ std::uint64_t HostHypervisor::handler_cost(ExitKind kind) const {
 Task<void> HostHypervisor::exit_roundtrip(Vm& vm, ExitKind kind) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "vm exit from " + vm.name());
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
-  co_await sim_->delay(handler_cost(kind));
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  }
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kL0Handler);
+    co_await sim_->delay(handler_cost(kind));
+  }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "vm entry to " + vm.name());
-  co_await sim_->delay(costs_->vmx_entry);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmEntryTo, vm.name());
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
+    co_await sim_->delay(costs_->vmx_entry);
+  }
 }
 
 Task<void> HostHypervisor::begin_exit(Vm& vm) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "vm exit from " + vm.name());
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
+  obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
   co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
 }
 
 Task<void> HostHypervisor::finish_entry(Vm& vm) {
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "vm entry to " + vm.name());
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmEntryTo, vm.name());
+  obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
   co_await sim_->delay(costs_->vmx_entry);
 }
 
@@ -79,16 +92,23 @@ Task<void> HostHypervisor::handle_ept_violation(Vm& vm, std::uint64_t gpa) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kEptViolation);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor,
-               "EPT violation in " + vm.name() + " @gpa=" + std::to_string(gpa));
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kEptViolation, vm.name(),
+               gpa);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  }
   co_await fill_ept(vm, gpa);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  co_await sim_->delay(costs_->vmx_entry);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
+    co_await sim_->delay(costs_->vmx_entry);
+  }
 }
 
 Task<void> HostHypervisor::fill_ept(Vm& vm, std::uint64_t gpa) {
+  obs::SpanScope span(sim_->spans(), obs::Phase::kEptFill, gpa);
   ScopedResource lock = co_await vm.mmu_lock().scoped();
   // Re-check under the lock: another vCPU may have filled the leaf already.
   if (const Pte* existing = vm.ept().find_pte(gpa); existing != nullptr && existing->present()) {
@@ -116,7 +136,8 @@ Task<void> HostHypervisor::ensure_backed(Vm& vm, std::uint64_t gpa) {
 
 Task<void> HostHypervisor::inject_interrupt(Vm& vm) {
   counters_->add(Counter::kInterruptInjected);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "inject interrupt into " + vm.name());
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kInjectInterrupt,
+               vm.name());
   co_await exit_roundtrip(vm, ExitKind::kInterrupt);
 }
 
@@ -125,44 +146,62 @@ Task<void> HostHypervisor::nested_forward_exit_to_l1(Vm& l1_vm, NestedVcpu& vcpu
   // Hardware exits from L2 land in L0 (the only root-mode software).
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "L2 exit -> L0 (forward to L1)");
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kNestedForward);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  }
 
   // Reflect the exit: copy exit information from VMCS02 into VMCS12 so L1's
   // handler sees it, then restore L1's own context from VMCS01.
-  vcpu.vmcs12.write(VmcsField::kExitReason, vcpu.vmcs02.read(VmcsField::kExitReason));
-  vcpu.vmcs12.write(VmcsField::kExitQualification,
-                    vcpu.vmcs02.read(VmcsField::kExitQualification));
-  vcpu.vmcs12.write(VmcsField::kGuestPhysicalAddress,
-                    vcpu.vmcs02.read(VmcsField::kGuestPhysicalAddress));
-  co_await sim_->delay(costs_->nested_forward_work + 6 * costs_->vmcs_field_access);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kL0Handler);
+    vcpu.vmcs12.write(VmcsField::kExitReason, vcpu.vmcs02.read(VmcsField::kExitReason));
+    vcpu.vmcs12.write(VmcsField::kExitQualification,
+                      vcpu.vmcs02.read(VmcsField::kExitQualification));
+    vcpu.vmcs12.write(VmcsField::kGuestPhysicalAddress,
+                      vcpu.vmcs02.read(VmcsField::kGuestPhysicalAddress));
+    co_await sim_->delay(costs_->nested_forward_work + 6 * costs_->vmcs_field_access);
+  }
 
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
   (void)kind;
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "resume L1 (" + l1_vm.name() + ")");
-  co_await sim_->delay(costs_->vmx_entry);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kResumeL1, l1_vm.name());
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
+    co_await sim_->delay(costs_->vmx_entry);
+  }
 }
 
 Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
   // L1's VMRESUME is privileged: it traps to L0.
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor,
-               "L1 vmresume trap (" + l1_vm.name() + ")");
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kL1VmresumeTrap,
+               l1_vm.name());
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  }
 
   // Merge VMCS01 + VMCS12 -> VMCS02 ("update & reload VMCS02") plus the
   // VMRESUME consistency checks and MSR-switch emulation.
-  const std::uint32_t copies = merge_vmcs02(vcpu.vmcs12, vcpu.vmcs01, vcpu.vmcs02);
-  counters_->add(Counter::kVmcsSync);
-  co_await sim_->delay(costs_->vmcs_sync() + costs_->nested_resume_work +
-                       static_cast<std::uint64_t>(copies) * costs_->vmcs_field_access);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmcsSync);
+    const std::uint32_t copies = merge_vmcs02(vcpu.vmcs12, vcpu.vmcs01, vcpu.vmcs02);
+    counters_->add(Counter::kVmcsSync);
+    co_await sim_->delay(costs_->vmcs_sync() + costs_->nested_resume_work +
+                         static_cast<std::uint64_t>(copies) * costs_->vmcs_field_access);
+  }
 
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, "vm_resume L2 (real entry)");
-  co_await sim_->delay(costs_->vmx_entry);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmResumeL2);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
+    co_await sim_->delay(costs_->vmx_entry);
+  }
 }
 
 Task<void> HostHypervisor::l1_vmcs12_access(Vm& l1_vm, NestedVcpu& vcpu, int count) {
@@ -180,18 +219,25 @@ Task<void> HostHypervisor::l1_vmcs12_access(Vm& l1_vm, NestedVcpu& vcpu, int cou
 Task<void> HostHypervisor::emulate_protected_store(Vm& l1_vm) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
-  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor,
-               "emulate write-protected EPT12 store (" + l1_vm.name() + ")");
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kEmulateEpt12Store,
+               l1_vm.name());
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  }
   {
     // kvm_mmu_pte_write runs under the L1 VM's L0 mmu_lock — shared by every
     // nested guest on the instance. This is a major serialization point.
+    obs::SpanScope span(sim_->spans(), obs::Phase::kGptEmulate);
     ScopedResource lock = co_await l1_vm.mmu_lock().scoped();
     co_await sim_->delay(costs_->l0_ept_emulate_write);
   }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  co_await sim_->delay(costs_->vmx_entry);
+  {
+    obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
+    co_await sim_->delay(costs_->vmx_entry);
+  }
 }
 
 }  // namespace pvm

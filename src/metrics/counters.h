@@ -84,11 +84,14 @@ class CounterSet {
 
   void reset() { values_.fill(0); }
 
-  // Difference against an earlier snapshot, counter by counter.
+  // Difference against an earlier snapshot, counter by counter. Saturates at
+  // zero: if this set was reset() after `earlier` was taken (tests do this
+  // between measurement windows), a naive subtraction would wrap to huge
+  // values — report zero progress instead.
   CounterSet delta_since(const CounterSet& earlier) const {
     CounterSet d;
     for (std::size_t i = 0; i < kCounterCount; ++i) {
-      d.values_[i] = values_[i] - earlier.values_[i];
+      d.values_[i] = values_[i] >= earlier.values_[i] ? values_[i] - earlier.values_[i] : 0;
     }
     return d;
   }

@@ -1,0 +1,79 @@
+#include "src/obs/chrome_trace.h"
+
+#include "src/obs/json.h"
+#include "src/obs/span.h"
+#include "src/sim/simulation.h"
+
+namespace pvm::obs {
+
+namespace {
+
+// Trace-event timestamps are microseconds; keep nanosecond resolution as
+// fractional microseconds (Perfetto accepts fractional ts/dur).
+double to_trace_us(TimeNs ns) { return static_cast<double>(ns) / 1000.0; }
+
+void emit_thread_name(JsonWriter& json, int pid, std::int64_t tid, std::string_view name) {
+  json.begin_object()
+      .key("ph").value("M")
+      .key("name").value("thread_name")
+      .key("pid").value(pid)
+      .key("tid").value(tid)
+      .key("args").begin_object().key("name").value(name).end_object()
+      .end_object();
+}
+
+void emit_process_name(JsonWriter& json, int pid, std::string_view name) {
+  json.begin_object()
+      .key("ph").value("M")
+      .key("name").value("process_name")
+      .key("pid").value(pid)
+      .key("args").begin_object().key("name").value(name).end_object()
+      .end_object();
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ns");
+  json.key("traceEvents").begin_array();
+
+  emit_process_name(json, 0, "tasks");
+  for (std::size_t i = 0; i < sim.root_count(); ++i) {
+    emit_thread_name(json, 0, static_cast<std::int64_t>(i), sim.root_name(i));
+  }
+  if (!recorder.lock_tracks().empty()) {
+    emit_process_name(json, 1, "locks");
+    for (const auto& [name, track] : recorder.lock_tracks()) {
+      emit_thread_name(json, 1, track - SpanRecorder::kLockTrackBase, name);
+    }
+  }
+
+  for (const SpanRecord& span : recorder.spans()) {
+    const bool lock_track = span.track >= SpanRecorder::kLockTrackBase;
+    const int pid = lock_track ? 1 : 0;
+    const std::int64_t tid =
+        lock_track ? span.track - SpanRecorder::kLockTrackBase
+                   : (span.track < 0 ? -1 : span.track);
+    json.begin_object()
+        .key("ph").value("X")
+        .key("name").value(phase_name(span.phase))
+        .key("cat").value(phase_is_op(span.phase) ? "op" : "phase")
+        .key("pid").value(pid)
+        .key("tid").value(tid)
+        .key("ts").value(to_trace_us(span.begin_ns))
+        .key("dur").value(to_trace_us(span.end_ns - span.begin_ns));
+    if (span.detail != 0) {
+      json.key("args").begin_object().key("detail").value(span.detail).end_object();
+    }
+    json.end_object();
+  }
+
+  json.end_array();
+  json.key("droppedSpans").value(recorder.dropped_spans());
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace pvm::obs

@@ -1,0 +1,29 @@
+// Chrome trace-event JSON export (Perfetto-loadable).
+//
+// One timeline track per root task (vCPU / chaos agent / workload process,
+// named as spawned) under pid 0, plus one track per contended lock under
+// pid 1. Spans become "X" (complete) events with microsecond timestamps on
+// the virtual clock. Load the file at https://ui.perfetto.dev or
+// chrome://tracing.
+
+#ifndef PVM_SRC_OBS_CHROME_TRACE_H_
+#define PVM_SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+namespace pvm {
+class Simulation;
+}  // namespace pvm
+
+namespace pvm::obs {
+
+class SpanRecorder;
+
+// Serializes the recorder's span buffer. Track names for root tasks come
+// from `sim` (Simulation::root_name); lock-track names from the recorder.
+// Deterministic: identical runs produce byte-identical output.
+std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim);
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,72 @@
+#include "src/obs/contention.h"
+
+#include <algorithm>
+
+#include "src/metrics/table.h"
+#include "src/sim/resource.h"
+
+namespace pvm::obs {
+
+std::vector<ResourceStats> collect_resource_stats(const Simulation& sim) {
+  std::vector<ResourceStats> stats;
+  for (const Resource* resource : sim.resources()) {
+    if (resource->acquisitions() == 0) {
+      continue;
+    }
+    ResourceStats s;
+    s.name = resource->name();
+    s.capacity = resource->capacity();
+    s.acquisitions = resource->acquisitions();
+    s.contended = resource->contended_acquisitions();
+    s.total_wait_ns = resource->total_wait_ns();
+    s.total_hold_ns = resource->total_hold_ns();
+    s.peak_queue_depth = resource->peak_queue_depth();
+    const LatencyHistogram& wait = resource->wait_histogram();
+    s.wait_p50_ns = wait.quantile(0.50);
+    s.wait_p95_ns = wait.quantile(0.95);
+    s.wait_p99_ns = wait.quantile(0.99);
+    const LatencyHistogram& hold = resource->hold_histogram();
+    s.hold_p50_ns = hold.quantile(0.50);
+    s.hold_p95_ns = hold.quantile(0.95);
+    s.hold_p99_ns = hold.quantile(0.99);
+    stats.push_back(std::move(s));
+  }
+  std::sort(stats.begin(), stats.end(), [](const ResourceStats& a, const ResourceStats& b) {
+    if (a.total_wait_ns != b.total_wait_ns) {
+      return a.total_wait_ns > b.total_wait_ns;
+    }
+    return a.name < b.name;
+  });
+  return stats;
+}
+
+SimTime total_wait_matching(const std::vector<ResourceStats>& stats,
+                            const std::string& substring) {
+  SimTime total = 0;
+  for (const ResourceStats& s : stats) {
+    if (s.name.find(substring) != std::string::npos) {
+      total += s.total_wait_ns;
+    }
+  }
+  return total;
+}
+
+std::string render_top_resources(const std::vector<ResourceStats>& stats, std::size_t top_n) {
+  TextTable table({"resource", "cap", "acq", "contended", "wait_total_us", "wait_p99_us",
+                   "hold_total_us", "peak_q"});
+  std::size_t rows = 0;
+  for (const ResourceStats& s : stats) {
+    if (rows++ >= top_n) {
+      break;
+    }
+    table.add_row({s.name, TextTable::cell(static_cast<std::uint64_t>(s.capacity)),
+                   TextTable::cell(s.acquisitions), TextTable::cell(s.contended),
+                   TextTable::cell(static_cast<double>(s.total_wait_ns) / 1e3),
+                   TextTable::cell(static_cast<double>(s.wait_p99_ns) / 1e3),
+                   TextTable::cell(static_cast<double>(s.total_hold_ns) / 1e3),
+                   TextTable::cell(static_cast<std::uint64_t>(s.peak_queue_depth))});
+  }
+  return table.render();
+}
+
+}  // namespace pvm::obs

@@ -1,0 +1,50 @@
+// Per-resource contention attribution.
+//
+// Snapshots the wait/hold statistics every live sim::Resource records
+// (always on, no span recorder required) into a sortable table: total and
+// percentile wait/hold times, contended-acquisition counts, and queue-depth
+// high-water marks. This is the Fig. 10/12 diagnosis surface — the global
+// mmu_lock's wait share versus the fine-grained meta/pt/rmap trio.
+
+#ifndef PVM_SRC_OBS_CONTENTION_H_
+#define PVM_SRC_OBS_CONTENTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace pvm::obs {
+
+struct ResourceStats {
+  std::string name;
+  std::uint32_t capacity = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  SimTime total_wait_ns = 0;
+  SimTime total_hold_ns = 0;
+  std::size_t peak_queue_depth = 0;
+  SimTime wait_p50_ns = 0;
+  SimTime wait_p95_ns = 0;
+  SimTime wait_p99_ns = 0;
+  SimTime hold_p50_ns = 0;
+  SimTime hold_p95_ns = 0;
+  SimTime hold_p99_ns = 0;
+};
+
+// Every live resource that was acquired at least once, sorted by total wait
+// descending, then name ascending (deterministic across identical runs).
+std::vector<ResourceStats> collect_resource_stats(const Simulation& sim);
+
+// Sum of total_wait_ns over resources whose name contains `substring`.
+SimTime total_wait_matching(const std::vector<ResourceStats>& stats,
+                            const std::string& substring);
+
+// "top resources by wait time" table, at most `top_n` rows.
+std::string render_top_resources(const std::vector<ResourceStats>& stats,
+                                 std::size_t top_n = 10);
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_CONTENTION_H_

@@ -1,0 +1,54 @@
+// Minimal deterministic JSON writer.
+//
+// Purpose-built for the observability exports: fixed formatting (integers as
+// decimal, doubles via "%.6f", keys emitted in caller order), no locale
+// sensitivity, no wall-clock anywhere — so identical (policy, seed, config)
+// runs serialize byte-identically, which the determinism tests assert.
+
+#ifndef PVM_SRC_OBS_JSON_H_
+#define PVM_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvm::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: emit `"key":` then the value with the next call.
+  JsonWriter& key(std::string_view key);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+
+  // Splices pre-serialized JSON in as one value (no validation).
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(std::string_view text);
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> element_written_;
+  bool pending_key_ = false;
+};
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_JSON_H_

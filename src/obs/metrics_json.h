@@ -1,0 +1,68 @@
+// Versioned machine-readable bench export (schema "pvm.bench.v1").
+//
+// Every bench binary builds one BenchExport and captures one entry per
+// (label, run): headline values, simulated time, non-zero counters, derived
+// per-fault stats, the per-resource contention table, and — when a span
+// recorder was attached — phase exclusive-time shares and per-operation
+// latency percentiles. Serialization is deterministic (see json.h): no
+// wall-clock, fixed formatting, sorted tables.
+//
+// Schema version policy: additive changes (new keys) keep the version;
+// renames/removals/semantic changes bump it. Consumers must ignore unknown
+// keys.
+
+#ifndef PVM_SRC_OBS_METRICS_JSON_H_
+#define PVM_SRC_OBS_METRICS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/counters.h"
+#include "src/sim/simulation.h"
+
+namespace pvm::obs {
+
+class SpanRecorder;
+
+inline constexpr const char* kBenchSchemaVersion = "pvm.bench.v1";
+
+class BenchExport {
+ public:
+  explicit BenchExport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  // Captures one completed run. `values` are the bench's headline numbers
+  // ("seconds", "faults_per_sec", ...), emitted in the given order.
+  // `recorder` may be null (no span attribution section then).
+  void add_run(const std::string& label, const Simulation& sim, const CounterSet& counters,
+               const SpanRecorder* recorder,
+               std::vector<std::pair<std::string, double>> values);
+
+  // Captures a run that has no live platform (values only).
+  void add_values(const std::string& label,
+                  std::vector<std::pair<std::string, double>> values);
+
+  std::size_t run_count() const { return runs_.size(); }
+
+  // The full export document.
+  std::string to_json() const;
+
+ private:
+  struct Run {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+    bool has_platform = false;
+    SimTime sim_ns = 0;
+    std::uint64_t events = 0;
+    CounterSet counters;
+    std::string resources_json;  // pre-rendered array (platform dies after capture)
+    std::string spans_json;      // pre-rendered object, empty if no recorder
+  };
+
+  std::string bench_name_;
+  std::vector<Run> runs_;
+};
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_METRICS_JSON_H_

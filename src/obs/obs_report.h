@@ -1,0 +1,22 @@
+// "pvm-report" style text summary: top resources by wait time, top phases
+// by exclusive-time share, per-operation latency percentiles.
+
+#ifndef PVM_SRC_OBS_OBS_REPORT_H_
+#define PVM_SRC_OBS_OBS_REPORT_H_
+
+#include <string>
+
+#include "src/sim/simulation.h"
+
+namespace pvm::obs {
+
+class SpanRecorder;
+
+// `recorder` may be null: the resource table is always available (Resource
+// statistics are always on); phase/op attribution needs an attached recorder.
+std::string render_obs_report(const Simulation& sim, const SpanRecorder* recorder,
+                              std::size_t top_n = 10);
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_OBS_REPORT_H_

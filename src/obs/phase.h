@@ -1,0 +1,127 @@
+// Phase taxonomy for span tracing (pvm::obs).
+//
+// Every span carries a Phase: either an *operation root* (a complete guest
+// operation whose end-to-end latency we attribute — a page fault, a syscall,
+// a trapped GPT store) or a *phase* (a protocol step inside an operation — a
+// VMX transition, a table walk, an SPT fill, a lock wait). The recorder
+// (span.h) decomposes each operation's virtual latency into exclusive time
+// per phase, which is the "where does every nanosecond go" view the paper
+// argues from (§2.2 unit costs, Fig. 9 step sequences, Fig. 10 mmu_lock
+// queueing).
+//
+// Header-only and dependency-free so src/sim can include it.
+
+#ifndef PVM_SRC_OBS_PHASE_H_
+#define PVM_SRC_OBS_PHASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pvm::obs {
+
+enum class Phase : std::uint8_t {
+  // Operation roots.
+  kOpPageFault,     // one guest page fault, entry to resolution
+  kOpSyscall,       // one guest syscall round trip
+  kOpGptStore,      // one trapped write to a write-protected guest page table
+  kOpBoot,          // container boot (RunD-style startup)
+
+  // World-switch phases.
+  kVmxExit,         // hardware VMX exit into a hypervisor (L0 or L1)
+  kVmxEntry,        // hardware VMX entry resuming a guest
+  kSwitcherExit,    // PVM switcher: guest context -> hypervisor context
+  kSwitcherEntry,   // PVM switcher: hypervisor context -> guest context
+  kDirectSwitch,    // PVM switcher user<->kernel switch without the hypervisor
+  kVmcsSync,        // nVMX VMCS01/12 -> VMCS02 merge
+  kL0Handler,       // L0 host hypervisor exit handling (dispatch + bookkeeping)
+
+  // Memory-virtualization phases.
+  kTableWalk,       // hardware 1-D or 2-D page-table walk
+  kGptWalk,         // software walk of the guest page table
+  kSptFill,         // shadow page table entry install (incl. lock phases)
+  kEptFill,         // EPT entry install (EPT01/EPT12/EPT02)
+  kGptEmulate,      // emulating a trapped GPT store (decode + apply + zap)
+  kZap,             // shadow teardown (unmap/protect/cow zap)
+  kTlbShootdown,    // remote-vCPU TLB invalidation round
+  kPrefault,        // proactive SPT fill on the iret path
+
+  // Generic contention / background phases.
+  kLockWait,        // queued on a sim::Resource (mmu_lock, pt_lock, ...)
+  kIo,              // paravirtual I/O burst
+  kCompute,         // guest compute timeslices on the host CPU pool
+
+  kCount,
+};
+
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+constexpr std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kOpPageFault:
+      return "op.page_fault";
+    case Phase::kOpSyscall:
+      return "op.syscall";
+    case Phase::kOpGptStore:
+      return "op.gpt_store";
+    case Phase::kOpBoot:
+      return "op.boot";
+    case Phase::kVmxExit:
+      return "vmx_exit";
+    case Phase::kVmxEntry:
+      return "vmx_entry";
+    case Phase::kSwitcherExit:
+      return "switcher_exit";
+    case Phase::kSwitcherEntry:
+      return "switcher_entry";
+    case Phase::kDirectSwitch:
+      return "direct_switch";
+    case Phase::kVmcsSync:
+      return "vmcs_sync";
+    case Phase::kL0Handler:
+      return "l0_handler";
+    case Phase::kTableWalk:
+      return "table_walk";
+    case Phase::kGptWalk:
+      return "gpt_walk";
+    case Phase::kSptFill:
+      return "spt_fill";
+    case Phase::kEptFill:
+      return "ept_fill";
+    case Phase::kGptEmulate:
+      return "gpt_emulate";
+    case Phase::kZap:
+      return "zap";
+    case Phase::kTlbShootdown:
+      return "tlb_shootdown";
+    case Phase::kPrefault:
+      return "prefault";
+    case Phase::kLockWait:
+      return "lock_wait";
+    case Phase::kIo:
+      return "io";
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kCount:
+      break;
+  }
+  return "?";
+}
+
+// Operation roots open an attribution scope: phases closed inside one are
+// charged to that operation in the op-by-phase matrix.
+constexpr bool phase_is_op(Phase phase) {
+  switch (phase) {
+    case Phase::kOpPageFault:
+    case Phase::kOpSyscall:
+    case Phase::kOpGptStore:
+    case Phase::kOpBoot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pvm::obs
+
+#endif  // PVM_SRC_OBS_PHASE_H_

@@ -20,6 +20,14 @@ void ScopedResource::release() {
 }
 
 void Resource::release() {
+  if (!hold_starts_.empty()) {
+    // Match this release to the oldest outstanding acquisition (exact for
+    // capacity-1 locks, FIFO-approximate for pools).
+    const SimTime held = sim_->now() - hold_starts_.front();
+    hold_starts_.pop_front();
+    total_hold_ns_ += held;
+    hold_hist_.record(held);
+  }
   if (!waiters_.empty()) {
     // Hand the unit to the oldest waiter; it resumes at the current virtual
     // time, attributed to *its* root task (not the releaser's). available_

@@ -23,6 +23,8 @@
 #include <deque>
 #include <string>
 
+#include "src/metrics/histogram.h"
+#include "src/obs/span.h"
 #include "src/sim/simulation.h"
 
 namespace pvm {
@@ -67,11 +69,13 @@ class Resource {
     Resource* resource;
     SimTime enqueue_time = 0;
     bool waited = false;
+    obs::SpanRecorder::Token wait_span{};
 
     bool await_ready() noexcept {
       if (resource->available_ > 0) {
         --resource->available_;
         ++resource->acquisitions_;
+        resource->note_acquired();
         return true;
       }
       return false;
@@ -80,6 +84,9 @@ class Resource {
     void await_suspend(std::coroutine_handle<Promise> h) noexcept {
       waited = true;
       enqueue_time = resource->sim_->now();
+      if (obs::SpanRecorder* spans = resource->sim_->spans()) {
+        wait_span = spans->begin(obs::Phase::kLockWait);
+      }
       resource->waiters_.push_back(Waiter{h, resource->sim_->active_root()});
       if (resource->waiters_.size() > resource->peak_queue_depth_) {
         resource->peak_queue_depth_ = resource->waiters_.size();
@@ -90,7 +97,16 @@ class Resource {
         // release() transferred ownership to us directly (available_ was not
         // incremented), so only the statistics need updating here.
         ++resource->acquisitions_;
-        resource->total_wait_ns_ += resource->sim_->now() - enqueue_time;
+        ++resource->contended_acquisitions_;
+        const SimTime wait = resource->sim_->now() - enqueue_time;
+        resource->total_wait_ns_ += wait;
+        resource->wait_hist_.record(wait);
+        if (wait_span.valid()) {
+          if (obs::SpanRecorder* spans = resource->sim_->spans()) {
+            spans->end_lock_wait(wait_span, resource->name_);
+          }
+        }
+        resource->note_acquired();
       }
     }
   };
@@ -124,13 +140,25 @@ class Resource {
   const std::string& name() const { return name_; }
   std::uint32_t capacity() const { return capacity_; }
   std::uint64_t acquisitions() const { return acquisitions_; }
+  // Acquisitions that queued (did not take the uncontended fast path).
+  std::uint64_t contended_acquisitions() const { return contended_acquisitions_; }
   SimTime total_wait_ns() const { return total_wait_ns_; }
+  // Total time units were held, release-to-release. Exact for capacity 1
+  // (locks); FIFO-approximate for pools, where releases are matched to the
+  // oldest outstanding acquisition.
+  SimTime total_hold_ns() const { return total_hold_ns_; }
   std::size_t peak_queue_depth() const { return peak_queue_depth_; }
   std::size_t queue_depth() const { return waiters_.size(); }
   const std::deque<Waiter>& waiters() const { return waiters_; }
+  // Distribution of contended waits (uncontended acquisitions are not
+  // recorded: the interesting signal is queueing, not the fast path).
+  const LatencyHistogram& wait_histogram() const { return wait_hist_; }
+  const LatencyHistogram& hold_histogram() const { return hold_hist_; }
 
  private:
   friend struct AcquireAwaiter;
+
+  void note_acquired() { hold_starts_.push_back(sim_->now()); }
 
   Simulation* sim_;
   std::string name_;
@@ -139,8 +167,13 @@ class Resource {
   std::deque<Waiter> waiters_;
 
   std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_acquisitions_ = 0;
   SimTime total_wait_ns_ = 0;
+  SimTime total_hold_ns_ = 0;
   std::size_t peak_queue_depth_ = 0;
+  std::deque<SimTime> hold_starts_;
+  LatencyHistogram wait_hist_;
+  LatencyHistogram hold_hist_;
 };
 
 }  // namespace pvm

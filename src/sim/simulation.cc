@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/span.h"
 #include "src/sim/resource.h"
 
 namespace pvm {
@@ -38,6 +39,13 @@ void Simulation::abandon_pending() {
   // (now destroyed) waiters; purge those dangling handles without resuming.
   while (!queue_.empty()) {
     queue_.pop();
+  }
+}
+
+void Simulation::set_spans(obs::SpanRecorder* spans) {
+  spans_ = spans;
+  if (spans_ != nullptr) {
+    spans_->bind(&now_, &active_root_);
   }
 }
 

@@ -25,6 +25,10 @@ namespace pvm {
 
 class Resource;
 
+namespace obs {
+class SpanRecorder;
+}  // namespace obs
+
 // Virtual time in nanoseconds since simulation start.
 using SimTime = std::uint64_t;
 
@@ -90,6 +94,21 @@ class Simulation {
 
   // Name of root task `index` as given to spawn().
   const std::string& root_name(std::size_t index) const { return root_names_.at(index); }
+
+  // Number of root tasks spawned so far.
+  std::size_t root_count() const { return root_names_.size(); }
+
+  // Attaches (or detaches, with nullptr) a span recorder. The recorder is
+  // bound to this simulation's clock and active-root pointers, so spans open
+  // and close on virtual time with per-root-task stacks; instrumented code
+  // reads it via spans() and pays one pointer check when none is attached.
+  // The recorder must outlive the attachment. Does not enable recording —
+  // callers toggle SpanRecorder::set_enabled separately.
+  void set_spans(obs::SpanRecorder* spans);
+  obs::SpanRecorder* spans() const { return spans_; }
+
+  // Live resources, in registration order (used by contention reporting).
+  const std::vector<Resource*>& resources() const { return resources_; }
 
   // Runs until the event queue is empty. Returns the number of events
   // processed. Throws if a root task terminated with an exception.
@@ -177,6 +196,7 @@ class Simulation {
   std::vector<std::coroutine_handle<TaskPromise<void>>> roots_;
   std::vector<std::string> root_names_;
   std::vector<Resource*> resources_;
+  obs::SpanRecorder* spans_ = nullptr;
 };
 
 }  // namespace pvm

@@ -22,11 +22,53 @@ std::string_view trace_actor_name(TraceActor actor) {
   return "?";
 }
 
+std::string TraceRecord::text() const {
+  const auto with = [this](const char* prefix, const char* suffix) {
+    std::string result(prefix);
+    result += fragment;
+    result += suffix;
+    return result;
+  };
+  switch (kind) {
+    case TraceEventKind::kFreeform:
+      return message;
+    case TraceEventKind::kVmExit:
+      return with("vm exit (", ")");
+    case TraceEventKind::kVmEntry:
+      return with("vm entry (", ")");
+    case TraceEventKind::kDirectSwitch:
+      return with("direct switch -> ", "");
+    case TraceEventKind::kVmExitFrom:
+      return with("vm exit from ", "");
+    case TraceEventKind::kVmEntryTo:
+      return with("vm entry to ", "");
+    case TraceEventKind::kEptViolation:
+      return with("EPT violation in ", " @gpa=") + std::to_string(value);
+    case TraceEventKind::kInjectInterrupt:
+      return with("inject interrupt into ", "");
+    case TraceEventKind::kNestedForward:
+      return "L2 exit -> L0 (forward to L1)";
+    case TraceEventKind::kResumeL1:
+      return with("resume L1 (", ")");
+    case TraceEventKind::kL1VmresumeTrap:
+      return with("L1 vmresume trap (", ")");
+    case TraceEventKind::kVmResumeL2:
+      return "vm_resume L2 (real entry)";
+    case TraceEventKind::kEmulateEpt12Store:
+      return with("emulate write-protected EPT12 store (", ")");
+    case TraceEventKind::kSptFill:
+      return with("", " SPT12 gva=") + std::to_string(value);
+    case TraceEventKind::kEpt02Violation:
+      return "EPT02 violation gpa=" + std::to_string(value);
+  }
+  return message;
+}
+
 std::vector<std::string> TraceLog::messages_for(TraceActor actor) const {
   std::vector<std::string> result;
   for (const auto& record : records_) {
     if (record.actor == actor) {
-      result.push_back(record.message);
+      result.push_back(record.text());
     }
   }
   return result;
@@ -36,7 +78,7 @@ std::vector<std::string> TraceLog::messages() const {
   std::vector<std::string> result;
   result.reserve(records_.size());
   for (const auto& record : records_) {
-    result.push_back(record.message);
+    result.push_back(record.text());
   }
   return result;
 }
@@ -44,7 +86,7 @@ std::vector<std::string> TraceLog::messages() const {
 bool TraceLog::contains_sequence(const std::vector<std::string>& needle) const {
   std::size_t matched = 0;
   for (const auto& record : records_) {
-    if (matched < needle.size() && record.message == needle[matched]) {
+    if (matched < needle.size() && record.text() == needle[matched]) {
       ++matched;
     }
   }
@@ -56,7 +98,7 @@ std::string TraceLog::render() const {
   std::size_t step = 1;
   for (const auto& record : records_) {
     out << step++ << ". [" << record.time_ns << " ns] " << trace_actor_name(record.actor) << ": "
-        << record.message << '\n';
+        << record.text() << '\n';
   }
   if (dropped_ > 0) {
     out << "(" << dropped_ << " earlier records dropped)\n";

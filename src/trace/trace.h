@@ -28,10 +28,43 @@ enum class TraceActor {
 
 std::string_view trace_actor_name(TraceActor actor);
 
+// Typed event kinds for the hot protocol paths. A typed record stores only
+// the kind plus a string fragment and a numeric payload; the message string
+// is rendered lazily by TraceRecord::text(), so emitting costs no allocation
+// (free-form strings previously had to be concatenated before the enabled
+// check at every call site). kFreeform keeps the arbitrary-string escape
+// hatch for cold paths and tests.
+enum class TraceEventKind : std::uint8_t {
+  kFreeform,            // message                      (verbatim)
+  kVmExit,              // "vm exit (<a>)"              a = switch reason
+  kVmEntry,             // "vm entry (<a>)"             a = target virt ring
+  kDirectSwitch,        // "direct switch -> <a>"
+  kVmExitFrom,          // "vm exit from <a>"           a = VM name
+  kVmEntryTo,           // "vm entry to <a>"            a = VM name
+  kEptViolation,        // "EPT violation in <a> @gpa=<value>"
+  kInjectInterrupt,     // "inject interrupt into <a>"
+  kNestedForward,       // "L2 exit -> L0 (forward to L1)"
+  kResumeL1,            // "resume L1 (<a>)"
+  kL1VmresumeTrap,      // "L1 vmresume trap (<a>)"
+  kVmResumeL2,          // "vm_resume L2 (real entry)"
+  kEmulateEpt12Store,   // "emulate write-protected EPT12 store (<a>)"
+  kSptFill,             // "<a> SPT12 gva=<value>"      a = "fill" | "prefault"
+  kEpt02Violation,      // "EPT02 violation gpa=<value>"
+};
+
 struct TraceRecord {
   std::uint64_t time_ns;
   TraceActor actor;
-  std::string message;
+  TraceEventKind kind = TraceEventKind::kFreeform;
+  // Fragment referenced by typed kinds. Must be a string literal or owned by
+  // an object that outlives every read of this log (VM/engine names qualify:
+  // they live as long as the platform that owns the log).
+  std::string_view fragment{};
+  std::uint64_t value = 0;
+  std::string message;  // kFreeform payload only
+
+  // The rendered message ("vm exit (hypercall)", ...).
+  std::string text() const;
 };
 
 class TraceLog {
@@ -45,11 +78,16 @@ class TraceLog {
     if (!enabled_) {
       return;
     }
-    if (records_.size() >= max_records_) {
-      records_.pop_front();
-      ++dropped_;
+    push(TraceRecord{time_ns, actor, TraceEventKind::kFreeform, {}, 0, std::move(message)});
+  }
+
+  // Typed emit: no allocation, message rendered lazily on read.
+  void emit(std::uint64_t time_ns, TraceActor actor, TraceEventKind kind,
+            std::string_view fragment = {}, std::uint64_t value = 0) {
+    if (!enabled_) {
+      return;
     }
-    records_.push_back(TraceRecord{time_ns, actor, std::move(message)});
+    push(TraceRecord{time_ns, actor, kind, fragment, value, {}});
   }
 
   void clear() {
@@ -74,6 +112,14 @@ class TraceLog {
   std::string render() const;
 
  private:
+  void push(TraceRecord&& record) {
+    if (records_.size() >= max_records_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(std::move(record));
+  }
+
   bool enabled_ = false;
   std::size_t max_records_;
   std::uint64_t dropped_ = 0;

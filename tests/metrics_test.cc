@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string_view>
+
 #include "src/metrics/counters.h"
 #include "src/metrics/histogram.h"
 #include "src/metrics/table.h"
@@ -35,6 +38,29 @@ TEST(CounterSetTest, EveryCounterHasAName) {
   for (std::size_t i = 0; i < kCounterCount; ++i) {
     EXPECT_NE(counter_name(static_cast<Counter>(i)), "unknown") << "counter index " << i;
   }
+}
+
+TEST(CounterSetTest, CounterNamesDistinctAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const std::string_view name = counter_name(static_cast<Counter>(i));
+    EXPECT_FALSE(name.empty()) << "counter index " << i;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate counter name: " << name;
+  }
+}
+
+TEST(CounterSetTest, DeltaSinceSaturatesAtZero) {
+  // A reset() between the snapshot and the delta used to wrap the subtraction
+  // to ~2^64; it must read as zero progress instead.
+  CounterSet counters;
+  counters.add(Counter::kL0Exit, 10);
+  const CounterSet snapshot = counters;
+  counters.reset();
+  counters.add(Counter::kL0Exit, 3);
+  counters.add(Counter::kTlbMiss, 2);
+  const CounterSet delta = counters.delta_since(snapshot);
+  EXPECT_EQ(delta.get(Counter::kL0Exit), 0u);
+  EXPECT_EQ(delta.get(Counter::kTlbMiss), 2u);
 }
 
 TEST(LatencyHistogramTest, BasicAggregates) {

@@ -1,0 +1,140 @@
+// Integration tests for the observability exports:
+//   - golden-file check of the Chrome trace for a single-fault pvm (NST) run,
+//   - byte-determinism of both the Chrome trace and the bench JSON export,
+//   - the Fig. 10 diagnosis: under 32 concurrent fault-heavy processes the
+//     global mmu_lock's share of total lock wait (coarse locking) exceeds the
+//     combined share of the fine-grained meta/pt/rmap trio.
+//
+// Regenerate the golden file with PVM_UPDATE_GOLDEN=1 after an intentional
+// format or instrumentation change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+
+#include "src/backends/platform.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/contention.h"
+#include "src/obs/metrics_json.h"
+#include "src/obs/span.h"
+#include "src/workloads/memstress.h"
+#include "src/workloads/runner.h"
+
+#ifndef PVM_GOLDEN_DIR
+#define PVM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace pvm {
+namespace {
+
+struct OneFaultExports {
+  std::string trace;
+  std::string bench_json;
+};
+
+// Boots pvm (NST), then attaches the recorder so the exports cover exactly
+// one guest page fault (and the protocol steps it decomposes into).
+OneFaultExports run_one_fault_pvm_nst() {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  VirtualPlatform platform(config);
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(8), "boot");
+  platform.sim().run();
+  GuestProcess& proc = *c.init_process();
+  proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 1ull << 20, true};
+
+  obs::SpanRecorder recorder;
+  recorder.set_enabled(true);
+  platform.sim().set_spans(&recorder);
+  platform.sim().spawn([](SecureContainer& cc, GuestProcess& p) -> Task<void> {
+    co_await cc.kernel().touch(cc.vcpu(0), p, GuestProcess::kHeapBase, true);
+  }(c, proc),
+                       "touch");
+  platform.sim().run();
+
+  OneFaultExports out;
+  out.trace = obs::export_chrome_trace(recorder, platform.sim());
+  obs::BenchExport ex("obs_export_test");
+  ex.add_run("one_fault", platform.sim(), platform.counters(), &recorder,
+             {{"faults", 1.0}});
+  out.bench_json = ex.to_json();
+  return out;
+}
+
+TEST(ObsExportTest, GoldenChromeTraceOneFaultPvmNst) {
+  const std::string produced = run_one_fault_pvm_nst().trace;
+  // Sanity before comparing bytes: one op span, Perfetto-required fields.
+  EXPECT_NE(produced.find("\"op.page_fault\""), std::string::npos);
+  EXPECT_NE(produced.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(produced.find("\"ph\":\"M\""), std::string::npos);
+
+  const std::string path =
+      std::string(PVM_GOLDEN_DIR) + "/chrome_trace_pvm_nst_one_fault.json";
+  if (std::getenv("PVM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << produced;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with PVM_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(produced, golden.str());
+}
+
+TEST(ObsExportTest, ExportsAreByteDeterministic) {
+  const OneFaultExports a = run_one_fault_pvm_nst();
+  const OneFaultExports b = run_one_fault_pvm_nst();
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.bench_json, b.bench_json);
+  EXPECT_NE(a.bench_json.find(obs::kBenchSchemaVersion), std::string::npos);
+}
+
+SimTime wait_of(const std::vector<obs::ResourceStats>& stats,
+                std::initializer_list<const char*> substrings) {
+  SimTime matched = 0;
+  for (const char* sub : substrings) {
+    matched += obs::total_wait_matching(stats, sub);
+  }
+  return matched;
+}
+
+std::vector<obs::ResourceStats> run_fig10_contention(bool fine_grained_locks) {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  config.fine_grained_locks = fine_grained_locks;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot(16), "boot");
+  platform.sim().run();
+
+  MemStressParams params;
+  params.total_bytes = 1ull << 20;
+  run_processes_in_container(platform, container, /*process_count=*/32,
+                             [&](int, Vcpu& vcpu, GuestProcess& proc) -> Task<void> {
+                               return memstress_process(container, vcpu, proc, params);
+                             });
+  return obs::collect_resource_stats(platform.sim());
+}
+
+TEST(ObsContentionTest, CoarseMmuLockWaitExceedsFineGrainedTrio) {
+  const SimTime coarse_mmu_wait =
+      wait_of(run_fig10_contention(/*fine_grained_locks=*/false), {".mmu_lock"});
+  const SimTime fine_trio_wait = wait_of(run_fig10_contention(/*fine_grained_locks=*/true),
+                                         {".meta_lock", ".pt_lock.", ".rmap_lock."});
+  // The paper's Fig. 10 story: one global mmu_lock serializes 32 faulting
+  // processes; splitting it into the meta/pt/rmap trio removes most of the
+  // queueing on the identical workload.
+  EXPECT_GT(coarse_mmu_wait, 0u);
+  EXPECT_GT(coarse_mmu_wait, fine_trio_wait);
+}
+
+}  // namespace
+}  // namespace pvm

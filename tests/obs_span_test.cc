@@ -1,0 +1,186 @@
+// Unit tests for the span recorder: nesting and exclusive-time accounting,
+// operation attribution, lock-track mirroring, buffer capping, and the RAII
+// SpanScope wrapper. The recorder is driven directly with a fake clock — no
+// simulation needed.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "src/obs/phase.h"
+#include "src/obs/span.h"
+
+namespace pvm::obs {
+namespace {
+
+// Fake clock + active-root, bound the same way Simulation::set_spans binds.
+struct Bound {
+  TimeNs now = 0;
+  std::int64_t root = 0;
+  SpanRecorder recorder;
+  Bound() {
+    recorder.bind(&now, &root);
+    recorder.set_enabled(true);
+  }
+};
+
+TEST(PhaseTest, NamesDistinctAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::string_view name = phase_name(static_cast<Phase>(i));
+    EXPECT_FALSE(name.empty()) << "phase index " << i;
+    EXPECT_NE(name, "?") << "phase index " << i;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate phase name: " << name;
+  }
+}
+
+TEST(PhaseTest, OnlyOperationRootsAreOps) {
+  EXPECT_TRUE(phase_is_op(Phase::kOpPageFault));
+  EXPECT_TRUE(phase_is_op(Phase::kOpBoot));
+  EXPECT_FALSE(phase_is_op(Phase::kVmxExit));
+  EXPECT_FALSE(phase_is_op(Phase::kLockWait));
+}
+
+TEST(SpanRecorderTest, NestedSpansSplitExclusiveTime) {
+  Bound b;
+  const auto outer = b.recorder.begin(Phase::kOpPageFault);
+  b.now = 10;
+  const auto inner = b.recorder.begin(Phase::kVmxExit);
+  b.now = 30;
+  b.recorder.end(inner);  // inner: 20 ns, all exclusive
+  b.now = 50;
+  b.recorder.end(outer);  // outer: 50 ns total, 30 ns exclusive
+
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kVmxExit).count, 1u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kVmxExit).exclusive_ns, 20u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kOpPageFault).count, 1u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kOpPageFault).exclusive_ns, 30u);
+  EXPECT_EQ(b.recorder.total_span_ns(), 50u);
+}
+
+TEST(SpanRecorderTest, PhasesChargeToEnclosingOp) {
+  Bound b;
+  const auto op = b.recorder.begin(Phase::kOpSyscall);
+  const auto child = b.recorder.begin(Phase::kSwitcherExit);
+  b.now = 40;
+  b.recorder.end(child);
+  b.now = 100;
+  b.recorder.end(op);
+
+  EXPECT_EQ(b.recorder.op_phase_ns(Phase::kOpSyscall, Phase::kSwitcherExit), 40u);
+  EXPECT_EQ(b.recorder.op_phase_ns(Phase::kOpSyscall, Phase::kOpSyscall), 60u);
+  // The op's end-to-end latency histogram sees the inclusive duration.
+  EXPECT_EQ(b.recorder.op_latency(Phase::kOpSyscall).count(), 1u);
+  EXPECT_EQ(b.recorder.op_latency(Phase::kOpSyscall).sum(), 100u);
+}
+
+TEST(SpanRecorderTest, PhaseOutsideAnyOpChargesToNoOpRow) {
+  Bound b;
+  const auto span = b.recorder.begin(Phase::kIo);
+  b.now = 25;
+  b.recorder.end(span);
+  EXPECT_EQ(b.recorder.op_phase_ns(Phase::kCount, Phase::kIo), 25u);
+}
+
+TEST(SpanRecorderTest, LockWaitMirroredOntoLockTrack) {
+  Bound b;
+  const auto wait = b.recorder.begin(Phase::kLockWait);
+  b.now = 15;
+  b.recorder.end_lock_wait(wait, "engine.mmu_lock");
+
+  ASSERT_EQ(b.recorder.lock_tracks().size(), 1u);
+  const auto it = b.recorder.lock_tracks().find("engine.mmu_lock");
+  ASSERT_NE(it, b.recorder.lock_tracks().end());
+  EXPECT_GE(it->second, SpanRecorder::kLockTrackBase);
+  // Two raw records: one on the root track, one mirrored on the lock track.
+  ASSERT_EQ(b.recorder.spans().size(), 2u);
+  EXPECT_EQ(b.recorder.spans()[1].track, it->second);
+  // Aggregates count the wait once.
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kLockWait).count, 1u);
+}
+
+TEST(SpanRecorderTest, SeparateRootsGetSeparateTracks) {
+  Bound b;
+  b.root = 3;
+  const auto on3 = b.recorder.begin(Phase::kCompute);
+  b.root = 7;
+  const auto on7 = b.recorder.begin(Phase::kIo);
+  b.now = 5;
+  b.recorder.end(on7);
+  b.recorder.end(on3);
+  ASSERT_EQ(b.recorder.spans().size(), 2u);
+  EXPECT_EQ(b.recorder.spans()[0].track, 7);
+  EXPECT_EQ(b.recorder.spans()[1].track, 3);
+}
+
+TEST(SpanRecorderTest, DisabledRecordsNothing) {
+  Bound b;
+  b.recorder.set_enabled(false);
+  const auto token = b.recorder.begin(Phase::kOpPageFault);
+  EXPECT_FALSE(token.valid());
+  b.now = 10;
+  b.recorder.end(token);  // no-op
+  EXPECT_TRUE(b.recorder.spans().empty());
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kOpPageFault).count, 0u);
+}
+
+TEST(SpanRecorderTest, BufferCapDropsRawSpansButKeepsAggregates) {
+  Bound b;
+  b.recorder.set_max_spans(1);
+  for (int i = 0; i < 3; ++i) {
+    const auto span = b.recorder.begin(Phase::kZap);
+    b.now += 2;
+    b.recorder.end(span);
+  }
+  EXPECT_EQ(b.recorder.spans().size(), 1u);
+  EXPECT_EQ(b.recorder.dropped_spans(), 2u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kZap).count, 3u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kZap).exclusive_ns, 6u);
+}
+
+TEST(SpanRecorderTest, ClearResetsEverything) {
+  Bound b;
+  const auto span = b.recorder.begin(Phase::kOpBoot);
+  b.now = 9;
+  b.recorder.end(span);
+  b.recorder.clear();
+  EXPECT_TRUE(b.recorder.spans().empty());
+  EXPECT_EQ(b.recorder.total_span_ns(), 0u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kOpBoot).count, 0u);
+  EXPECT_EQ(b.recorder.op_latency(Phase::kOpBoot).count(), 0u);
+}
+
+TEST(SpanScopeTest, RaiiOpensAndCloses) {
+  Bound b;
+  {
+    SpanScope scope(&b.recorder, Phase::kPrefault);
+    b.now = 12;
+  }
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kPrefault).count, 1u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kPrefault).exclusive_ns, 12u);
+}
+
+TEST(SpanScopeTest, MoveAssignClosesPreviousAndTransfers) {
+  Bound b;
+  SpanScope outer;  // empty, like the lazy-open pattern in the fault loops
+  {
+    SpanScope first(&b.recorder, Phase::kSptFill);
+    b.now = 4;
+    outer = std::move(first);  // no double close when `first` dies
+  }
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kSptFill).count, 0u);
+  b.now = 10;
+  outer.close();
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kSptFill).count, 1u);
+  EXPECT_EQ(b.recorder.phase_stat(Phase::kSptFill).exclusive_ns, 10u);
+}
+
+TEST(SpanScopeTest, NullRecorderIsZeroCostNoOp) {
+  SpanScope scope(nullptr, Phase::kOpPageFault);
+  scope.close();  // must not crash
+}
+
+}  // namespace
+}  // namespace pvm::obs

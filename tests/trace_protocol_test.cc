@@ -56,7 +56,7 @@ TEST(TraceProtocolTest, PvmOnEptFollowsFigure9) {
   bool saw_prefault = false;
   for (const auto& record : h.platform->trace().records()) {
     if (record.actor == TraceActor::kL1Hypervisor &&
-        record.message.rfind("prefault", 0) == 0) {
+        record.text().rfind("prefault", 0) == 0) {
       saw_prefault = true;
     }
   }

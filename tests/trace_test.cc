@@ -19,7 +19,7 @@ TEST(TraceLogTest, RecordsWhenEnabled) {
   log.emit(10, TraceActor::kL2User, "#PF");
   log.emit(20, TraceActor::kSwitcher, "vm exit");
   ASSERT_EQ(log.size(), 2u);
-  EXPECT_EQ(log.records()[0].message, "#PF");
+  EXPECT_EQ(log.records()[0].text(), "#PF");
   EXPECT_EQ(log.records()[1].actor, TraceActor::kSwitcher);
 }
 
@@ -53,7 +53,7 @@ TEST(TraceLogTest, RingBufferDropsOldest) {
   }
   EXPECT_EQ(log.size(), 3u);
   EXPECT_EQ(log.dropped(), 2u);
-  EXPECT_EQ(log.records().front().message, "2");
+  EXPECT_EQ(log.records().front().text(), "2");
 }
 
 TEST(TraceLogTest, RenderIncludesActorsAndSteps) {
@@ -64,6 +64,15 @@ TEST(TraceLogTest, RenderIncludesActorsAndSteps) {
   EXPECT_NE(out.find("1. "), std::string::npos);
   EXPECT_NE(out.find("L0-hv"), std::string::npos);
   EXPECT_NE(out.find("update VMCS02"), std::string::npos);
+}
+
+TEST(TraceLogTest, RenderReportsDroppedTrailer) {
+  TraceLog log(2);
+  log.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    log.emit(i, TraceActor::kHardware, std::to_string(i));
+  }
+  EXPECT_NE(log.render().find("(3 earlier records dropped)"), std::string::npos);
 }
 
 TEST(TraceLogTest, ClearResets) {
