@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/backends/platform.h"
+#include "src/fault/fault.h"
 #include "src/metrics/table.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics_json.h"
@@ -78,6 +79,10 @@ inline void print_header(const char* experiment, const char* paper_ref, const ch
 //                    chrome://tracing) of the last recorded run
 //   --report         print the pvm-report text summary (top contended
 //                    resources, phase breakdown, op latencies) per run
+//   --faults <plan>  arm a deterministic fault plan ("<preset>[:seed=N]",
+//                    see fault::FaultPlan::parse) on every platform passed
+//                    to arm_faults(); "none" disables, including a bench's
+//                    own default plan
 //
 // With none of the flags given, observe()/record_run() are no-ops and no
 // span recorder is attached to any platform, so simulations run exactly as
@@ -94,6 +99,8 @@ class BenchIo {
         trace_path_ = argv[++i];
       } else if (arg == "--report") {
         report_ = true;
+      } else if (arg == "--faults" && i + 1 < argc) {
+        fault_plan_ = argv[++i];
       }
     }
     instance_slot() = this;
@@ -118,6 +125,29 @@ class BenchIo {
   }
 
   bool active() const { return !json_path_.empty() || !trace_path_.empty() || report_; }
+
+  // A bench that models faults by default (fig12's boot storm) declares its
+  // plan here; an explicit --faults (including "none") wins.
+  void set_default_fault_plan(const std::string& plan) {
+    if (fault_plan_.empty()) {
+      fault_plan_ = plan;
+    }
+  }
+  const std::string& fault_plan() const { return fault_plan_; }
+
+  // Arms the configured fault plan on a platform (no-op for ""/"none").
+  // The injector lives in the BenchIo so it outlives the platform's runs;
+  // each call gets a fresh injector so every run replays the same plan from
+  // the same seed regardless of run order.
+  fault::FaultInjector* arm_faults(VirtualPlatform& platform) {
+    if (fault_plan_.empty() || fault_plan_ == "none") {
+      return nullptr;
+    }
+    injectors_.push_back(std::make_unique<fault::FaultInjector>());
+    injectors_.back()->arm(fault::FaultPlan::parse(fault_plan_));
+    platform.arm_faults(injectors_.back().get());
+    return injectors_.back().get();
+  }
 
   // Attach a fresh span recorder to a simulation. Call between constructing
   // the simulation/platform and running work on it.
@@ -203,10 +233,12 @@ class BenchIo {
   obs::BenchExport export_;
   std::string json_path_;
   std::string trace_path_;
+  std::string fault_plan_;
   bool report_ = false;
   bool finished_ = false;
   std::vector<std::unique_ptr<obs::SpanRecorder>> recorders_;
   std::map<const Simulation*, obs::SpanRecorder*> by_sim_;
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors_;
 };
 
 inline BenchIo& bench_io() { return BenchIo::instance(); }

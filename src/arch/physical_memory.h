@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/arch/addresses.h"
+#include "src/fault/fault.h"
 
 namespace pvm {
 
@@ -24,7 +25,10 @@ class FrameAllocator {
   FrameAllocator(std::string name, std::uint64_t frame_count)
       : name_(std::move(name)), capacity_(frame_count) {}
 
-  // Allocates one frame; returns its frame number, or nullopt when exhausted.
+  // Allocates one frame; returns its frame number, or nullopt when exhausted
+  // (or when an attached fault injector refuses the allocation: an injected
+  // occupancy ceiling or transient pressure looks exactly like exhaustion to
+  // the caller, so the recovery paths exercised are the real ones).
   //
   // Fresh frames are preferred over recycling the free list: a streaming
   // guest (buddy allocator churn across many CPUs) keeps touching new
@@ -33,6 +37,9 @@ class FrameAllocator {
   // paper's allocate/release microbenchmark (Figs. 4 & 10) instead of being
   // amortized after the first chunk.
   std::optional<std::uint64_t> allocate() {
+    if (faults_ != nullptr && faults_->frame_alloc_blocked(name_, allocated_)) {
+      return std::nullopt;
+    }
     if (next_fresh_ < capacity_) {
       ++allocated_;
       return next_fresh_++;
@@ -46,14 +53,23 @@ class FrameAllocator {
     return std::nullopt;
   }
 
-  // Allocates or throws; used where exhaustion indicates a configuration bug.
+  // Allocates or throws; used where exhaustion indicates a configuration bug
+  // (page-table table pages, boot-time reserves). Deliberately bypasses the
+  // fault injector: these sites have no recovery protocol, so injecting into
+  // them would abort the simulator rather than exercise graceful paths.
   std::uint64_t allocate_or_throw() {
-    auto frame = allocate();
-    if (!frame) {
-      throw std::runtime_error("FrameAllocator '" + name_ + "' exhausted (capacity " +
-                               std::to_string(capacity_) + " frames)");
+    if (next_fresh_ < capacity_) {
+      ++allocated_;
+      return next_fresh_++;
     }
-    return *frame;
+    if (!free_list_.empty()) {
+      std::uint64_t frame = free_list_.back();
+      free_list_.pop_back();
+      ++allocated_;
+      return frame;
+    }
+    throw std::runtime_error("FrameAllocator '" + name_ + "' exhausted (capacity " +
+                             std::to_string(capacity_) + " frames)");
   }
 
   void free(std::uint64_t frame) {
@@ -66,12 +82,16 @@ class FrameAllocator {
   std::uint64_t allocated() const { return allocated_; }
   std::uint64_t available() const { return capacity_ - allocated_; }
 
+  // Attaches (or detaches, with nullptr) a fault injector to allocate().
+  void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
   std::string name_;
   std::uint64_t capacity_;
   std::uint64_t next_fresh_ = 0;
   std::uint64_t allocated_ = 0;
   std::vector<std::uint64_t> free_list_;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace pvm

@@ -9,6 +9,9 @@ Task<void> EptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
   const std::uint16_t pcid = guest_pcid(proc, user_mode, kpti_);
   obs::SpanScope op;
   for (int attempt = 0; attempt < 16; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;

@@ -8,6 +8,9 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
                                          std::uint64_t gva, AccessType access, bool user_mode) {
   const std::uint16_t pcid = guest_pcid(proc, user_mode, kpti_);
   for (int attempt = 0; attempt < 24; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;
@@ -32,15 +35,23 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
         co_await guest_local_fault_return();
         break;
       }
-      case TwoDimWalk::Outcome::kEptViolation:
-        co_await handle_ept02_violation(vcpu, walk.violating_gpa);
+      case TwoDimWalk::Outcome::kEptViolation: {
+        const bool backed = co_await handle_ept02_violation(vcpu, walk.violating_gpa);
+        if (!backed) {
+          // The instance's guest-physical pool is empty and the L1 KVM has
+          // no reclaim protocol for EPT12 backing: the faulting process is
+          // OOM-killed (during a boot storm this takes init down with it).
+          co_await kernel.oom_kill_process(vcpu, proc);
+          co_return;
+        }
         break;
+      }
     }
   }
   fault_loop_error(gva);
 }
 
-Task<void> EptOnEptMemoryBackend::handle_ept02_violation(Vcpu& vcpu, std::uint64_t gpa) {
+Task<bool> EptOnEptMemoryBackend::handle_ept02_violation(Vcpu& vcpu, std::uint64_t gpa) {
   obs::SpanScope op(sim_->spans(), obs::Phase::kOpPageFault, gpa);
   trace_->emit(sim_->now(), TraceActor::kHardware, TraceEventKind::kEpt02Violation, {}, gpa);
 
@@ -52,16 +63,31 @@ Task<void> EptOnEptMemoryBackend::handle_ept02_violation(Vcpu& vcpu, std::uint64
   // allocate L1 backing for the L2 page and install the EPT12 leaf. EPT12 is
   // write-protected by L0, so each store traps and is emulated (➎-➐,
   // repeated per touched table level).
+  bool backed = true;
   {
     ScopedResource l1_lock = co_await l1_mmu_lock_.scoped();
     co_await sim_->delay(costs_->l0_ept_fill);
     if (const Pte* pte = ept12_.find_pte(gpa); pte == nullptr || !pte->present()) {
-      const std::uint64_t gpa_l1 = l1_vm_->gpa_frames().allocate_or_throw();
-      const MapResult result = ept12_.map(page_base(gpa), gpa_l1, PteFlags::rw_kernel());
-      for (int i = 0; i < result.entries_written; ++i) {
-        co_await l0_->emulate_protected_store(*l1_vm_);
+      const std::optional<std::uint64_t> gpa_l1 = l1_vm_->gpa_frames().allocate();
+      if (!gpa_l1.has_value()) {
+        // Instance pool exhausted. The L1 KVM cannot steal another
+        // container's EPT12 backing (it has no rmap over sibling VMs), so
+        // the violation is unserviceable.
+        counters_->add(Counter::kBackingFail);
+        backed = false;
+      } else {
+        const MapResult result = ept12_.map(page_base(gpa), *gpa_l1, PteFlags::rw_kernel());
+        for (int i = 0; i < result.entries_written; ++i) {
+          co_await l0_->emulate_protected_store(*l1_vm_);
+        }
       }
     }
+  }
+  if (!backed) {
+    // Resume L2 anyway so the VMX protocol stays balanced; the caller
+    // escalates to the guest OOM killer.
+    co_await l0_->nested_resume_l2(*l1_vm_, vcpu.nested);
+    co_return false;
   }
 
   // L1 prepares to resume L2: VMCS12 bookkeeping (free under shadowing).
@@ -90,6 +116,7 @@ Task<void> EptOnEptMemoryBackend::handle_ept02_violation(Vcpu& vcpu, std::uint64
     }
   }
   co_await l0_->finish_entry(*l1_vm_);
+  co_return true;
 }
 
 Task<void> EptOnEptMemoryBackend::gpt_map(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,

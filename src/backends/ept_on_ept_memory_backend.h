@@ -45,8 +45,11 @@ class EptOnEptMemoryBackend : public MemoryBackendBase {
   PageTable& ept02() { return ept02_; }
 
  private:
-  // The full ➊..⓭ flow for one missing GPA_L2.
-  Task<void> handle_ept02_violation(Vcpu& vcpu, std::uint64_t gpa);
+  // The full ➊..⓭ flow for one missing GPA_L2. Returns false when the L1
+  // KVM could not allocate backing for the page (instance-level exhaustion;
+  // hardware-assisted nesting has no reclaim hook at this layer, so the
+  // caller must OOM-kill the faulting process).
+  Task<bool> handle_ept02_violation(Vcpu& vcpu, std::uint64_t gpa);
 
   HostHypervisor* l0_;
   HostHypervisor::Vm* l1_vm_;

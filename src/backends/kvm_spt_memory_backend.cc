@@ -35,6 +35,9 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
   const std::uint16_t pcid = 0;
   obs::SpanScope op;
   for (int attempt = 0; attempt < 16; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;
@@ -66,9 +69,13 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
       co_await l0_->begin_exit(*vm_);
       co_await sim_->delay(static_cast<std::uint64_t>(gpt_walk.levels_walked) *
                            costs_->walk_load);
-      co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode, gpt_walk.pte,
-                                 /*is_prefault=*/false);
+      const bool filled = co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode,
+                                                     gpt_walk.pte, /*is_prefault=*/false);
       co_await l0_->finish_entry(*vm_);
+      if (!filled) {
+        co_await kernel.oom_kill_process(vcpu, proc);
+        co_return;
+      }
       continue;
     }
 

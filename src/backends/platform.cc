@@ -35,8 +35,18 @@ Task<void> SecureContainer::boot(int init_pages) {
   const SimTime start = sim_->now();
   Vcpu& vcpu = add_vcpu();
   init_process_ = co_await kernel_->create_init_process(vcpu, init_pages);
+  if (init_process_ == nullptr || init_process_->oom_killed()) {
+    // The boot storm exhausted backing memory before init came up; the
+    // container never starts.
+    boot_failed_ = true;
+    boot_latency_ = sim_->now() - start;
+    co_return;
+  }
   // Pull the container image / rootfs metadata: one I/O burst.
   co_await kernel_->do_io(vcpu, *init_process_, *io_, 256 * 1024);
+  if (init_process_->oom_killed()) {
+    boot_failed_ = true;
+  }
   boot_latency_ = sim_->now() - start;
 }
 
@@ -181,7 +191,33 @@ SecureContainer& VirtualPlatform::create_container(const std::string& name) {
       engine->enable_coherence_oracle(/*strict_gpt=*/!config_.collaborative_pt);
     }
   }
+  if (PvmMemoryEngine* engine = raw->shadow_engine()) {
+    // A reclaim that zaps live shadow entries must invalidate every vCPU
+    // that may cache stale translations: full-VPID flush, same hammer a
+    // real SPT zap swings.
+    const std::uint16_t flush_vpid = raw->vm_ != nullptr ? raw->vm_->vpid() : l2_vpid;
+    engine->set_reclaim_flush([raw, flush_vpid]() {
+      for (std::size_t i = 0; i < raw->vcpu_count(); ++i) {
+        raw->vcpu(i).tlb.flush_vpid(flush_vpid);
+      }
+    });
+  }
+  if (faults_ != nullptr) {
+    raw->gpa_frames_->set_faults(faults_);
+  }
   return *raw;
+}
+
+void VirtualPlatform::arm_faults(fault::FaultInjector* faults) {
+  faults_ = faults;
+  sim_.set_faults(faults);
+  l0_.host_frames().set_faults(faults);
+  for (HostHypervisor::Vm* vm : l1_vms_) {
+    vm->gpa_frames().set_faults(faults);
+  }
+  for (const auto& container : containers_) {
+    container->gpa_frames_->set_faults(faults);
+  }
 }
 
 PvmMemoryEngine* SecureContainer::shadow_engine() {

@@ -65,6 +65,11 @@ class SecureContainer {
   GuestProcess* init_process() { return init_process_; }
   SimTime boot_latency() const { return boot_latency_; }
 
+  // True when boot() could not bring the init process up (it was OOM-killed
+  // while the host was exhausted, or the watchdog killed the container).
+  // Fig. 12 counts these as container crashes.
+  bool boot_failed() const { return boot_failed_; }
+
   // The shadow-paging engine backing this container, if the deployment mode
   // has one (PVM modes, kvm-spt, spt-on-ept); null for EPT/direct-paging
   // modes. simcheck uses it to run strict oracle checks at quiescent points.
@@ -88,6 +93,7 @@ class SecureContainer {
   HostHypervisor::Vm* vm_ = nullptr;  // bare-metal modes only
   GuestProcess* init_process_ = nullptr;
   SimTime boot_latency_ = 0;
+  bool boot_failed_ = false;
 };
 
 class VirtualPlatform {
@@ -124,6 +130,14 @@ class VirtualPlatform {
   // The host's physical CPUs; guest compute bursts queue here in timeslices.
   Resource& host_cpus() { return host_cpus_; }
 
+  // Arms deterministic fault injection across every layer in one call: the
+  // simulation (lock handoff delays, exit spikes, VMRESUME failures), the L0
+  // host frame pool, each L1 instance's GPA pool, and each container's own
+  // allocator. Containers created after the call are wired on creation.
+  // Pass nullptr to disarm. The injector must outlive the platform's runs.
+  void arm_faults(fault::FaultInjector* faults);
+  fault::FaultInjector* faults() const { return faults_; }
+
  private:
   PlatformConfig config_;
   CostModel costs_;
@@ -137,6 +151,7 @@ class VirtualPlatform {
   std::unique_ptr<PvmHypervisor> pvm_;
   std::vector<std::unique_ptr<SecureContainer>> containers_;
   std::uint16_t next_l2_vpid_ = 100;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace pvm

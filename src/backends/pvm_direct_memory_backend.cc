@@ -39,6 +39,9 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
 
   obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;

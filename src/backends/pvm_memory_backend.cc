@@ -42,6 +42,9 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
   // resolution including the successful re-walk after the last retry.
   obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;
@@ -94,8 +97,13 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
         if (engine_->options().prefault) {
           if (const Pte* leaf = proc.gpt().find_pte(page_base(gva));
               leaf != nullptr && leaf->present()) {
-            co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode, *leaf,
-                                       /*is_prefault=*/true);
+            const bool filled = co_await engine_->fill_spt(proc.pid(), page_base(gva),
+                                                           !user_mode, *leaf,
+                                                           /*is_prefault=*/true);
+            if (!filled) {
+              co_await kernel.oom_kill_process(vcpu, proc);
+              co_return;
+            }
             counters_->add(Counter::kPrefaultSavedFault);
           }
         }
@@ -119,8 +127,14 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
       // Pure shadow miss (❶-❺): PVM fills SPT12 itself and returns straight
       // to the faulting context. If prefault did its job this path is rare.
       counters_->add(Counter::kShadowPageFault);
-      co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode, gpt_walk.pte,
-                                 /*is_prefault=*/false);
+      const bool filled = co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode,
+                                                     gpt_walk.pte, /*is_prefault=*/false);
+      if (!filled) {
+        // Even the engine's reclaim pass found no backing: escalate to the
+        // guest OOM killer rather than spin on an unserviceable fault.
+        co_await kernel.oom_kill_process(vcpu, proc);
+        co_return;
+      }
       co_await switcher.enter_guest(vcpu.switcher_state, vcpu.state, resume_ring);
       continue;
     }
@@ -142,8 +156,12 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
     if (engine_->options().prefault) {
       if (const Pte* leaf = proc.gpt().find_pte(page_base(gva));
           leaf != nullptr && leaf->present()) {
-        co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode, *leaf,
-                                   /*is_prefault=*/true);
+        const bool filled = co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode,
+                                                       *leaf, /*is_prefault=*/true);
+        if (!filled) {
+          co_await kernel.oom_kill_process(vcpu, proc);
+          co_return;
+        }
         counters_->add(Counter::kPrefaultSavedFault);
       }
     }

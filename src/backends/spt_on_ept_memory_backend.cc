@@ -37,6 +37,9 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
   const std::uint16_t pcid = 0;  // no PCID awareness
   obs::SpanScope op;
   for (int attempt = 0; attempt < 24; ++attempt) {
+    if (proc.oom_killed()) {
+      co_return;  // OOM-killed mid-access; the faulting task is abandoned
+    }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
       co_return;
@@ -77,10 +80,14 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
         ScopedResource lock = co_await engine_->locks().mmu_lock().scoped();
         co_await sim_->delay(costs_->l0_ept_fill);
       }
-      co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode, gpt_walk.pte,
-                                 /*is_prefault=*/false);
+      const bool filled = co_await engine_->fill_spt(proc.pid(), page_base(gva), !user_mode,
+                                                     gpt_walk.pte, /*is_prefault=*/false);
       co_await l0_->l1_vmcs12_access(*l1_vm_, vcpu.nested, 8);
       co_await l0_->nested_resume_l2(*l1_vm_, vcpu.nested);
+      if (!filled) {
+        co_await kernel.oom_kill_process(vcpu, proc);
+        co_return;
+      }
       continue;
     }
 

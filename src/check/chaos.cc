@@ -112,4 +112,48 @@ Task<void> chaos_process_churn(SecureContainer& container, Vcpu& vcpu, ChaosPara
   }
 }
 
+fault::FaultPlan faultstorm_plan(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.name = "faultstorm";
+  plan.seed = seed;
+  Xoshiro256 rng(seed * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  // Allocation pressure is always on: it is the spec that drives the reclaim
+  // sweep and the guest OOM killer, the recovery paths the oracle must hold
+  // through. The rest of the storm is drawn per seed.
+  {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kFramePressure;
+    spec.trigger.probability = 0.01 + rng.next_double() * 0.05;
+    plan.specs.push_back(spec);
+  }
+  if (rng.next_bool(0.7)) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kLockHandoffDelay;
+    spec.trigger.probability = 0.02 + rng.next_double() * 0.08;
+    spec.delay_ns = 500 + static_cast<std::uint64_t>(rng.next_double() * 2500.0);
+    plan.specs.push_back(spec);
+  }
+  if (rng.next_bool(0.5)) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kExitLatencySpike;
+    spec.trigger.probability = 0.02 + rng.next_double() * 0.08;
+    spec.delay_ns = kNsPerUs + static_cast<std::uint64_t>(rng.next_double() * 4000.0);
+    plan.specs.push_back(spec);
+  }
+  if (rng.next_bool(0.5)) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kVmresumeFail;
+    spec.trigger.probability = 0.01 + rng.next_double() * 0.04;
+    spec.fail_count = rng.next_bool(0.5) ? 2 : 1;
+    plan.specs.push_back(spec);
+  }
+  if (rng.next_bool(0.5)) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kSpuriousSptInval;
+    spec.trigger.probability = 0.01 + rng.next_double() * 0.04;
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
 }  // namespace pvm

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "src/backends/platform.h"
+#include "src/fault/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 
@@ -66,6 +67,16 @@ Task<void> chaos_retouch(SecureContainer& container, Vcpu& vcpu, GuestProcess& p
 // Runs fork/exec/touch/exit cycles from the container's init process on a
 // dedicated vCPU, racing the main workload's fault traffic.
 Task<void> chaos_process_churn(SecureContainer& container, Vcpu& vcpu, ChaosParams params);
+
+// faultstorm: a random bounded FaultPlan per seed, armed platform-wide via
+// VirtualPlatform::arm_faults. Every plan carries transient allocation
+// pressure (driving the engine's reclaim and the guest OOM killer under the
+// coherence oracle); each of lock-handoff delay, exit spike, VMRESUME
+// failure, and spurious SPT invalidation joins with seed-drawn probability.
+// All per-opportunity probabilities stay <= ~0.1: denser plans starve the
+// backends' bounded fault-retry loops — harness-induced livelock, not a
+// protocol defect. Deterministic per seed.
+fault::FaultPlan faultstorm_plan(std::uint64_t seed);
 
 }  // namespace pvm
 

@@ -69,6 +69,9 @@ std::string case_label(const SimcheckCase& c) {
           << " prefault=" << (c.prefault ? "on" : "off")
           << " pcid=" << (c.pcid_mapping ? "on" : "off");
   }
+  if (c.faults) {
+    label << " faultstorm-seed=" << c.fault_seed;
+  }
   return label.str();
 }
 
@@ -79,7 +82,10 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   // Failure diagnosis: the counter table says *what* the protocol did up to
   // the failure, the contention table says *where* tasks were queued — both
   // deterministic, so they describe the failing interleaving exactly. The
-  // platform outlives the try so the catch blocks can capture too.
+  // platform outlives the try so the catch blocks can capture too. The
+  // injector is declared before the platform: platform members keep raw
+  // pointers to it, so it must be destroyed after them.
+  fault::FaultInjector injector;
   std::unique_ptr<VirtualPlatform> platform;
   const auto capture_profile = [&result, &platform] {
     if (platform == nullptr) {
@@ -100,6 +106,10 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     config.coherence_oracle = true;
 
     platform = std::make_unique<VirtualPlatform>(config);
+    if (c.faults) {
+      injector.arm(faultstorm_plan(c.fault_seed));
+      platform->arm_faults(&injector);
+    }
     Simulation& sim = platform->sim();
     SecureContainer& container = platform->create_container("simcheck");
     sim.spawn(container.boot(), "boot");
@@ -233,6 +243,8 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
         c.pcid_mapping = (seed & 4) != 0;
         c.chaos = options.chaos;
         c.chaos_seed = seed + 17;
+        c.faults = options.faults;
+        c.fault_seed = seed + 23;
         c.processes = options.processes;
         c.memstress_bytes = options.memstress_bytes;
 
@@ -248,7 +260,8 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
               << "     minimal failing seed: " << seed << "\n"
               << "     reproduce: simcheck --modes " << simcheck_mode_token(mode)
               << " --policies " << schedule_policy_name(policy) << " --seeds 1 --first-seed "
-              << seed << (options.chaos ? "" : " --no-chaos") << "\n"
+              << seed << (options.chaos ? "" : " --no-chaos")
+              << (options.faults ? "" : " --no-faults") << "\n"
               << r.failure << "\n";
           if (!r.profile.empty()) {
             out << r.profile << "\n";

@@ -50,6 +50,12 @@ struct SimcheckCase {
   bool chaos = true;
   std::uint64_t chaos_seed = 1;
 
+  // faultstorm: arm a random bounded FaultPlan (chaos.h) platform-wide, so
+  // every case also explores injected allocation pressure, handoff delays,
+  // exit spikes, VMRESUME failures, and spurious invalidations.
+  bool faults = true;
+  std::uint64_t fault_seed = 1;
+
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;  // per process
 };
@@ -75,6 +81,7 @@ struct SweepOptions {
   int seeds = 64;
   std::uint64_t first_seed = 1;
   bool chaos = true;
+  bool faults = true;
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;
   bool verbose = false;

@@ -27,6 +27,7 @@ void usage(std::ostream& out) {
          "  --processes N         concurrent worker processes (default: 3)\n"
          "  --bytes N             memstress bytes per process (default: 1 MiB)\n"
          "  --no-chaos            disable fault-injection agents\n"
+         "  --no-faults           disable the faultstorm fault plans\n"
          "  --verbose             print every case, not just failures\n";
 }
 
@@ -106,6 +107,8 @@ int main(int argc, char** argv) {
       options.memstress_bytes = std::strtoull(next_value(i).c_str(), nullptr, 10);
     } else if (arg == "--no-chaos") {
       options.chaos = false;
+    } else if (arg == "--no-faults") {
+      options.faults = false;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "src/fault/fault.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -128,11 +130,117 @@ std::uint64_t PvmMemoryEngine::translate_or_allocate_gpa(std::uint64_t gpa_frame
   return l1_frame;
 }
 
-Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
+std::optional<std::uint64_t> PvmMemoryEngine::translate_or_allocate_gpa_checked(
+    std::uint64_t gpa_frame, bool* allocated, ReclaimStats* stats) {
+  const std::uint64_t gpa = gpa_frame << kPageShift;
+  if (const Pte* existing = gpa_map_.find_pte(gpa); existing != nullptr && existing->present()) {
+    if (allocated != nullptr) {
+      *allocated = false;
+    }
+    return existing->frame_number();
+  }
+  std::optional<std::uint64_t> l1_frame = l1_frames_->allocate();
+  if (!l1_frame.has_value()) {
+    counters_->add(Counter::kFrameReclaim);
+    l1_frame = reclaim_backing_frame(gpa_frame, stats);
+    if (!l1_frame.has_value()) {
+      return std::nullopt;
+    }
+  }
+  gpa_map_.map(gpa, *l1_frame, PteFlags::rw_kernel());
+  if (allocated != nullptr) {
+    *allocated = true;
+  }
+  return l1_frame;
+}
+
+std::optional<std::uint64_t> PvmMemoryEngine::reclaim_backing_frame(std::uint64_t requesting_gfn,
+                                                                    ReclaimStats* stats) {
+  // Victim selection in deterministic (gpa_map traversal) order. Cold gfns
+  // — no rmap entries, hence no shadow leaf caches them — go first: evicting
+  // one drops only the gpa_map translation. Warm gfns cost a leaf zap per
+  // rmap entry plus the TLB flush below.
+  constexpr std::size_t kReclaimBatch = 32;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cold;  // (gfn, frame)
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> warm;
+  gpa_map_.for_each_leaf([&](std::uint64_t gpa, const Pte& pte) {
+    const std::uint64_t gfn = gpa >> kPageShift;
+    if (gfn == requesting_gfn) {
+      return;  // never evict the translation being established
+    }
+    if (options_.fine_grained_locks && !locks_.rmap_lock_idle(gfn)) {
+      // A fill or zap in flight for this gfn holds a translation it took
+      // before suspending; evicting the gfn under it would let the resumed
+      // task install a leaf over a recycled frame.
+      return;
+    }
+    const auto rit = rmap_.find(gfn);
+    auto& bucket = (rit == rmap_.end() || rit->second.empty()) ? cold : warm;
+    if (bucket.size() < kReclaimBatch) {
+      bucket.emplace_back(gfn, pte.frame_number());
+    }
+  });
+
+  std::vector<std::uint64_t> recovered;
+  std::uint64_t leaves_zapped = 0;
+  const auto evict = [&](std::uint64_t gfn, std::uint64_t frame) {
+    if (const auto rit = rmap_.find(gfn); rit != rmap_.end()) {
+      for (const RmapEntry& entry : rit->second) {
+        spt(entry.pid, entry.kernel_ring).unmap(entry.gva);
+        leaf_gfn_.erase(LeafKey{entry.pid, entry.kernel_ring, entry.gva});
+        ++leaves_zapped;
+      }
+      rmap_.erase(rit);
+    }
+    gpa_map_.unmap(gfn << kPageShift);
+    recovered.push_back(frame);
+  };
+  for (const auto& [gfn, frame] : cold) {
+    if (recovered.size() >= kReclaimBatch) {
+      break;
+    }
+    evict(gfn, frame);
+  }
+  for (const auto& [gfn, frame] : warm) {
+    if (recovered.size() >= kReclaimBatch) {
+      break;
+    }
+    evict(gfn, frame);
+  }
+  if (recovered.empty()) {
+    return std::nullopt;
+  }
+  counters_->add(Counter::kFramesReclaimed, recovered.size());
+  if (stats != nullptr) {
+    stats->frames += recovered.size();
+    stats->leaves_zapped += leaves_zapped;
+  }
+  // The first frame goes straight to the requester — routing it through the
+  // allocator could see the same injected pressure that forced the reclaim.
+  // The rest refill the free list.
+  for (std::size_t i = 1; i < recovered.size(); ++i) {
+    l1_frames_->free(recovered[i]);
+  }
+  if (leaves_zapped > 0 && reclaim_flush_) {
+    reclaim_flush_();
+  }
+  return recovered.front();
+}
+
+Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring,
                                      Pte gpt_leaf, bool is_prefault) {
   obs::SpanScope span(sim_->spans(),
                       is_prefault ? obs::Phase::kPrefault : obs::Phase::kSptFill, gva);
   MutationScope mutation(this);
+  if (fault::FaultInjector* faults = sim_->faults(); faults != nullptr) {
+    if (faults->spurious_spt_inval(name_)) {
+      // Injected spurious invalidation: behaves exactly like losing a race
+      // with a concurrent zap — nothing installed, the access refaults.
+      counters_->add(Counter::kFaultInjected);
+      counters_->add(Counter::kSptFillRaced);
+      co_return true;
+    }
+  }
   PageTable& table = spt(pid, kernel_ring);
   const std::uint64_t gfn = gpt_leaf.frame_number();
   const LeafKey key{pid, kernel_ring, gva};
@@ -151,7 +259,25 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   Resource& rmap_lock = locks_.rmap_lock(gfn);
   ScopedResource rmap_guard = co_await rmap_lock.scoped();
   bool allocated = false;
-  const std::uint64_t l1_frame = translate_or_allocate_gpa(gfn, &allocated);
+  ReclaimStats reclaim;
+  const std::optional<std::uint64_t> backing =
+      translate_or_allocate_gpa_checked(gfn, &allocated, &reclaim);
+  if (!backing.has_value()) {
+    // True exhaustion: the allocator is empty and reclaim found no victim.
+    // The caller escalates (guest OOM kill); installing nothing keeps the
+    // shadow state coherent.
+    counters_->add(Counter::kBackingFail);
+    co_return false;
+  }
+  const std::uint64_t l1_frame = *backing;
+  if (reclaim.frames > 0) {
+    // The sweep itself ran synchronously (atomic w.r.t. other tasks); charge
+    // its cost here, attributed to a reclaim phase for obs.
+    obs::SpanScope reclaim_span(sim_->spans(), obs::Phase::kReclaim, gva);
+    co_await sim_->delay(costs_->spt_fill +
+                         reclaim.leaves_zapped * costs_->spt_bulk_zap_per_page +
+                         costs_->tlb_shootdown);
+  }
   if (allocated) {
     co_await sim_->delay(costs_->gpa_map_fill);
   }
@@ -169,7 +295,7 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
       if (current == nullptr || !current->present() || current->frame_number() != gfn ||
           (gpt_leaf.writable() && !current->writable())) {
         counters_->add(Counter::kSptFillRaced);
-        co_return;
+        co_return true;
       }
     }
     auto bp = leaf_gfn_.find(key);
@@ -178,7 +304,7 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
       // PTE that has since been overwritten. Abort — the refault retries
       // against the current guest state.
       counters_->add(Counter::kSptFillRaced);
-      co_return;
+      co_return true;
     }
     if (bp == leaf_gfn_.end()) {
       fresh = true;
@@ -212,7 +338,7 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
         }
       }
       counters_->add(Counter::kSptFillRaced);
-      co_return;
+      co_return true;
     }
     PteFlags flags = gpt_leaf.flags();
     flags.present = true;
@@ -228,6 +354,7 @@ Task<void> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   trace_->emit(sim_->now(), TraceActor::kL1Hypervisor, TraceEventKind::kSptFill,
                is_prefault ? "prefault" : "fill", gva);
   maybe_check_after_mutation();
+  co_return true;
 }
 
 Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t gva,

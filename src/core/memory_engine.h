@@ -36,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -115,10 +116,13 @@ class PvmMemoryEngine {
   // `gpt_leaf`: translates GPA_L2 -> GPA_L1 through gpa_map (allocating
   // backing on demand), installs the SPT entry under the configured locks,
   // and records the reverse mapping. `is_prefault` only affects accounting.
-  // Aborts without installing (Counter::kSptFillRaced) if a concurrent zap
-  // invalidated the translation while this fill slept on a lock; the next
-  // access refaults and retries.
-  Task<void> fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring, Pte gpt_leaf,
+  //
+  // Returns true when the leaf is installed OR the fill benignly raced a
+  // concurrent zap (Counter::kSptFillRaced; the next access refaults and
+  // retries). Returns false only on backing exhaustion: the L1 allocator is
+  // empty and a reclaim pass recovered nothing — the caller should OOM-kill
+  // in the guest rather than retry.
+  Task<bool> fill_spt(std::uint64_t pid, std::uint64_t gva, bool kernel_ring, Pte gpt_leaf,
                       bool is_prefault);
 
   // Emulates a trapped write to the guest page table and keeps the shadow
@@ -154,7 +158,32 @@ class PvmMemoryEngine {
 
   // Translates a guest-physical page to its L1 backing frame, allocating on
   // demand (cold path charged). Non-coroutine variant used inside locks.
+  // Throws on allocator exhaustion (legacy behavior; fault paths use the
+  // checked variant below).
   std::uint64_t translate_or_allocate_gpa(std::uint64_t gpa_frame, bool* allocated);
+
+  // One frame-pressure reclaim pass (see translate_or_allocate_gpa_checked).
+  struct ReclaimStats {
+    std::uint64_t frames = 0;         // backing frames recovered
+    std::uint64_t leaves_zapped = 0;  // live shadow leaves dropped to get them
+  };
+
+  // Like translate_or_allocate_gpa but degrades instead of throwing: when
+  // the allocator refuses (exhaustion, injected pressure), the engine runs a
+  // synchronous reclaim pass — evicting cold gpa_map translations first, then
+  // stealing warm ones by zapping their shadow leaves through the rmap — and
+  // hands the first recovered frame straight to this request. Returns
+  // nullopt only when even reclaim found nothing (true exhaustion). `stats`
+  // (optional) reports what the pass did so the caller can charge its cost.
+  std::optional<std::uint64_t> translate_or_allocate_gpa_checked(std::uint64_t gpa_frame,
+                                                                 bool* allocated,
+                                                                 ReclaimStats* stats);
+
+  // Called (synchronously) after a reclaim pass that zapped live shadow
+  // leaves; the platform wires a conservative full-VPID TLB flush over every
+  // vCPU running this engine's guest. The time is charged by the fill that
+  // triggered the reclaim, under Phase::kReclaim.
+  void set_reclaim_flush(std::function<void()> flush) { reclaim_flush_ = std::move(flush); }
 
   std::uint64_t spt_leaves(std::uint64_t pid, bool kernel_ring) const;
 
@@ -247,6 +276,18 @@ class PvmMemoryEngine {
   // teardown / process destruction; caller holds the structural lock).
   void erase_process_rmap_state(std::uint64_t pid);
 
+  // The synchronous reclaim sweep behind translate_or_allocate_gpa_checked.
+  // Runs without suspending, so it is atomic w.r.t. every other task: the
+  // only in-flight state it must respect is a fill/zap suspended while
+  // *holding* a gfn's rmap lock (its translation is stale the moment we evict
+  // that gfn) — in fine-grained mode those gfns are skipped via
+  // rmap_lock_idle; in coarse mode the single mmu_lock serializes mutators,
+  // so the caller itself is the only one mid-mutation. Returns the first
+  // recovered frame (for direct reuse by the requester — immune to injected
+  // allocator pressure); extra frames go back to the allocator.
+  std::optional<std::uint64_t> reclaim_backing_frame(std::uint64_t requesting_gfn,
+                                                     ReclaimStats* stats);
+
   Simulation* sim_;
   const CostModel* costs_;
   CounterSet* counters_;
@@ -265,6 +306,8 @@ class PvmMemoryEngine {
   // rmap exact (zaps erase precisely their own entry) and lets fills detect
   // that a concurrent zap invalidated them.
   std::map<LeafKey, std::uint64_t> leaf_gfn_;
+
+  std::function<void()> reclaim_flush_;
 
   bool oracle_enabled_ = false;
   bool oracle_strict_ = true;

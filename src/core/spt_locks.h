@@ -61,6 +61,17 @@ class SptLockSet {
   std::size_t pt_lock_count() const { return pt_locks_.size(); }
   std::size_t rmap_lock_count() const { return rmap_locks_.size(); }
 
+  // True when nothing holds or queues on `gfn`'s rmap lock (fine-grained
+  // mode; a lock object that was never created has trivially no holder).
+  // Reclaim uses this to skip gfns with a fill or zap in flight. Coarse-mode
+  // callers must not rely on it — there the single mmu_lock is typically
+  // held by the caller itself.
+  bool rmap_lock_idle(std::uint64_t gfn) const {
+    const auto it = rmap_locks_.find(gfn);
+    return it == rmap_locks_.end() ||
+           (it->second->available() && it->second->queue_depth() == 0);
+  }
+
  private:
   using LockMap = std::unordered_map<std::uint64_t, std::unique_ptr<Resource>>;
 

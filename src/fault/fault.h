@@ -1,0 +1,263 @@
+// Deterministic fault injection.
+//
+// A FaultPlan is a list of FaultSpecs: each names a fault kind, a target-site
+// substring, and a Trigger (probability / virtual-time window / op-count).
+// The FaultInjector evaluates specs at instrumented sites spread across the
+// stack — frame allocators, Resource lock handoff, L0 exit paths, VMRESUME,
+// migration rounds, and the shadow-paging engine — drawing from one seeded
+// Xoshiro256 stream so a (plan, seed, schedule) triple replays bit-for-bit.
+//
+// Wiring follows the pvm::obs pattern: sites hold a raw FaultInjector
+// pointer, defaulting to nullptr, and pay exactly one pointer check when no
+// injector is attached. Everything here is header-only so the low-level
+// layers (arch, sim) can include it without a link dependency; only plan
+// presets/parsing live in fault.cc.
+
+#ifndef PVM_SRC_FAULT_FAULT_H_
+#define PVM_SRC_FAULT_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace pvm::fault {
+
+enum class FaultKind {
+  kFrameExhaust,      // allocator refuses once occupancy reaches capacity_frames
+  kFramePressure,     // allocator refuses probabilistically (transient pressure)
+  kExitLatencySpike,  // extra ns on an L0 exit round trip
+  kVmresumeFail,      // transient VMRESUME failure; L0 retries the launch
+  kMigrationStall,    // a pre-copy round stalls and makes no progress
+  kLockHandoffDelay,  // extra ns between a lock release and the waiter running
+  kSpuriousSptInval,  // shadow fill observes a concurrent (phantom) invalidation
+  kCount,
+};
+
+constexpr std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFrameExhaust:
+      return "frame_exhaust";
+    case FaultKind::kFramePressure:
+      return "frame_pressure";
+    case FaultKind::kExitLatencySpike:
+      return "exit_latency_spike";
+    case FaultKind::kVmresumeFail:
+      return "vmresume_fail";
+    case FaultKind::kMigrationStall:
+      return "migration_stall";
+    case FaultKind::kLockHandoffDelay:
+      return "lock_handoff_delay";
+    case FaultKind::kSpuriousSptInval:
+      return "spurious_spt_inval";
+    case FaultKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+// When a spec fires. Probability is evaluated per *opportunity* (each hook
+// call whose site matches `target` inside the time window); at_op/every_op
+// count those opportunities instead, for exactly-reproducible single shots.
+struct Trigger {
+  double probability = 1.0;
+  std::uint64_t after_ns = 0;
+  std::uint64_t until_ns = ~0ull;
+  std::uint64_t at_op = 0;    // if nonzero: fire exactly on this opportunity
+  std::uint64_t every_op = 0; // if nonzero: fire on every Nth opportunity
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFramePressure;
+  std::string target;  // substring match against the site name; empty = any
+  Trigger trigger;
+  std::uint64_t delay_ns = 0;         // spike/stall/handoff kinds
+  std::uint64_t capacity_frames = 0;  // kFrameExhaust occupancy ceiling
+  int fail_count = 1;                 // kVmresumeFail: consecutive failures
+};
+
+struct FaultPlan {
+  std::string name = "none";
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  // Named presets: "none", "bootstorm", "latency", "allocpressure",
+  // "migration-stall". Throws std::invalid_argument on an unknown name.
+  static FaultPlan preset(std::string_view name);
+
+  // "<preset>" or "<preset>:seed=N". The CLI surface behind --faults.
+  static FaultPlan parse(std::string_view text);
+
+  // Known preset names, for --help text.
+  static std::vector<std::string_view> preset_names();
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Binds the injector to a virtual clock (Simulation::set_faults does this).
+  // Unbound, every trigger window is evaluated at t=0.
+  void bind(const std::uint64_t* now) { now_ = now; }
+
+  void arm(FaultPlan plan) {
+    plan_ = std::move(plan);
+    rng_ = Xoshiro256(plan_.seed);
+    opportunities_.assign(plan_.specs.size(), 0);
+    fired_.assign(static_cast<std::size_t>(FaultKind::kCount), 0);
+  }
+
+  bool armed() const { return !plan_.specs.empty(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  std::uint64_t fired(FaultKind kind) const {
+    const auto i = static_cast<std::size_t>(kind);
+    return i < fired_.size() ? fired_[i] : 0;
+  }
+  std::uint64_t total_fired() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : fired_) {
+      total += n;
+    }
+    return total;
+  }
+
+  // ---- Site hooks ----
+  // Each hook is called with the site's name; the injector walks the plan's
+  // matching specs. Hooks are cheap when disarmed but callers should still
+  // guard with a null pointer check so the disarmed path costs one branch.
+
+  // FrameAllocator::allocate: returns true if the allocation must fail.
+  // `allocated` is the allocator's current occupancy (kFrameExhaust caps it).
+  bool frame_alloc_blocked(const std::string& site, std::uint64_t allocated) {
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      const FaultSpec& spec = plan_.specs[i];
+      if (spec.kind == FaultKind::kFrameExhaust) {
+        if (allocated < spec.capacity_frames) {
+          continue;
+        }
+        if (fires(i, site)) {
+          return true;
+        }
+      } else if (spec.kind == FaultKind::kFramePressure) {
+        if (fires(i, site)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Resource::release: extra ns before the next waiter resumes.
+  std::uint64_t lock_handoff_delay(const std::string& site) {
+    return delay_hook(FaultKind::kLockHandoffDelay, site);
+  }
+
+  // L0 exit round trip: extra ns of host-side latency.
+  std::uint64_t exit_latency_spike(const std::string& site) {
+    return delay_hook(FaultKind::kExitLatencySpike, site);
+  }
+
+  // One pre-copy round stalls for the returned extra ns (0 = no stall).
+  std::uint64_t migration_stall(const std::string& site) {
+    return delay_hook(FaultKind::kMigrationStall, site);
+  }
+
+  // VMRESUME: true if this launch attempt fails. attempt 0 rolls the
+  // trigger; attempts 1..fail_count-1 extend the same failure burst
+  // deterministically (the caller stops retrying at the first success).
+  bool vmresume_fails(const std::string& site, int attempt) {
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      const FaultSpec& spec = plan_.specs[i];
+      if (spec.kind != FaultKind::kVmresumeFail || !matches(spec, site)) {
+        continue;
+      }
+      if (attempt > 0) {
+        if (attempt < spec.fail_count) {
+          count(spec.kind);
+          return true;
+        }
+        continue;
+      }
+      if (fires(i, site)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Shadow fill: true if the fill must behave as if a concurrent
+  // invalidation raced it (abort and let the access retry).
+  bool spurious_spt_inval(const std::string& site) {
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      if (plan_.specs[i].kind == FaultKind::kSpuriousSptInval && fires(i, site)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool matches(const FaultSpec& spec, const std::string& site) const {
+    if (!spec.target.empty() && site.find(spec.target) == std::string::npos) {
+      return false;
+    }
+    const std::uint64_t t = now_ != nullptr ? *now_ : 0;
+    return t >= spec.trigger.after_ns && t <= spec.trigger.until_ns;
+  }
+
+  // Counts an opportunity against spec `i` and decides whether it fires.
+  bool fires(std::size_t i, const std::string& site) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (!matches(spec, site)) {
+      return false;
+    }
+    const std::uint64_t op = ++opportunities_[i];
+    bool hit;
+    if (spec.trigger.at_op > 0) {
+      hit = op == spec.trigger.at_op;
+    } else if (spec.trigger.every_op > 0) {
+      hit = op % spec.trigger.every_op == 0;
+    } else if (spec.trigger.probability >= 1.0) {
+      hit = true;
+    } else if (spec.trigger.probability <= 0.0) {
+      hit = false;
+    } else {
+      hit = rng_.next_double() < spec.trigger.probability;
+    }
+    if (hit) {
+      count(spec.kind);
+    }
+    return hit;
+  }
+
+  std::uint64_t delay_hook(FaultKind kind, const std::string& site) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      if (plan_.specs[i].kind == kind && fires(i, site)) {
+        total += plan_.specs[i].delay_ns;
+      }
+    }
+    return total;
+  }
+
+  void count(FaultKind kind) { ++fired_[static_cast<std::size_t>(kind)]; }
+
+  const std::uint64_t* now_ = nullptr;
+  FaultPlan plan_;
+  Xoshiro256 rng_{1};
+  std::vector<std::uint64_t> opportunities_;  // per-spec, matched calls
+  std::vector<std::uint64_t> fired_;          // per-kind
+};
+
+}  // namespace pvm::fault
+
+#endif  // PVM_SRC_FAULT_FAULT_H_

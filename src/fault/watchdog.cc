@@ -1,0 +1,77 @@
+#include "src/fault/watchdog.h"
+
+#include "src/guest/guest_kernel.h"
+#include "src/metrics/counters.h"
+
+namespace pvm::fault {
+
+namespace {
+// Cost of a vCPU reset: save state, flush, re-enter. Charged on the
+// watchdog task, not the wedged vCPU (which by definition is not running).
+constexpr SimTime kVcpuResetCostNs = 50'000;
+}  // namespace
+
+Task<void> Watchdog::run() {
+  Simulation& sim = container_->sim();
+  CounterSet& counters = platform_->counters();
+  while (!stopped_ && !killed_) {
+    co_await sim.delay(params_.check_interval_ns);
+    if (stopped_ || killed_) {
+      co_return;
+    }
+    const std::size_t n = container_->vcpu_count();
+    last_progress_.resize(n, 0);
+    stalled_.resize(n, 0);
+    for (std::size_t i = 0; i < n && !killed_; ++i) {
+      Vcpu& vcpu = container_->vcpu(i);
+      if (vcpu.progress != last_progress_[i]) {
+        last_progress_[i] = vcpu.progress;
+        stalled_[i] = 0;
+        continue;
+      }
+      ++stalled_[i];
+      const int vcpu_id = static_cast<int>(i);
+      if (stalled_[i] == params_.kick_after) {
+        // Re-inject a timer interrupt. In the simulation this is free: a
+        // vCPU that lost a wakeup is modelled as a task parked on a
+        // resource, and the kick alone cannot unpark it — but the stage
+        // exists so the escalation order matches a real stall handler.
+        counters.add(Counter::kWatchdogKick);
+        events_.push_back({sim.now(), vcpu_id, "kick"});
+      } else if (stalled_[i] == params_.reset_after) {
+        counters.add(Counter::kWatchdogReset);
+        events_.push_back({sim.now(), vcpu_id, "reset"});
+        vcpu.tlb.flush_all();
+        co_await sim.delay(kVcpuResetCostNs);
+      } else if (stalled_[i] == params_.kill_after) {
+        counters.add(Counter::kWatchdogKill);
+        events_.push_back({sim.now(), vcpu_id, "kill"});
+        co_await kill_container(vcpu, vcpu_id);
+      }
+    }
+  }
+}
+
+Task<void> Watchdog::kill_container(Vcpu& vcpu, int wedged_vcpu) {
+  killed_ = true;
+  GuestKernel& kernel = container_->kernel();
+  // Snapshot the process list before tearing anything down: oom_kill_process
+  // suspends, and the list must not be re-walked through an iterator that a
+  // concurrent exit could invalidate.
+  std::vector<GuestProcess*> victims;
+  for (const auto& proc : kernel.processes()) {
+    if (!proc->oom_killed()) {
+      victims.push_back(proc.get());
+    }
+  }
+  for (GuestProcess* victim : victims) {
+    if (!victim->oom_killed()) {
+      co_await kernel.oom_kill_process(vcpu, *victim);
+    }
+  }
+  container_->sim().add_diagnostic(
+      "watchdog: killed container '" + container_->name() + "' (vcpu " +
+      std::to_string(wedged_vcpu) + " made no progress through kick and reset)");
+}
+
+}  // namespace pvm::fault

@@ -1,0 +1,83 @@
+// Per-vCPU watchdog: detects wedged vCPUs and escalates recovery.
+//
+// A real PVM host runs a soft-lockup watchdog inside the guest and a vCPU
+// stall detector in the hypervisor; here both collapse into one deterministic
+// simulation task per container. Every `check_interval_ns` of virtual time
+// the watchdog samples each vCPU's `progress` counter (bumped by the guest
+// kernel on every entry point). A vCPU whose counter has not moved for N
+// consecutive checks escalates through three stages, in order:
+//
+//   kick  (re-inject a timer interrupt; cheap, often enough for a vCPU
+//          that merely lost a wakeup),
+//   reset (flush the vCPU's TLB and charge a reset cost; recovers state
+//          corruption but not a task parked on a dead lock),
+//   kill  (OOM-kill every process in the container and mark it failed;
+//          the container is gone but the host survives).
+//
+// Escalations are recorded in an ordered event log (tests assert the
+// kick -> reset -> kill order) and in Counter::kWatchdog{Kick,Reset,Kill};
+// a kill also appends a line to Simulation::diagnostics() so it surfaces in
+// blocked_report().
+
+#ifndef PVM_SRC_FAULT_WATCHDOG_H_
+#define PVM_SRC_FAULT_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace pvm::fault {
+
+struct WatchdogParams {
+  SimTime check_interval_ns = 10'000'000;  // 10 ms of virtual time
+  // Consecutive stalled checks before each escalation stage fires. Each
+  // stage fires exactly once per stall episode (when the count equals the
+  // threshold); any progress resets the count and re-arms all stages.
+  int kick_after = 2;
+  int reset_after = 4;
+  int kill_after = 6;
+};
+
+class Watchdog {
+ public:
+  struct Event {
+    SimTime when = 0;
+    int vcpu = 0;
+    std::string action;  // "kick", "reset", or "kill"
+  };
+
+  Watchdog(VirtualPlatform& platform, SecureContainer& container,
+           WatchdogParams params = {})
+      : platform_(&platform), container_(&container), params_(params) {}
+
+  // The watchdog task; spawn it on the simulation alongside the workload.
+  // Runs until stop() or until it kills the container.
+  Task<void> run();
+
+  // Call when the workload completes so an idle (not wedged) container is
+  // not escalated against.
+  void stop() { stopped_ = true; }
+
+  bool killed() const { return killed_; }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  Task<void> kill_container(Vcpu& vcpu, int wedged_vcpu);
+
+  VirtualPlatform* platform_;
+  SecureContainer* container_;
+  WatchdogParams params_;
+  std::vector<std::uint64_t> last_progress_;
+  std::vector<int> stalled_;
+  std::vector<Event> events_;
+  bool stopped_ = false;
+  bool killed_ = false;
+};
+
+}  // namespace pvm::fault
+
+#endif  // PVM_SRC_FAULT_WATCHDOG_H_

@@ -1,6 +1,8 @@
 #include "src/guest/guest_kernel.h"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "src/obs/span.h"
 
@@ -69,17 +71,28 @@ Task<GuestProcess*> GuestKernel::create_init_process(Vcpu& vcpu, int initial_pag
 }
 
 Task<void> GuestKernel::touch(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool write) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   co_await mem_->access(vcpu, proc, *this, gva, write ? AccessType::kWrite : AccessType::kRead,
                         /*user_mode=*/true);
 }
 
 Task<void> GuestKernel::touch_kernel(Vcpu& vcpu, GuestProcess& proc, std::uint64_t offset) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   co_await mem_->access(vcpu, proc, *this, GuestProcess::kKernelBase + offset,
                         AccessType::kWrite, /*user_mode=*/false);
 }
 
 Task<void> GuestKernel::handle_page_fault(Vcpu& vcpu, GuestProcess& proc,
                                           const PageFaultInfo& fault) {
+  if (proc.oom_killed()) {
+    co_return;  // its VMAs are gone; the faulting access is abandoned
+  }
   const Vma* vma = proc.find_vma(fault.gva);
   if (vma == nullptr) {
     throw std::logic_error("guest segfault at gva " + std::to_string(fault.gva) +
@@ -95,15 +108,45 @@ Task<void> GuestKernel::handle_page_fault(Vcpu& vcpu, GuestProcess& proc,
   co_await populate_page(vcpu, proc, fault.gva, vma->writable);
 }
 
+Task<std::optional<std::uint64_t>> GuestKernel::alloc_user_frame(Vcpu& vcpu,
+                                                                 GuestProcess& proc) {
+  for (;;) {
+    // A short burst absorbs transient injected pressure; only sustained
+    // refusal reaches the OOM killer.
+    for (int i = 0; i < 3; ++i) {
+      if (std::optional<std::uint64_t> frame = gpa_frames_->allocate()) {
+        co_return frame;
+      }
+    }
+    if (!co_await oom_kill_largest(vcpu)) {
+      // Nothing left worth killing; the requester itself is the last victim.
+      co_await oom_kill_process(vcpu, proc);
+      co_return std::nullopt;
+    }
+    if (proc.oom_killed()) {
+      co_return std::nullopt;  // the requester was the largest resident
+    }
+  }
+}
+
 Task<void> GuestKernel::populate_page(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva,
                                       bool writable) {
   const std::uint64_t page = page_base(gva);
-  const std::uint64_t frame = gpa_frames_->allocate_or_throw();
-  proc.note_data_frame(page, frame);
+  const std::optional<std::uint64_t> frame = co_await alloc_user_frame(vcpu, proc);
+  if (!frame.has_value()) {
+    co_return;
+  }
   co_await sim_->delay(costs_->page_zero);
+  if (proc.oom_killed()) {
+    // Killed while zeroing (another vCPU's OOM pass): its teardown already
+    // swept data_frames, so this frame must go straight back.
+    release_frame(*frame);
+    co_return;
+  }
+  proc.note_data_frame(page, *frame);
   PteFlags flags = PteFlags::rw_user();
   flags.writable = writable;
-  co_await mem_->gpt_map(vcpu, proc, page, frame, flags);
+  co_await mem_->gpt_map(vcpu, proc, page, *frame, flags);
 }
 
 Task<void> GuestKernel::break_cow(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva) {
@@ -118,11 +161,18 @@ Task<void> GuestKernel::break_cow(Vcpu& vcpu, GuestProcess& proc, std::uint64_t 
   const std::uint64_t old_frame = pte->frame_number();
   if (cow_refs(old_frame) > 1) {
     // Shared: copy into a private frame.
-    const std::uint64_t new_frame = gpa_frames_->allocate_or_throw();
+    const std::optional<std::uint64_t> new_frame = co_await alloc_user_frame(vcpu, proc);
+    if (!new_frame.has_value()) {
+      co_return;
+    }
     co_await sim_->delay(costs_->page_copy);
+    if (proc.oom_killed()) {
+      release_frame(*new_frame);
+      co_return;
+    }
     release_frame(old_frame);
-    proc.note_data_frame(page, new_frame);
-    co_await mem_->gpt_map(vcpu, proc, page, new_frame, PteFlags::rw_user());
+    proc.note_data_frame(page, *new_frame);
+    co_await mem_->gpt_map(vcpu, proc, page, *new_frame, PteFlags::rw_user());
     co_return;
   }
   // Sole owner left: just restore write access in place.
@@ -131,6 +181,10 @@ Task<void> GuestKernel::break_cow(Vcpu& vcpu, GuestProcess& proc, std::uint64_t 
 }
 
 Task<GuestProcess*> GuestKernel::sys_fork(Vcpu& vcpu, GuestProcess& parent) {
+  if (parent.oom_killed()) {
+    co_return nullptr;
+  }
+  ++vcpu.progress;
   co_await cpu_->syscall_enter(vcpu, parent);
   counters_->add(Counter::kProcessForked);
   co_await sim_->delay(costs_->fork_base);
@@ -145,7 +199,18 @@ Task<GuestProcess*> GuestKernel::sys_fork(Vcpu& vcpu, GuestProcess& parent) {
   // store under shadow paging) and alias it read-only into the child. The
   // child's fresh page table is not yet registered with any shadow scheme,
   // so its stores are plain memory writes.
-  for (const auto& [gva, frame] : parent.data_frames()) {
+  //
+  // Iterate a snapshot, not the live map: this loop suspends, and an OOM
+  // kill of the parent meanwhile (from another vCPU) moves and clears
+  // data_frames() in teardown_address_space, which would invalidate a live
+  // iterator. The oom_killed check stops us before aliasing a frame the
+  // teardown already returned to the allocator.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> parent_frames(
+      parent.data_frames().begin(), parent.data_frames().end());
+  for (const auto& [gva, frame] : parent_frames) {
+    if (parent.oom_killed()) {
+      break;  // teardown owns the remaining frames now
+    }
     if (gva >= GuestProcess::kKernelBase) {
       continue;  // the kernel half is not inherited
     }
@@ -176,23 +241,60 @@ Task<GuestProcess*> GuestKernel::sys_fork(Vcpu& vcpu, GuestProcess& parent) {
 }
 
 Task<void> GuestKernel::teardown_address_space(Vcpu& vcpu, GuestProcess& proc) {
+  // Take the frame map by value up front: this coroutine suspends repeatedly
+  // below, and an OOM kill running meanwhile (from another vCPU) must not
+  // walk or mutate the same map mid-iteration.
+  const std::map<std::uint64_t, std::uint64_t> frames = std::move(proc.data_frames());
+  proc.data_frames().clear();
+  proc.vmas().clear();
   std::vector<std::uint64_t> gvas;
-  gvas.reserve(proc.data_frames().size());
-  for (const auto& [gva, frame] : proc.data_frames()) {
+  gvas.reserve(frames.size());
+  for (const auto& [gva, frame] : frames) {
     gvas.push_back(gva);
   }
   co_await mem_->gpt_bulk_teardown(vcpu, proc, gvas);
-  for (const auto& [gva, frame] : proc.data_frames()) {
+  for (const auto& [gva, frame] : frames) {
     // Bulk frees return pages to the buddy allocator under the zone lock.
     ScopedResource zone = co_await zone_lock_.scoped();
     release_frame(frame);
     co_await sim_->delay(costs_->guest_pte_store + 25);
   }
-  proc.data_frames().clear();
-  proc.vmas().clear();
+}
+
+Task<void> GuestKernel::oom_kill_process(Vcpu& vcpu, GuestProcess& victim) {
+  if (victim.oom_killed()) {
+    co_return;
+  }
+  victim.set_oom_killed();
+  counters_->add(Counter::kGuestOomKill);
+  kernel_allocs_.erase(victim.pid());
+  // The process object stays in processes_ — suspended coroutines still
+  // reference it — but its frames go back and every entry point no-ops.
+  co_await teardown_address_space(vcpu, victim);
+}
+
+Task<bool> GuestKernel::oom_kill_largest(Vcpu& vcpu) {
+  GuestProcess* victim = nullptr;
+  for (const auto& proc : processes_) {
+    if (proc->oom_killed()) {
+      continue;
+    }
+    if (victim == nullptr || proc->data_frames().size() > victim->data_frames().size()) {
+      victim = proc.get();
+    }
+  }
+  if (victim == nullptr || victim->data_frames().empty()) {
+    co_return false;  // killing more would free nothing
+  }
+  co_await oom_kill_process(vcpu, *victim);
+  co_return true;
 }
 
 Task<void> GuestKernel::sys_exec(Vcpu& vcpu, GuestProcess& proc, int fresh_pages) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   co_await cpu_->syscall_enter(vcpu, proc);
   counters_->add(Counter::kProcessExeced);
   co_await sim_->delay(costs_->exec_base);
@@ -211,6 +313,10 @@ Task<void> GuestKernel::sys_exec(Vcpu& vcpu, GuestProcess& proc, int fresh_pages
 }
 
 Task<void> GuestKernel::sys_exit(Vcpu& vcpu, GuestProcess& proc) {
+  if (proc.oom_killed()) {
+    co_return;  // already torn down; the object must outlive its references
+  }
+  ++vcpu.progress;
   co_await cpu_->syscall_enter(vcpu, proc);
   co_await teardown_address_space(vcpu, proc);
   co_await mem_->on_process_destroyed(vcpu, proc);
@@ -222,6 +328,10 @@ Task<void> GuestKernel::sys_exit(Vcpu& vcpu, GuestProcess& proc) {
 }
 
 Task<std::uint64_t> GuestKernel::sys_mmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t bytes) {
+  if (proc.oom_killed()) {
+    co_return 0;
+  }
+  ++vcpu.progress;
   co_await cpu_->syscall_enter(vcpu, proc);
   counters_->add(Counter::kMmapCall);
   co_await sim_->delay(costs_->mmap_body);
@@ -231,28 +341,46 @@ Task<std::uint64_t> GuestKernel::sys_mmap(Vcpu& vcpu, GuestProcess& proc, std::u
 }
 
 Task<void> GuestKernel::sys_munmap(Vcpu& vcpu, GuestProcess& proc, std::uint64_t start) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   co_await cpu_->syscall_enter(vcpu, proc);
   counters_->add(Counter::kMunmapCall);
   co_await sim_->delay(costs_->munmap_body);
 
+  if (proc.oom_killed()) {
+    co_return;  // killed while entering: teardown already swept the VMAs
+  }
   auto vma_it = proc.vmas().find(start);
   if (vma_it == proc.vmas().end()) {
     throw std::logic_error("munmap of unknown vma");
   }
   const Vma vma = vma_it->second;
-  // Clear every populated page in the region and release the frames.
+  // Detach the region from the live map before the first suspension: an OOM
+  // kill running meanwhile moves and clears data_frames(), which would
+  // invalidate an iterator held across co_await. Once detached, these frames
+  // are invisible to the teardown sweep and ours to release unconditionally.
   auto& frames = proc.data_frames();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> region;
   for (auto it = frames.lower_bound(vma.start); it != frames.end() && it->first < vma.end();) {
-    co_await mem_->gpt_unmap(vcpu, proc, it->first);
-    release_frame(it->second);
-    co_await sim_->delay(costs_->guest_pte_store);
+    region.push_back(*it);
     it = frames.erase(it);
   }
   proc.remove_vma(start);
+  for (const auto& [gva, frame] : region) {
+    co_await mem_->gpt_unmap(vcpu, proc, gva);
+    release_frame(frame);
+    co_await sim_->delay(costs_->guest_pte_store);
+  }
   co_await cpu_->syscall_exit(vcpu, proc);
 }
 
 Task<void> GuestKernel::sys_getpid(Vcpu& vcpu, GuestProcess& proc) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   counters_->add(Counter::kSyscall);
   co_await cpu_->syscall_enter(vcpu, proc);
   co_await sim_->delay(costs_->guest_syscall_body_getpid);
@@ -261,6 +389,10 @@ Task<void> GuestKernel::sys_getpid(Vcpu& vcpu, GuestProcess& proc) {
 
 Task<void> GuestKernel::sys_simple(Vcpu& vcpu, GuestProcess& proc, std::uint64_t body_ns,
                                    int kernel_touches) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   counters_->add(Counter::kSyscall);
   co_await cpu_->syscall_enter(vcpu, proc);
   co_await sim_->delay(body_ns);
@@ -272,6 +404,10 @@ Task<void> GuestKernel::sys_simple(Vcpu& vcpu, GuestProcess& proc, std::uint64_t
 
 Task<void> GuestKernel::sys_file_op(Vcpu& vcpu, GuestProcess& proc, std::uint64_t body_ns,
                                     int fresh_pages, int free_pages) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   counters_->add(Counter::kSyscall);
   co_await cpu_->syscall_enter(vcpu, proc);
   co_await sim_->delay(body_ns);
@@ -295,6 +431,10 @@ Task<void> GuestKernel::sys_file_op(Vcpu& vcpu, GuestProcess& proc, std::uint64_
 }
 
 Task<void> GuestKernel::deliver_signal(Vcpu& vcpu, GuestProcess& proc) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   // kill() syscall, then the kernel-to-user upcall and sigreturn — all
   // intra-guest transitions (signals never involve the hypervisor).
   co_await cpu_->syscall_enter(vcpu, proc);
@@ -308,6 +448,10 @@ Task<void> GuestKernel::deliver_signal(Vcpu& vcpu, GuestProcess& proc) {
 
 Task<void> GuestKernel::do_io(Vcpu& vcpu, GuestProcess& proc, IoDevice& device,
                               std::uint64_t bytes) {
+  if (proc.oom_killed()) {
+    co_return;
+  }
+  ++vcpu.progress;
   obs::SpanScope span(sim_->spans(), obs::Phase::kIo, bytes);
   counters_->add(Counter::kIoRequest);
   co_await cpu_->syscall_enter(vcpu, proc);

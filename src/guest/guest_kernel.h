@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,19 @@ class GuestKernel {
   // ---- I/O ----
   Task<void> do_io(Vcpu& vcpu, GuestProcess& proc, IoDevice& device, std::uint64_t bytes);
 
+  // ---- OOM handling ----
+
+  // Marks `victim` killed, tears down its address space, and returns its
+  // frames. Idempotent. Called on guest-internal allocation failure, by
+  // backends on L1 backing exhaustion (fill_spt returning false), and by the
+  // watchdog's kill escalation.
+  Task<void> oom_kill_process(Vcpu& vcpu, GuestProcess& victim);
+
+  // Linux-style victim selection: kills the not-yet-killed process with the
+  // largest resident set. Returns false when no process holds any frame
+  // (killing more would free nothing).
+  Task<bool> oom_kill_largest(Vcpu& vcpu);
+
   // Frame release honouring COW sharing.
   void release_frame(std::uint64_t frame);
   void note_cow_share(std::uint64_t frame);
@@ -113,6 +127,11 @@ class GuestKernel {
   Task<void> populate_page(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva, bool writable);
   Task<void> break_cow(Vcpu& vcpu, GuestProcess& proc, std::uint64_t gva);
   Task<void> teardown_address_space(Vcpu& vcpu, GuestProcess& proc);
+
+  // Allocates a user frame, absorbing transient (injected) allocator
+  // pressure with a short retry burst and escalating to the OOM killer on
+  // sustained exhaustion. nullopt means `proc` itself was killed.
+  Task<std::optional<std::uint64_t>> alloc_user_frame(Vcpu& vcpu, GuestProcess& proc);
 
   Simulation* sim_;
   const CostModel* costs_;

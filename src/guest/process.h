@@ -78,6 +78,13 @@ class GuestProcess {
   void note_data_frame(std::uint64_t gva, std::uint64_t frame) { data_frames_[gva] = frame; }
   std::map<std::uint64_t, std::uint64_t>& data_frames() { return data_frames_; }
 
+  // Set when the guest OOM killer (or the watchdog's kill escalation) chose
+  // this process. The object stays alive — suspended coroutines may still
+  // hold references — but every kernel entry point and backend access loop
+  // no-ops from then on.
+  bool oom_killed() const { return oom_killed_; }
+  void set_oom_killed() { oom_killed_ = true; }
+
   // Bump pointer for fresh kernel-page allocations (page cache, inodes):
   // file-op workloads fault in previously-untouched kernel pages through it.
   std::uint64_t take_kernel_alloc_offset() {
@@ -94,6 +101,7 @@ class GuestProcess {
   std::map<std::uint64_t, std::uint64_t> data_frames_;
   std::uint64_t next_map_va_ = kHeapBase;
   std::uint64_t kernel_alloc_offset_ = 1ull << 20;  // above the fixed kernel touches
+  bool oom_killed_ = false;
 };
 
 }  // namespace pvm

@@ -24,6 +24,11 @@ struct Vcpu {
   int id;
   VcpuState state;
 
+  // Monotonic work counter, bumped by the guest kernel on every syscall /
+  // memory access it services. The per-vCPU watchdog samples it: a vCPU
+  // whose counter stops moving is wedged.
+  std::uint64_t progress = 0;
+
   // Physical-CPU TLB backing this vCPU (1:1 pinning).
   Tlb tlb;
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/fault/fault.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -51,13 +52,25 @@ std::uint64_t HostHypervisor::handler_cost(ExitKind kind) const {
   return costs_->l0_simple_handler;
 }
 
+std::uint64_t HostHypervisor::injected_exit_spike(const Vm& vm) {
+  fault::FaultInjector* faults = sim_->faults();
+  if (faults == nullptr) {
+    return 0;
+  }
+  const std::uint64_t spike = faults->exit_latency_spike(vm.name());
+  if (spike > 0) {
+    counters_->add(Counter::kFaultInjected);
+  }
+  return spike;
+}
+
 Task<void> HostHypervisor::exit_roundtrip(Vm& vm, ExitKind kind) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch + injected_exit_spike(vm));
   }
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kL0Handler);
@@ -77,7 +90,7 @@ Task<void> HostHypervisor::begin_exit(Vm& vm) {
   counters_->add(Counter::kWorldSwitch);
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
   obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+  co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch + injected_exit_spike(vm));
 }
 
 Task<void> HostHypervisor::finish_entry(Vm& vm) {
@@ -96,7 +109,7 @@ Task<void> HostHypervisor::handle_ept_violation(Vm& vm, std::uint64_t gpa) {
                gpa);
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch + injected_exit_spike(vm));
   }
   co_await fill_ept(vm, gpa);
   counters_->add(Counter::kWorldSwitch);
@@ -149,7 +162,8 @@ Task<void> HostHypervisor::nested_forward_exit_to_l1(Vm& l1_vm, NestedVcpu& vcpu
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kNestedForward);
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch +
+                         injected_exit_spike(l1_vm));
   }
 
   // Reflect the exit: copy exit information from VMCS02 into VMCS12 so L1's
@@ -182,7 +196,8 @@ Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
                l1_vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch +
+                         injected_exit_spike(l1_vm));
   }
 
   // Merge VMCS01 + VMCS12 -> VMCS02 ("update & reload VMCS02") plus the
@@ -193,6 +208,19 @@ Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
     counters_->add(Counter::kVmcsSync);
     co_await sim_->delay(costs_->vmcs_sync() + costs_->nested_resume_work +
                          static_cast<std::uint64_t>(copies) * costs_->vmcs_field_access);
+  }
+
+  // Transient VMRESUME failures (injected): the launch rolls back to root
+  // mode and L0 re-runs the consistency checks before retrying. The injector
+  // bounds each burst (fail_count), the loop cap is a hard backstop.
+  if (fault::FaultInjector* faults = sim_->faults(); faults != nullptr) {
+    for (int attempt = 0; attempt < 8 && faults->vmresume_fails(l1_vm.name(), attempt);
+         ++attempt) {
+      counters_->add(Counter::kFaultInjected);
+      counters_->add(Counter::kVmresumeRetry);
+      obs::SpanScope span(sim_->spans(), obs::Phase::kVmcsSync);
+      co_await sim_->delay(costs_->vmx_entry + costs_->nested_resume_work);
+    }
   }
 
   counters_->add(Counter::kWorldSwitch);
@@ -223,7 +251,8 @@ Task<void> HostHypervisor::emulate_protected_store(Vm& l1_vm) {
                l1_vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
-    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch);
+    co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch +
+                         injected_exit_spike(l1_vm));
   }
   {
     // kvm_mmu_pte_write runs under the L1 VM's L0 mmu_lock — shared by every

@@ -171,6 +171,9 @@ class HostHypervisor {
   std::uint16_t next_vpid_ = 1;
 
   std::uint64_t handler_cost(ExitKind kind) const;
+  // Extra host-side latency an attached fault injector adds to this exit
+  // (preempted L0, SMI, ...). 0 when no injector is armed.
+  std::uint64_t injected_exit_spike(const Vm& vm);
 };
 
 }  // namespace pvm

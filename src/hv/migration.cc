@@ -1,6 +1,16 @@
 #include "src/hv/migration.h"
 
+#include "src/fault/fault.h"
+
 namespace pvm {
+
+namespace {
+
+// Stop-and-copy also ships vCPU/device state: a fixed pause on top of the
+// page copy.
+constexpr SimTime kStateShipNs = 200 * kNsPerUs;
+
+}  // namespace
 
 Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
                                                const MigrationParams& params) {
@@ -15,31 +25,69 @@ Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
   }
 
   const SimTime start = l0_->sim().now();
-  // The resident set is whatever EPT01 currently backs.
-  std::uint64_t remaining = vm.ept().present_leaf_count();
-  if (remaining == 0) {
-    remaining = 1;  // an idle VM still ships its device/vCPU state
-  }
+  for (int attempt = 0;; ++attempt) {
+    // The resident set is whatever EPT01 currently backs.
+    std::uint64_t remaining = vm.ept().present_leaf_count();
+    if (remaining == 0) {
+      remaining = 1;  // an idle VM still ships its device/vCPU state
+    }
 
-  // Pre-copy rounds: copy the current set while the guest keeps dirtying a
-  // fraction of it.
-  while (remaining > params.stop_copy_pages && result.rounds < params.max_rounds) {
-    co_await l0_->sim().delay(copy_time(remaining, params));
+    // Pre-copy rounds: copy the current set while the guest keeps dirtying a
+    // fraction of it. An injected stall extends the round's copy time and —
+    // because the guest keeps dirtying meanwhile — the round converges
+    // nothing: `remaining` does not shrink.
+    int rounds = 0;
+    while (remaining > params.stop_copy_pages && rounds < params.max_rounds) {
+      SimTime round_time = copy_time(remaining, params);
+      bool stalled = false;
+      if (fault::FaultInjector* faults = l0_->sim().faults(); faults != nullptr) {
+        const SimTime stall = faults->migration_stall(vm.name());
+        if (stall > 0) {
+          l0_->counters().add(Counter::kFaultInjected);
+          round_time += stall;
+          stalled = true;
+        }
+      }
+      co_await l0_->sim().delay(round_time);
+      result.pages_copied += remaining;
+      if (!stalled) {
+        remaining = static_cast<std::uint64_t>(static_cast<double>(remaining) *
+                                               params.dirty_fraction);
+      }
+      ++rounds;
+    }
+    result.rounds += rounds;
+
+    // Downtime cap: if pausing now would blow the budget, abandon this
+    // attempt and retry the pre-copy pass after an exponential backoff
+    // (letting the dirtying burst — or the injected stalls — pass).
+    const SimTime projected = copy_time(remaining, params) + kStateShipNs;
+    if (params.max_downtime_ns > 0 && projected > params.max_downtime_ns) {
+      if (attempt >= params.max_retries) {
+        result.capped = true;
+        result.failure_reason =
+            "projected downtime " + std::to_string(projected) + "ns exceeds cap " +
+            std::to_string(params.max_downtime_ns) + "ns after " +
+            std::to_string(result.retries) + " retries";
+        result.total_time = l0_->sim().now() - start;
+        co_return result;
+      }
+      ++result.retries;
+      l0_->counters().add(Counter::kMigrationRetry);
+      co_await l0_->sim().delay(params.retry_backoff_ns << attempt);
+      continue;
+    }
+
+    // Stop-and-copy: pause the VM, ship the rest + vCPU/device state.
+    const SimTime pause_start = l0_->sim().now();
+    co_await l0_->sim().delay(copy_time(remaining, params) + kStateShipNs);
     result.pages_copied += remaining;
-    remaining = static_cast<std::uint64_t>(static_cast<double>(remaining) *
-                                           params.dirty_fraction);
+    result.downtime = l0_->sim().now() - pause_start;
+    result.total_time = l0_->sim().now() - start;
+    result.succeeded = true;
     ++result.rounds;
+    co_return result;
   }
-
-  // Stop-and-copy: pause the VM, ship the rest + vCPU/device state.
-  const SimTime pause_start = l0_->sim().now();
-  co_await l0_->sim().delay(copy_time(remaining, params) + 200 * kNsPerUs);
-  result.pages_copied += remaining;
-  result.downtime = l0_->sim().now() - pause_start;
-  result.total_time = l0_->sim().now() - start;
-  result.succeeded = true;
-  ++result.rounds;
-  co_return result;
 }
 
 }  // namespace pvm

@@ -27,12 +27,24 @@ struct MigrationParams {
   // Stop-and-copy threshold: remaining pages at which the VM is paused.
   std::uint64_t stop_copy_pages = 1024;
   int max_rounds = 16;
+
+  // Downtime cap: refuse to stop-and-copy when the projected pause would
+  // exceed this, and retry the whole pre-copy pass instead (0 = uncapped,
+  // the historical behavior).
+  SimTime max_downtime_ns = 0;
+  // Bounded retry with exponential backoff: after a capped attempt, wait
+  // retry_backoff_ns << attempt before re-running pre-copy; give up after
+  // max_retries additional attempts.
+  int max_retries = 3;
+  SimTime retry_backoff_ns = 2 * kNsPerMs;
 };
 
 struct MigrationResult {
   bool succeeded = false;
   std::string failure_reason;
-  int rounds = 0;
+  int rounds = 0;       // pre-copy + stop-and-copy rounds, across all attempts
+  int retries = 0;      // attempts abandoned at the downtime-cap check
+  bool capped = false;  // the final attempt was abandoned (succeeded == false)
   std::uint64_t pages_copied = 0;
   SimTime total_time = 0;
   SimTime downtime = 0;  // the stop-and-copy pause

@@ -64,6 +64,18 @@ enum class Counter : std::size_t {
   kCowBreak,
   kIoRequest,
 
+  // Fault injection & recovery (pvm::fault).
+  kFaultInjected,        // any injected fault that fired at an instrumented site
+  kFrameReclaim,         // reclaim passes run by the shadow engine under pressure
+  kFramesReclaimed,      // frames recovered by those passes
+  kGuestOomKill,         // guest processes killed by the guest kernel's OOM path
+  kBackingFail,          // backing allocations that failed with no recovery path
+  kMigrationRetry,       // migration attempts retried after stall/overrun
+  kVmresumeRetry,        // VMRESUME launches retried after transient failure
+  kWatchdogKick,         // watchdog stage 1: re-inject / nudge a stalled vCPU
+  kWatchdogReset,        // watchdog stage 2: vCPU reset (TLB + state)
+  kWatchdogKill,         // watchdog stage 3: container killed
+
   kCount,
 };
 

@@ -50,6 +50,7 @@ enum class Phase : std::uint8_t {
   kLockWait,        // queued on a sim::Resource (mmu_lock, pt_lock, ...)
   kIo,              // paravirtual I/O burst
   kCompute,         // guest compute timeslices on the host CPU pool
+  kReclaim,         // frame-pressure reclaim (zap cold shadow state via rmap)
 
   kCount,
 };
@@ -102,6 +103,8 @@ constexpr std::string_view phase_name(Phase phase) {
       return "io";
     case Phase::kCompute:
       return "compute";
+    case Phase::kReclaim:
+      return "reclaim";
     case Phase::kCount:
       break;
   }

@@ -1,5 +1,7 @@
 #include "src/sim/resource.h"
 
+#include "src/fault/fault.h"
+
 namespace pvm {
 
 ScopedResource& ScopedResource::operator=(ScopedResource&& other) noexcept {
@@ -34,7 +36,14 @@ void Resource::release() {
     // stays unchanged: ownership moves directly.
     Waiter next = waiters_.front();
     waiters_.pop_front();
-    sim_->schedule(next.handle, sim_->now(), next.root);
+    SimTime when = sim_->now();
+    if (fault::FaultInjector* faults = sim_->faults(); faults != nullptr) {
+      // Injected handoff delay: the waiter owns the unit already (available_
+      // untouched), it just resumes late — modelling a preempted lock holder
+      // or IPI latency between unlock and wakeup.
+      when += faults->lock_handoff_delay(name_);
+    }
+    sim_->schedule(next.handle, when, next.root);
     return;
   }
   ++available_;

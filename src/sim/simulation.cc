@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/fault/fault.h"
 #include "src/obs/span.h"
 #include "src/sim/resource.h"
 
@@ -46,6 +47,13 @@ void Simulation::set_spans(obs::SpanRecorder* spans) {
   spans_ = spans;
   if (spans_ != nullptr) {
     spans_->bind(&now_, &active_root_);
+  }
+}
+
+void Simulation::set_faults(fault::FaultInjector* faults) {
+  faults_ = faults;
+  if (faults_ != nullptr) {
+    faults_->bind(&now_);
   }
 }
 
@@ -158,6 +166,12 @@ std::string Simulation::blocked_report() const {
     if (roots_[i] && !roots_[i].done()) {
       pending.push_back(static_cast<std::int64_t>(i));
     }
+  }
+  if (pending.empty() && diagnostics_.empty()) {
+    return report;
+  }
+  for (const std::string& line : diagnostics_) {
+    report += "  diagnostic: " + line + "\n";
   }
   if (pending.empty()) {
     return report;

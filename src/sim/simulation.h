@@ -29,6 +29,10 @@ namespace obs {
 class SpanRecorder;
 }  // namespace obs
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 // Virtual time in nanoseconds since simulation start.
 using SimTime = std::uint64_t;
 
@@ -106,6 +110,19 @@ class Simulation {
   // callers toggle SpanRecorder::set_enabled separately.
   void set_spans(obs::SpanRecorder* spans);
   obs::SpanRecorder* spans() const { return spans_; }
+
+  // Attaches (or detaches, with nullptr) a fault injector, binding it to
+  // this simulation's virtual clock so trigger windows evaluate against
+  // virtual time. Same contract as set_spans: the injector must outlive the
+  // attachment, and instrumented sites pay one pointer check when detached.
+  void set_faults(fault::FaultInjector* faults);
+  fault::FaultInjector* faults() const { return faults_; }
+
+  // Records a recovery-escalation diagnostic (e.g. from the watchdog);
+  // appended to blocked_report() so a post-mortem shows what the recovery
+  // machinery observed and did before the run wedged or was killed.
+  void add_diagnostic(std::string line) { diagnostics_.push_back(std::move(line)); }
+  const std::vector<std::string>& diagnostics() const { return diagnostics_; }
 
   // Live resources, in registration order (used by contention reporting).
   const std::vector<Resource*>& resources() const { return resources_; }
@@ -196,7 +213,9 @@ class Simulation {
   std::vector<std::coroutine_handle<TaskPromise<void>>> roots_;
   std::vector<std::string> root_names_;
   std::vector<Resource*> resources_;
+  std::vector<std::string> diagnostics_;
   obs::SpanRecorder* spans_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace pvm

@@ -62,12 +62,19 @@ ContainersResult run_containers(VirtualPlatform& platform, int container_count,
   ContainersResult result;
   for (SecureContainer* container : containers) {
     result.boot_latencies.push_back(container->boot_latency());
+    result.boot_failed.push_back(container->boot_failed());
+    if (container->boot_failed()) {
+      ++result.boots_failed;
+    }
   }
 
   result.task_times.resize(container_count, 0);
   const SimTime start = sim.now();
   for (int i = 0; i < container_count; ++i) {
     SecureContainer& container = *containers[i];
+    if (result.boot_failed[static_cast<std::size_t>(i)]) {
+      continue;  // never came up; there is no init process to run the body in
+    }
     auto stop = std::make_shared<bool>(false);
     if (timer_hz > 0) {
       sim.spawn(timer_ticks(container, timer_hz, stop));

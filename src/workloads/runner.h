@@ -44,8 +44,12 @@ ConcurrentResult run_processes_in_container(VirtualPlatform& platform,
 
 // Boots `container_count` containers concurrently, then runs `body` in each
 // (one process, one vCPU per container). Also records boot latencies.
+// A container whose boot failed (init OOM-killed under an exhausted host)
+// gets no body: its entry in `boot_failed` is true and its task time is 0.
 struct ContainersResult : ConcurrentResult {
   std::vector<SimTime> boot_latencies;
+  std::vector<bool> boot_failed;
+  int boots_failed = 0;
 };
 // `timer_hz` > 0 additionally runs a scheduler-tick task per container for
 // the duration of its body (the per-vCPU interrupt load real guests carry).
