@@ -178,7 +178,8 @@ class BenchIo {
     export_.add_run(label, sim, counters, recorder, std::move(values));
     if (!trace_path_.empty() && recorder != nullptr) {
       // Written per run while the simulation is alive; the last run wins.
-      write_file(trace_path_, export_chrome_trace(*recorder, sim));
+      // The flight overlay marks injected faults / watchdog / OOM events.
+      write_file(trace_path_, export_chrome_trace(*recorder, sim, sim.flight()));
     }
     if (report_) {
       std::printf("--- pvm-report: %s ---\n%s\n", label.c_str(),

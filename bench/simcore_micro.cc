@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/arch/page_table.h"
 #include "src/arch/tlb.h"
 #include "src/backends/platform.h"
@@ -110,11 +111,14 @@ void BM_ResourceContention(benchmark::State& state) {
 BENCHMARK(BM_ResourceContention);
 
 void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
+  bool captured = false;
   for (auto _ : state) {
     state.PauseTiming();
     PlatformConfig config;
     config.mode = DeployMode::kPvmNst;
     VirtualPlatform platform(config);
+    bench_io().arm_faults(platform);
+    bench_io().observe(platform);
     SecureContainer& c = platform.create_container("c0");
     platform.sim().spawn(c.boot(8));
     platform.sim().run();
@@ -129,6 +133,17 @@ void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
       }
     }(c, proc));
     platform.sim().run();
+
+    if (!captured && bench_io().active()) {
+      // One platform-backed capture per benchmark (outside the timed
+      // region), so --report and the export's counter/contention sections
+      // work here like in the table/figure binaries.
+      state.PauseTiming();
+      bench_io().record_run("BM_FullFaultProtocolPvmNst", platform,
+                            {{"pages_touched", 512.0}});
+      captured = true;
+      state.ResumeTiming();
+    }
   }
   state.SetItemsProcessed(state.iterations() * 512);
 }
@@ -144,6 +159,7 @@ void BM_FullFaultProtocolPvmNstObserved(benchmark::State& state) {
     PlatformConfig config;
     config.mode = DeployMode::kPvmNst;
     VirtualPlatform platform(config);
+    bench_io().arm_faults(platform);
     obs::SpanRecorder recorder;
     recorder.set_enabled(true);
     platform.sim().set_spans(&recorder);
@@ -167,34 +183,58 @@ void BM_FullFaultProtocolPvmNstObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultProtocolPvmNstObserved);
 
+// Console reporter that also feeds each benchmark's wall-clock numbers into
+// the shared BenchExport, so `--json` emits the same pvm.bench.v1 schema as
+// every table/figure binary (benchdiff and pvm-stat consume it uniformly).
+class ExportingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      std::vector<std::pair<std::string, double>> values = {
+          {"real_time_ns", run.GetAdjustedRealTime()},
+          {"cpu_time_ns", run.GetAdjustedCPUTime()},
+      };
+      for (const auto& [name, counter] : run.counters) {
+        values.emplace_back(name, counter.value);
+      }
+      bench_io().record_values(run.benchmark_name(), std::move(values));
+    }
+  }
+};
+
 }  // namespace
 }  // namespace pvm
 
-// Custom main instead of BENCHMARK_MAIN(): map the repo-wide `--json <path>`
-// flag onto google-benchmark's JSON file reporter so simcore_micro takes the
-// same flag as every other bench binary.
+// Custom main instead of BENCHMARK_MAIN(): the repo-wide BenchIo flags
+// (--json / --trace / --report / --faults) are parsed and stripped before
+// google-benchmark sees the command line, so simcore_micro takes the same
+// flags as every other bench binary.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag;
-  std::string format_flag = "--benchmark_out_format=json";
-  for (auto it = args.begin(); it != args.end();) {
-    if (std::string(*it) == "--json" && it + 1 != args.end()) {
-      out_flag = std::string("--benchmark_out=") + *(it + 1);
-      it = args.erase(it, it + 2);
-    } else {
-      ++it;
+  pvm::BenchIo io(argc, argv, "simcore_micro");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--trace" || arg == "--faults") {
+      ++i;  // skip the flag's value too
+      continue;
     }
-  }
-  if (!out_flag.empty()) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
+    if (arg == "--report") {
+      continue;
+    }
+    args.push_back(argv[i]);
   }
   int adjusted_argc = static_cast<int>(args.size());
   benchmark::Initialize(&adjusted_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  pvm::ExportingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  io.finish();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/backends/ept_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -23,6 +24,10 @@ Task<void> EptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
 
     if (walk.outcome != TwoDimWalk::Outcome::kOk && attempt == 0) {
       op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
     }
     switch (walk.outcome) {
       case TwoDimWalk::Outcome::kOk:

@@ -1,5 +1,6 @@
 #include "src/backends/ept_on_ept_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -19,6 +20,12 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
     const TwoDimWalk walk = walk_two_dimensional(proc.gpt(), ept02_, gva, access, user_mode);
     co_await sim_->delay(static_cast<std::uint64_t>(walk.total_loads) * costs_->walk_load);
 
+    if (walk.outcome != TwoDimWalk::Outcome::kOk && attempt == 0) {
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
+    }
     switch (walk.outcome) {
       case TwoDimWalk::Outcome::kOk:
         vcpu.tlb.insert(vpid_, pcid, page_number(gva),

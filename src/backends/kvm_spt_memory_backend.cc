@@ -1,5 +1,6 @@
 #include "src/backends/kvm_spt_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -56,6 +57,10 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
 
     if (attempt == 0) {
       op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
     }
 
     // Every fault under shadow paging exits to the hypervisor, which

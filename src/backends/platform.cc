@@ -54,6 +54,9 @@ VirtualPlatform::VirtualPlatform(const PlatformConfig& config)
     : config_(config), l0_(sim_, costs_, counters_, trace_, config.host_frames) {
   // Before any work is spawned, so the whole run uses one schedule.
   sim_.set_schedule_policy(config_.schedule_policy, config_.schedule_seed);
+  // The flight recorder is always on: every instrumented site pays one null
+  // check, and a failure anywhere in the run can dump the last N events.
+  sim_.set_flight(&flight_);
   if (deploy_mode_is_nested(config_.mode)) {
     // The general-purpose instances leased from the IaaS cloud:
     // long-running, EPT01 warm (§4's assumption).

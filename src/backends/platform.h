@@ -26,6 +26,7 @@
 #include "src/guest/io_device.h"
 #include "src/hv/host_hypervisor.h"
 #include "src/metrics/counters.h"
+#include "src/obs/flight.h"
 #include "src/sim/simulation.h"
 #include "src/trace/trace.h"
 
@@ -138,6 +139,12 @@ class VirtualPlatform {
   void arm_faults(fault::FaultInjector* faults);
   fault::FaultInjector* faults() const { return faults_; }
 
+  // The always-on black-box flight recorder. Every platform owns one and
+  // attaches it to the simulation at construction, so the last N events per
+  // track are available for a postmortem dump on any failure path.
+  flight::FlightRecorder& flight() { return flight_; }
+  const flight::FlightRecorder& flight() const { return flight_; }
+
  private:
   PlatformConfig config_;
   CostModel costs_;
@@ -146,6 +153,7 @@ class VirtualPlatform {
                       static_cast<std::uint32_t>(config_.host_cpus > 0 ? config_.host_cpus : 1)};
   CounterSet counters_;
   TraceLog trace_;
+  flight::FlightRecorder flight_;
   HostHypervisor l0_;
   std::vector<HostHypervisor::Vm*> l1_vms_;
   std::unique_ptr<PvmHypervisor> pvm_;

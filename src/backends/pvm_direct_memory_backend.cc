@@ -1,5 +1,6 @@
 #include "src/backends/pvm_direct_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -62,6 +63,10 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
     }
     if (attempt == 0) {
       op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       co_await l0_->ensure_backed(*l1_vm_, walk.violating_gpa);

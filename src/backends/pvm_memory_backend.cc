@@ -1,5 +1,6 @@
 #include "src/backends/pvm_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -67,6 +68,10 @@ Task<void> PvmMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKernel&
     }
     if (attempt == 0) {
       op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       // Rare by the warm-L1 assumption; handled by L0 without PVM knowing.

@@ -1,5 +1,6 @@
 #include "src/backends/spt_on_ept_memory_backend.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -58,6 +59,10 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
     }
     if (attempt == 0) {
       op = obs::SpanScope(sim_->spans(), obs::Phase::kOpPageFault, gva);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kGuestFault, gva,
+                       static_cast<std::uint64_t>(proc.pid()));
+      }
     }
     if (walk.outcome == TwoDimWalk::Outcome::kEptViolation) {
       co_await l0_->ensure_backed(*l1_vm_, walk.violating_gpa);

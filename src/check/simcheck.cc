@@ -1,6 +1,8 @@
 #include "src/check/simcheck.h"
 
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -10,6 +12,7 @@
 #include "src/guest/guest_kernel.h"
 #include "src/metrics/report.h"
 #include "src/obs/contention.h"
+#include "src/obs/flight.h"
 #include "src/workloads/memstress.h"
 
 namespace pvm {
@@ -77,6 +80,14 @@ std::string case_label(const SimcheckCase& c) {
 
 }  // namespace
 
+std::string simcheck_reproduce_line(const SimcheckCase& c) {
+  std::ostringstream line;
+  line << "simcheck --modes " << simcheck_mode_token(c.mode) << " --policies "
+       << schedule_policy_name(c.policy) << " --seeds 1 --first-seed " << c.schedule_seed
+       << (c.chaos ? "" : " --no-chaos") << (c.faults ? "" : " --no-faults");
+  return line.str();
+}
+
 SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   SimcheckResult result;
   // Failure diagnosis: the counter table says *what* the protocol did up to
@@ -87,13 +98,19 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   // pointers to it, so it must be destroyed after them.
   fault::FaultInjector injector;
   std::unique_ptr<VirtualPlatform> platform;
-  const auto capture_profile = [&result, &platform] {
+  const auto capture_profile = [&result, &platform, &c](std::string_view reason) {
     if (platform == nullptr) {
       return;
     }
     result.profile =
         render_counter_report(platform->counters()) + "\n" +
         obs::render_top_resources(obs::collect_resource_stats(platform->sim()), 8);
+    // The black-box dump for this failing interleaving; the embedded
+    // reproduce line replays it bit-for-bit, dump included.
+    result.postmortem_text =
+        flight::render_flight_timeline(platform->flight(), &platform->sim());
+    result.postmortem_json = flight::render_postmortem_json(
+        platform->flight(), &platform->sim(), reason, simcheck_reproduce_line(c));
   };
   try {
     PlatformConfig config;
@@ -117,7 +134,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock during boot\n" + sim.blocked_report();
-      capture_profile();
+      capture_profile("deadlock during boot");
       return result;
     }
 
@@ -138,7 +155,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock during process creation\n" + sim.blocked_report();
-      capture_profile();
+      capture_profile("deadlock during process creation");
       return result;
     }
 
@@ -181,7 +198,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock in workload/chaos stage\n" + sim.blocked_report();
-      capture_profile();
+      capture_profile("deadlock in workload/chaos stage");
       return result;
     }
 
@@ -195,7 +212,7 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     if (!sim.all_tasks_done()) {
       result.ok = false;
       result.failure = "deadlock in teardown stage\n" + sim.blocked_report();
-      capture_profile();
+      capture_profile("deadlock in teardown stage");
       return result;
     }
 
@@ -213,11 +230,11 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   } catch (const SptCoherenceError& e) {
     result.ok = false;
     result.failure = std::string("coherence violation: ") + e.what();
-    capture_profile();
+    capture_profile("coherence violation");
   } catch (const std::exception& e) {
     result.ok = false;
     result.failure = std::string("exception: ") + e.what();
-    capture_profile();
+    capture_profile("exception");
   }
   return result;
 }
@@ -258,13 +275,23 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
           // seed for this (mode, policy) combination.
           out << "FAIL " << case_label(c) << "\n"
               << "     minimal failing seed: " << seed << "\n"
-              << "     reproduce: simcheck --modes " << simcheck_mode_token(mode)
-              << " --policies " << schedule_policy_name(policy) << " --seeds 1 --first-seed "
-              << seed << (options.chaos ? "" : " --no-chaos")
-              << (options.faults ? "" : " --no-faults") << "\n"
+              << "     reproduce: " << simcheck_reproduce_line(c) << "\n"
               << r.failure << "\n";
           if (!r.profile.empty()) {
             out << r.profile << "\n";
+          }
+          if (!options.postmortem_dir.empty() && !r.postmortem_json.empty()) {
+            std::error_code ec;  // best effort; the writes below report nothing either
+            std::filesystem::create_directories(options.postmortem_dir, ec);
+            const std::string stem = options.postmortem_dir + "/postmortem-" +
+                                     std::string(simcheck_mode_token(mode)) + "-" +
+                                     std::string(schedule_policy_name(policy)) + "-" +
+                                     std::to_string(seed);
+            std::ofstream(stem + ".json") << r.postmortem_json;
+            std::ofstream(stem + ".txt") << r.postmortem_text;
+            out << "     postmortem: " << stem << ".{json,txt}\n";
+          } else if (!r.postmortem_text.empty()) {
+            out << r.postmortem_text;
           }
           failed = true;
           ++failing_combinations;

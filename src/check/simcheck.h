@@ -60,10 +60,20 @@ struct SimcheckCase {
   std::uint64_t memstress_bytes = 1ull << 20;  // per process
 };
 
+// The exact `simcheck ...` invocation that replays this case bit-for-bit;
+// printed in failure reports and embedded in postmortem dumps.
+std::string simcheck_reproduce_line(const SimcheckCase& c);
+
 struct SimcheckResult {
   bool ok = true;
   std::string failure;  // oracle violations, exception, or deadlock report
   std::string profile;  // on failure: counter table + top-contended resources
+
+  // On failure: the flight-recorder dump at the moment of death — the
+  // interleaved per-track timeline and the pvm.postmortem.v1 JSON (which
+  // embeds the reproduce line). Empty on success.
+  std::string postmortem_text;
+  std::string postmortem_json;
 
   std::uint64_t events = 0;       // events the schedule executed
   std::uint64_t fills = 0;        // Counter::kSptEntryFilled
@@ -85,6 +95,10 @@ struct SweepOptions {
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;
   bool verbose = false;
+
+  // When non-empty, each failing case's postmortem is written to
+  // <dir>/postmortem-<mode>-<policy>-<seed>.{json,txt} (CI uploads these).
+  std::string postmortem_dir;
 };
 
 // Sweeps seeds (ascending) x policies x modes, cycling the PVM lock /

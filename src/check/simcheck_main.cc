@@ -28,6 +28,8 @@ void usage(std::ostream& out) {
          "  --bytes N             memstress bytes per process (default: 1 MiB)\n"
          "  --no-chaos            disable fault-injection agents\n"
          "  --no-faults           disable the faultstorm fault plans\n"
+         "  --postmortem-dir D    write failing cases' flight-recorder dumps\n"
+         "                        to D/postmortem-<mode>-<policy>-<seed>.{json,txt}\n"
          "  --verbose             print every case, not just failures\n";
 }
 
@@ -105,6 +107,8 @@ int main(int argc, char** argv) {
       options.processes = std::atoi(next_value(i).c_str());
     } else if (arg == "--bytes") {
       options.memstress_bytes = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--postmortem-dir") {
+      options.postmortem_dir = next_value(i);
     } else if (arg == "--no-chaos") {
       options.chaos = false;
     } else if (arg == "--no-faults") {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/fault/fault.h"
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -238,6 +239,12 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
       // with a concurrent zap — nothing installed, the access refaults.
       counters_->add(Counter::kFaultInjected);
       counters_->add(Counter::kSptFillRaced);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kFaultInjected,
+                       flight->intern(fault_kind_name(fault::FaultKind::kSpuriousSptInval)),
+                       gva, static_cast<std::uint8_t>(fault::FaultKind::kSpuriousSptInval));
+        flight->record(flight::EventKind::kSptFill, gva, pid, 2);
+      }
       co_return true;
     }
   }
@@ -273,6 +280,9 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
   if (reclaim.frames > 0) {
     // The sweep itself ran synchronously (atomic w.r.t. other tasks); charge
     // its cost here, attributed to a reclaim phase for obs.
+    if (flight::FlightRecorder* flight = sim_->flight()) {
+      flight->record(flight::EventKind::kReclaim, reclaim.frames, reclaim.leaves_zapped);
+    }
     obs::SpanScope reclaim_span(sim_->spans(), obs::Phase::kReclaim, gva);
     co_await sim_->delay(costs_->spt_fill +
                          reclaim.leaves_zapped * costs_->spt_bulk_zap_per_page +
@@ -295,6 +305,9 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
       if (current == nullptr || !current->present() || current->frame_number() != gfn ||
           (gpt_leaf.writable() && !current->writable())) {
         counters_->add(Counter::kSptFillRaced);
+        if (flight::FlightRecorder* flight = sim_->flight()) {
+          flight->record(flight::EventKind::kSptFill, gva, pid, 2);
+        }
         co_return true;
       }
     }
@@ -304,6 +317,9 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
       // PTE that has since been overwritten. Abort — the refault retries
       // against the current guest state.
       counters_->add(Counter::kSptFillRaced);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kSptFill, gva, pid, 2);
+      }
       co_return true;
     }
     if (bp == leaf_gfn_.end()) {
@@ -338,6 +354,9 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
         }
       }
       counters_->add(Counter::kSptFillRaced);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kSptFill, gva, pid, 2);
+      }
       co_return true;
     }
     PteFlags flags = gpt_leaf.flags();
@@ -351,6 +370,9 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
     }
     co_await sim_->delay(costs_->spt_fill);
   }
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kSptFill, gva, pid, is_prefault ? 1 : 0);
+  }
   trace_->emit(sim_->now(), TraceActor::kL1Hypervisor, TraceEventKind::kSptFill,
                is_prefault ? "prefault" : "fill", gva);
   maybe_check_after_mutation();
@@ -363,6 +385,10 @@ Task<void> PvmMemoryEngine::emulate_gpt_store(std::uint64_t pid, std::uint64_t g
   obs::SpanScope span(sim_->spans(), obs::Phase::kGptEmulate, gva);
   MutationScope mutation(this);
   counters_->add(Counter::kGptWriteProtectTrap);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kGptEmulate, gva, pid,
+                   static_cast<std::uint8_t>(kind));
+  }
   // Decode + emulate the store under the structural lock, as KVM's
   // kvm_mmu_pte_write does under mmu_lock.
   {
@@ -429,6 +455,9 @@ Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, b
       std::erase(rit->second, RmapEntry{pid, kernel_ring, gva});
     }
     leaf_gfn_.erase(post);
+    if (flight::FlightRecorder* flight = sim_->flight()) {
+      flight->record(flight::EventKind::kZap, gva, pid);
+    }
     co_await sim_->delay(costs_->spt_fill);
     const std::size_t vcpus = vcpu_count_ ? vcpu_count_() : 1;
     obs::SpanScope shootdown(sim_->spans(), obs::Phase::kTlbShootdown);
@@ -470,6 +499,9 @@ Task<void> PvmMemoryEngine::bulk_zap(std::uint64_t pid, Tlb& tlb, std::uint16_t 
     shadow.user_spt->clear();
   }
   erase_process_rmap_state(pid);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kBulkZap, leaves, pid);
+  }
   co_await sim_->delay(costs_->spt_fill + leaves * costs_->spt_bulk_zap_per_page);
   if (options_.pcid_mapping) {
     tlb.flush_pcid(vpid, pcid_mapper_.map(pid, true).hw_pcid);

@@ -2,6 +2,7 @@
 
 #include <string_view>
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -30,6 +31,10 @@ std::string_view reason_text(SwitchReason reason) {
 
 Task<void> Switcher::to_hypervisor(SwitcherState& state, VcpuState& vcpu, SwitchReason reason) {
   obs::SpanScope span(sim_->spans(), obs::Phase::kSwitcherExit);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kSwitcherExit, 0, 0,
+                   static_cast<std::uint8_t>(reason));
+  }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kL1Exit);
   trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kVmExit, reason_text(reason));
@@ -48,6 +53,10 @@ Task<void> Switcher::to_hypervisor(SwitcherState& state, VcpuState& vcpu, Switch
 
 Task<void> Switcher::enter_guest(SwitcherState& state, VcpuState& vcpu, VirtRing target_ring) {
   obs::SpanScope span(sim_->spans(), obs::Phase::kSwitcherEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kSwitcherEntry, 0, 0,
+                   target_ring == VirtRing::kVRing0 ? 0 : 3);
+  }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
   trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kVmEntry,
@@ -68,6 +77,10 @@ Task<void> Switcher::enter_guest(SwitcherState& state, VcpuState& vcpu, VirtRing
 
 Task<void> Switcher::direct_switch_to_kernel(SwitcherState& state, VcpuState& vcpu) {
   obs::SpanScope span(sim_->spans(), obs::Phase::kDirectSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kDirectSwitch, 0,
+                   costs_->ring_crossing + costs_->direct_switch_work, 0);
+  }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kDirectSwitch);
   trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kDirectSwitch,
@@ -83,6 +96,10 @@ Task<void> Switcher::direct_switch_to_kernel(SwitcherState& state, VcpuState& vc
 
 Task<void> Switcher::direct_switch_to_user(SwitcherState& state, VcpuState& vcpu) {
   obs::SpanScope span(sim_->spans(), obs::Phase::kDirectSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kDirectSwitch, 0,
+                   costs_->ring_crossing + costs_->direct_switch_work, 1);
+  }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kDirectSwitch);
   trace_->emit(sim_->now(), TraceActor::kSwitcher, TraceEventKind::kDirectSwitch,

@@ -2,6 +2,7 @@
 
 #include "src/guest/guest_kernel.h"
 #include "src/metrics/counters.h"
+#include "src/obs/flight.h"
 
 namespace pvm::fault {
 
@@ -31,6 +32,7 @@ Task<void> Watchdog::run() {
       }
       ++stalled_[i];
       const int vcpu_id = static_cast<int>(i);
+      flight::FlightRecorder* flight = sim.flight();
       if (stalled_[i] == params_.kick_after) {
         // Re-inject a timer interrupt. In the simulation this is free: a
         // vCPU that lost a wakeup is modelled as a task parked on a
@@ -38,14 +40,26 @@ Task<void> Watchdog::run() {
         // exists so the escalation order matches a real stall handler.
         counters.add(Counter::kWatchdogKick);
         events_.push_back({sim.now(), vcpu_id, "kick"});
+        if (flight != nullptr) {
+          flight->record(flight::EventKind::kWatchdog, static_cast<std::uint64_t>(vcpu_id),
+                         0, 0);
+        }
       } else if (stalled_[i] == params_.reset_after) {
         counters.add(Counter::kWatchdogReset);
         events_.push_back({sim.now(), vcpu_id, "reset"});
+        if (flight != nullptr) {
+          flight->record(flight::EventKind::kWatchdog, static_cast<std::uint64_t>(vcpu_id),
+                         0, 1);
+        }
         vcpu.tlb.flush_all();
         co_await sim.delay(kVcpuResetCostNs);
       } else if (stalled_[i] == params_.kill_after) {
         counters.add(Counter::kWatchdogKill);
         events_.push_back({sim.now(), vcpu_id, "kill"});
+        if (flight != nullptr) {
+          flight->record(flight::EventKind::kWatchdog, static_cast<std::uint64_t>(vcpu_id),
+                         0, 2);
+        }
         co_await kill_container(vcpu, vcpu_id);
       }
     }
@@ -54,6 +68,18 @@ Task<void> Watchdog::run() {
 
 Task<void> Watchdog::kill_container(Vcpu& vcpu, int wedged_vcpu) {
   killed_ = true;
+  container_->sim().add_diagnostic(
+      "watchdog: killed container '" + container_->name() + "' (vcpu " +
+      std::to_string(wedged_vcpu) + " made no progress through kick and reset)");
+  // Black-box dump at the moment of death, before the teardown below floods
+  // the rings with OOM-kill traffic and wraps the escalation markers out.
+  if (flight::FlightRecorder* flight = container_->sim().flight()) {
+    const std::string reason = "watchdog kill: container '" + container_->name() +
+                               "', vcpu " + std::to_string(wedged_vcpu) + " stalled";
+    postmortem_text_ = flight::render_flight_timeline(*flight, &container_->sim());
+    postmortem_json_ =
+        flight::render_postmortem_json(*flight, &container_->sim(), reason, "");
+  }
   GuestKernel& kernel = container_->kernel();
   // Snapshot the process list before tearing anything down: oom_kill_process
   // suspends, and the list must not be re-walked through an iterator that a
@@ -69,9 +95,6 @@ Task<void> Watchdog::kill_container(Vcpu& vcpu, int wedged_vcpu) {
       co_await kernel.oom_kill_process(vcpu, *victim);
     }
   }
-  container_->sim().add_diagnostic(
-      "watchdog: killed container '" + container_->name() + "' (vcpu " +
-      std::to_string(wedged_vcpu) + " made no progress through kick and reset)");
 }
 
 }  // namespace pvm::fault

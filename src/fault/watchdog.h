@@ -65,6 +65,12 @@ class Watchdog {
   bool killed() const { return killed_; }
   const std::vector<Event>& events() const { return events_; }
 
+  // Postmortem dump rendered at kill time from the platform's flight
+  // recorder: the interleaved timeline of the last events per track, and the
+  // pvm.postmortem.v1 JSON document. Empty until killed() is true.
+  const std::string& postmortem_text() const { return postmortem_text_; }
+  const std::string& postmortem_json() const { return postmortem_json_; }
+
  private:
   Task<void> kill_container(Vcpu& vcpu, int wedged_vcpu);
 
@@ -74,6 +80,8 @@ class Watchdog {
   std::vector<std::uint64_t> last_progress_;
   std::vector<int> stalled_;
   std::vector<Event> events_;
+  std::string postmortem_text_;
+  std::string postmortem_json_;
   bool stopped_ = false;
   bool killed_ = false;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -267,6 +268,12 @@ Task<void> GuestKernel::oom_kill_process(Vcpu& vcpu, GuestProcess& victim) {
   }
   victim.set_oom_killed();
   counters_->add(Counter::kGuestOomKill);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kOomKill, victim.pid(), victim.data_frames().size());
+  }
+  sim_->add_diagnostic("guest OOM: killed pid " + std::to_string(victim.pid()) + " (" +
+                       std::to_string(victim.data_frames().size()) + " data frames) at t=" +
+                       std::to_string(sim_->now()));
   kernel_allocs_.erase(victim.pid());
   // The process object stays in processes_ — suspended coroutines still
   // reference it — but its frames go back and every entry point no-ops.

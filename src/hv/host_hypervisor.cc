@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/fault/fault.h"
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 
 namespace pvm {
@@ -60,6 +61,11 @@ std::uint64_t HostHypervisor::injected_exit_spike(const Vm& vm) {
   const std::uint64_t spike = faults->exit_latency_spike(vm.name());
   if (spike > 0) {
     counters_->add(Counter::kFaultInjected);
+    if (flight::FlightRecorder* flight = sim_->flight()) {
+      flight->record(flight::EventKind::kFaultInjected,
+                     flight->intern(fault_kind_name(fault::FaultKind::kExitLatencySpike)),
+                     spike, static_cast<std::uint8_t>(fault::FaultKind::kExitLatencySpike));
+    }
   }
   return spike;
 }
@@ -67,6 +73,9 @@ std::uint64_t HostHypervisor::injected_exit_spike(const Vm& vm) {
 Task<void> HostHypervisor::exit_roundtrip(Vm& vm, ExitKind kind) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxExit, 0, 0, static_cast<std::uint8_t>(kind));
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
@@ -78,6 +87,9 @@ Task<void> HostHypervisor::exit_roundtrip(Vm& vm, ExitKind kind) {
   }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmEntryTo, vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
@@ -88,6 +100,12 @@ Task<void> HostHypervisor::exit_roundtrip(Vm& vm, ExitKind kind) {
 Task<void> HostHypervisor::begin_exit(Vm& vm) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    // Split exits serve shadow-fill / emulation paths; in real KVM SPT both
+    // enter through a #PF-class vectored event, so record them as exceptions.
+    flight->record(flight::EventKind::kVmxExit, 0, 0,
+                   static_cast<std::uint8_t>(ExitKind::kException));
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmExitFrom, vm.name());
   obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
   co_await sim_->delay(costs_->vmx_exit + costs_->l0_exit_dispatch + injected_exit_spike(vm));
@@ -96,6 +114,9 @@ Task<void> HostHypervisor::begin_exit(Vm& vm) {
 Task<void> HostHypervisor::finish_entry(Vm& vm) {
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmEntryTo, vm.name());
   obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
   co_await sim_->delay(costs_->vmx_entry);
@@ -105,6 +126,10 @@ Task<void> HostHypervisor::handle_ept_violation(Vm& vm, std::uint64_t gpa) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kEptViolation);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxExit, gpa, 0,
+                   static_cast<std::uint8_t>(ExitKind::kEptViolation));
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kEptViolation, vm.name(),
                gpa);
   {
@@ -114,6 +139,9 @@ Task<void> HostHypervisor::handle_ept_violation(Vm& vm, std::uint64_t gpa) {
   co_await fill_ept(vm, gpa);
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
     co_await sim_->delay(costs_->vmx_entry);
@@ -159,6 +187,9 @@ Task<void> HostHypervisor::nested_forward_exit_to_l1(Vm& l1_vm, NestedVcpu& vcpu
   // Hardware exits from L2 land in L0 (the only root-mode software).
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxExit, 0, 0, static_cast<std::uint8_t>(kind));
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kNestedForward);
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxExit);
@@ -180,7 +211,9 @@ Task<void> HostHypervisor::nested_forward_exit_to_l1(Vm& l1_vm, NestedVcpu& vcpu
 
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
-  (void)kind;
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kResumeL1, l1_vm.name());
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
@@ -192,6 +225,9 @@ Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
   // L1's VMRESUME is privileged: it traps to L0.
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxExit, 0, 0, flight::kExitCodeVmresumeTrap);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kL1VmresumeTrap,
                l1_vm.name());
   {
@@ -218,6 +254,12 @@ Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
          ++attempt) {
       counters_->add(Counter::kFaultInjected);
       counters_->add(Counter::kVmresumeRetry);
+      if (flight::FlightRecorder* flight = sim_->flight()) {
+        flight->record(flight::EventKind::kFaultInjected,
+                       flight->intern(fault_kind_name(fault::FaultKind::kVmresumeFail)),
+                       static_cast<std::uint64_t>(attempt),
+                       static_cast<std::uint8_t>(fault::FaultKind::kVmresumeFail));
+      }
       obs::SpanScope span(sim_->spans(), obs::Phase::kVmcsSync);
       co_await sim_->delay(costs_->vmx_entry + costs_->nested_resume_work);
     }
@@ -225,6 +267,9 @@ Task<void> HostHypervisor::nested_resume_l2(Vm& l1_vm, NestedVcpu& vcpu) {
 
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kVmResumeL2);
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
@@ -247,6 +292,9 @@ Task<void> HostHypervisor::l1_vmcs12_access(Vm& l1_vm, NestedVcpu& vcpu, int cou
 Task<void> HostHypervisor::emulate_protected_store(Vm& l1_vm) {
   counters_->add(Counter::kL0Exit);
   counters_->add(Counter::kWorldSwitch);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxExit, 0, 0, flight::kExitCodeEpt12Store);
+  }
   trace_->emit(sim_->now(), TraceActor::kL0Hypervisor, TraceEventKind::kEmulateEpt12Store,
                l1_vm.name());
   {
@@ -263,6 +311,9 @@ Task<void> HostHypervisor::emulate_protected_store(Vm& l1_vm) {
   }
   counters_->add(Counter::kWorldSwitch);
   counters_->add(Counter::kVmEntry);
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kVmxEntry);
+  }
   {
     obs::SpanScope span(sim_->spans(), obs::Phase::kVmxEntry);
     co_await sim_->delay(costs_->vmx_entry);

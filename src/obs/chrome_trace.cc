@@ -1,5 +1,6 @@
 #include "src/obs/chrome_trace.h"
 
+#include "src/obs/flight.h"
 #include "src/obs/json.h"
 #include "src/obs/span.h"
 #include "src/sim/simulation.h"
@@ -33,7 +34,8 @@ void emit_process_name(JsonWriter& json, int pid, std::string_view name) {
 
 }  // namespace
 
-std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim) {
+std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim,
+                                const flight::FlightRecorder* flight) {
   JsonWriter json;
   json.begin_object();
   json.key("displayTimeUnit").value("ns");
@@ -68,6 +70,31 @@ std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& 
       json.key("args").begin_object().key("detail").value(span.detail).end_object();
     }
     json.end_object();
+  }
+
+  if (flight != nullptr) {
+    // Failure-relevant flight events as instant markers. Only the rare kinds:
+    // the dense protocol events (switches, fills, locks) are already visible
+    // as spans, and instants for them would bury the timeline.
+    for (const flight::Event& event : flight->merged()) {
+      if (event.kind != flight::EventKind::kFaultInjected &&
+          event.kind != flight::EventKind::kWatchdog &&
+          event.kind != flight::EventKind::kOomKill) {
+        continue;
+      }
+      json.begin_object()
+          .key("ph").value("i")
+          .key("name").value(flight::event_kind_name(event.kind))
+          .key("cat").value("flight")
+          .key("s").value("t")
+          .key("pid").value(0)
+          .key("tid").value(event.track < 0 ? -1 : event.track)
+          .key("ts").value(to_trace_us(static_cast<TimeNs>(event.t)))
+          .key("args").begin_object()
+          .key("detail").value(flight::event_detail(*flight, event))
+          .end_object()
+          .end_object();
+    }
   }
 
   json.end_array();

@@ -13,6 +13,9 @@
 
 namespace pvm {
 class Simulation;
+namespace flight {
+class FlightRecorder;
+}  // namespace flight
 }  // namespace pvm
 
 namespace pvm::obs {
@@ -21,8 +24,12 @@ class SpanRecorder;
 
 // Serializes the recorder's span buffer. Track names for root tasks come
 // from `sim` (Simulation::root_name); lock-track names from the recorder.
+// When `flight` is given, its fault-injection / watchdog / OOM-kill events
+// are overlaid as instant ("i") markers on the owning task's track, so an
+// injected fault is visible right where the affected protocol runs.
 // Deterministic: identical runs produce byte-identical output.
-std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim);
+std::string export_chrome_trace(const SpanRecorder& recorder, const Simulation& sim,
+                                const flight::FlightRecorder* flight = nullptr);
 
 }  // namespace pvm::obs
 

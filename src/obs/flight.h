@@ -1,0 +1,222 @@
+// pvm::flight — always-on black-box flight recorder.
+//
+// Fixed-capacity per-track binary ring buffers on the virtual clock. A track
+// is a root task of the Simulation (in practice: one per vCPU run loop, plus
+// watchdogs and chaos agents). Each event is one compact POD record — kind,
+// two payload words, a small code — cheap enough to leave recording on for
+// every run, including the full-sweep benches. When a run dies (oracle
+// violation, deadlock, watchdog kill, guest OOM) the last N events per track
+// are rendered as an interleaved timeline and a versioned postmortem JSON.
+//
+// Determinism: events are stamped with the virtual clock and a global
+// monotonic sequence number assigned in execution order. Two runs with the
+// same (policy, seed, config) produce byte-identical dumps.
+
+#ifndef PVM_SRC_OBS_FLIGHT_H_
+#define PVM_SRC_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvm {
+
+class Simulation;
+
+namespace flight {
+
+enum class EventKind : std::uint8_t {
+  kSwitcherExit,   // world switch out of the guest; code = SwitchReason
+  kSwitcherEntry,  // world switch into a guest ring; code = target ring
+  kDirectSwitch,   // PVM user<->kernel switch w/o hypervisor; code = 0 to
+                   // kernel, 1 to user; b = switch duration ns
+  kVmxExit,        // L0 VM-exit; code = ExitKind
+  kVmxEntry,       // L0 VM-entry completing a roundtrip
+  kGuestFault,     // backend fault-resolution start; a = gva
+  kSptFill,        // a = gva, b = pid; code = 0 fill, 1 prefault, 2 raced
+  kZap,            // a = gva, b = pid
+  kBulkZap,        // a = leaves zapped, b = pid
+  kReclaim,        // a = frames reclaimed, b = shadow leaves zapped
+  kGptEmulate,     // write-protected GPT store emulated; a = gpa
+  kLockAcquire,    // a = interned lock name; code = 0 uncontended,
+                   // 1 contended; b = virtual ns spent waiting
+  kLockRelease,    // a = interned lock name
+  kFaultInjected,  // a = interned site name; code = fault::FaultKind
+  kWatchdog,       // a = vcpu index; code = 0 kick, 1 reset, 2 kill
+  kOomKill,        // guest OOM kill; a = pid, b = data frames freed
+  kCount,
+};
+
+constexpr std::size_t kEventKindCount = static_cast<std::size_t>(EventKind::kCount);
+
+// Pseudo exit-reason codes for kVmxExit events from the nested-VMX emulation
+// protocol: traps with no hv::ExitKind value of their own. Appended after
+// ExitKind's 10 real reasons so one code space covers both.
+inline constexpr std::uint8_t kExitCodeVmresumeTrap = 10;
+inline constexpr std::uint8_t kExitCodeEpt12Store = 11;
+
+std::string_view event_kind_name(EventKind kind);
+
+// Reason labels for the codes carried by kSwitcherExit / kVmxExit events
+// ("page-fault", "ept-violation", ...; includes the pseudo codes above).
+// pvm-stat renders its exit-accounting table through these.
+std::string_view switch_reason_label(std::uint8_t code);
+std::string_view exit_reason_label(std::uint8_t code);
+
+struct Event {
+  std::uint64_t t = 0;    // virtual clock, ns
+  std::uint64_t seq = 0;  // global execution order across all tracks
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::int64_t track = -1;  // recording root task (-1: outside any root)
+  EventKind kind = EventKind::kCount;
+  std::uint8_t code = 0;
+};
+
+class FlightRecorder {
+ public:
+  // Per-track ring. Capacity is fixed at ring creation (first event on that
+  // track); `total` keeps counting past wraparound so dropped() is exact.
+  struct Ring {
+    std::vector<Event> buf;
+    std::uint64_t total = 0;
+    std::size_t capacity = 0;
+
+    std::uint64_t dropped() const { return total > capacity ? total - capacity : 0; }
+
+    // Events in recording order (oldest surviving first).
+    std::vector<Event> snapshot() const {
+      std::vector<Event> out;
+      out.reserve(buf.size());
+      if (total <= capacity) {
+        out = buf;
+      } else {
+        const std::size_t start = static_cast<std::size_t>(total % capacity);
+        out.insert(out.end(), buf.begin() + static_cast<std::ptrdiff_t>(start), buf.end());
+        out.insert(out.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(start));
+      }
+      return out;
+    }
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  // Attach to a simulation's clock and scheduler state. Instrumented sites
+  // reach the recorder through Simulation::flight(); a null recorder (plain
+  // Simulations built outside VirtualPlatform) costs one pointer test.
+  void bind(const std::uint64_t* now, const std::int64_t* active_root) {
+    now_ = now;
+    active_root_ = active_root;
+  }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Ring capacity for tracks created after this call. pvm-stat raises it so
+  // whole workloads fit; the default keeps the always-on footprint small.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
+  std::size_t capacity() const { return capacity_; }
+
+  void record(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+              std::uint8_t code = 0) {
+    if (!enabled_ || now_ == nullptr) {
+      return;
+    }
+    Event ev;
+    ev.t = *now_;
+    ev.seq = next_seq_++;
+    ev.a = a;
+    ev.b = b;
+    ev.track = active_root_ != nullptr ? *active_root_ : -1;
+    ev.kind = kind;
+    ev.code = code;
+    Ring& ring = rings_[ev.track];
+    if (ring.capacity == 0) {
+      ring.capacity = capacity_;
+      ring.buf.reserve(ring.capacity < 64 ? ring.capacity : 64);
+    }
+    const std::size_t slot = static_cast<std::size_t>(ring.total % ring.capacity);
+    if (slot == ring.buf.size()) {
+      ring.buf.push_back(ev);
+    } else {
+      ring.buf[slot] = ev;
+    }
+    ++ring.total;
+  }
+
+  // Intern a lock/site name into a stable small id (payload word `a`).
+  // Ids are assigned in first-use order, which is deterministic.
+  std::uint64_t intern(std::string_view name) {
+    auto it = name_ids_.find(name);
+    if (it != name_ids_.end()) {
+      return it->second;
+    }
+    const std::uint64_t id = names_.size();
+    names_.emplace_back(name);
+    name_ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  std::string_view name(std::uint64_t id) const {
+    return id < names_.size() ? std::string_view(names_[id]) : std::string_view("?");
+  }
+
+  const std::map<std::int64_t, Ring>& rings() const { return rings_; }
+
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const auto& [track, ring] : rings_) {
+      n += ring.total;
+    }
+    return n;
+  }
+
+  std::uint64_t dropped_events() const {
+    std::uint64_t n = 0;
+    for (const auto& [track, ring] : rings_) {
+      n += ring.dropped();
+    }
+    return n;
+  }
+
+  // All surviving events from every track, merged into execution order.
+  std::vector<Event> merged() const;
+
+  void clear() {
+    rings_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  const std::uint64_t* now_ = nullptr;
+  const std::int64_t* active_root_ = nullptr;
+  bool enabled_ = true;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::int64_t, Ring> rings_;
+  std::map<std::string, std::uint64_t, std::less<>> name_ids_;
+  std::vector<std::string> names_;
+};
+
+// One-line human-readable rendering of an event's payload ("gva=0x... pid=2").
+std::string event_detail(const FlightRecorder& recorder, const Event& event);
+
+// Interleaved human-readable timeline of the last events on every track.
+// `sim` (optional) resolves track ids to root-task names.
+std::string render_flight_timeline(const FlightRecorder& recorder, const Simulation* sim);
+
+// Versioned machine-readable postmortem. Schema pvm.postmortem.v1:
+//   {schema, reason, reproduce, sim_ns, total_events, dropped_events,
+//    diagnostics: [...], tracks: [{track, name, total, dropped,
+//    events: [{t, seq, kind, a, b, code, detail}]}]}
+// `reproduce` embeds the simcheck reproduce line when the dump comes from a
+// sweep case; empty otherwise.
+std::string render_postmortem_json(const FlightRecorder& recorder, const Simulation* sim,
+                                   std::string_view reason, std::string_view reproduce);
+
+}  // namespace flight
+}  // namespace pvm
+
+#endif  // PVM_SRC_OBS_FLIGHT_H_

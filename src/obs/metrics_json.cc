@@ -153,6 +153,15 @@ std::string BenchExport::to_json() const {
           .key("tlb_hit_rate").value(derived.tlb_hit_rate)
           .key("prefault_coverage").value(derived.prefault_coverage)
           .end_object();
+      // Recovery-protocol outcomes, emitted even when zero: a regression
+      // gate needs the explicit zero to distinguish "no kills" from "metric
+      // missing" (the counters object above elides zeros).
+      json.key("recovery").begin_object()
+          .key("watchdog_kick").value(run.counters.get(Counter::kWatchdogKick))
+          .key("watchdog_reset").value(run.counters.get(Counter::kWatchdogReset))
+          .key("watchdog_kill").value(run.counters.get(Counter::kWatchdogKill))
+          .key("oom_kill").value(run.counters.get(Counter::kGuestOomKill))
+          .end_object();
       json.key("resources");
       // Pre-rendered arrays/objects splice in verbatim.
       json.raw(run.resources_json);

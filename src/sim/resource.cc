@@ -22,6 +22,9 @@ void ScopedResource::release() {
 }
 
 void Resource::release() {
+  if (flight::FlightRecorder* flight = sim_->flight()) {
+    flight->record(flight::EventKind::kLockRelease, flight_id(flight));
+  }
   if (!hold_starts_.empty()) {
     // Match this release to the oldest outstanding acquisition (exact for
     // capacity-1 locks, FIFO-approximate for pools).

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "src/metrics/histogram.h"
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 #include "src/sim/simulation.h"
 
@@ -54,7 +55,8 @@ class Resource {
  public:
   struct Waiter {
     std::coroutine_handle<> handle;
-    std::int64_t root;  // owning root task at enqueue time (-1 if unknown)
+    std::int64_t root;     // owning root task at enqueue time (-1 if unknown)
+    SimTime enqueued = 0;  // virtual time the waiter joined the queue
   };
 
   Resource(Simulation& sim, std::string name, std::uint32_t capacity = 1)
@@ -76,6 +78,9 @@ class Resource {
         --resource->available_;
         ++resource->acquisitions_;
         resource->note_acquired();
+        if (flight::FlightRecorder* flight = resource->sim_->flight()) {
+          flight->record(flight::EventKind::kLockAcquire, resource->flight_id(flight), 0, 0);
+        }
         return true;
       }
       return false;
@@ -87,7 +92,7 @@ class Resource {
       if (obs::SpanRecorder* spans = resource->sim_->spans()) {
         wait_span = spans->begin(obs::Phase::kLockWait);
       }
-      resource->waiters_.push_back(Waiter{h, resource->sim_->active_root()});
+      resource->waiters_.push_back(Waiter{h, resource->sim_->active_root(), enqueue_time});
       if (resource->waiters_.size() > resource->peak_queue_depth_) {
         resource->peak_queue_depth_ = resource->waiters_.size();
       }
@@ -107,6 +112,10 @@ class Resource {
           }
         }
         resource->note_acquired();
+        if (flight::FlightRecorder* flight = resource->sim_->flight()) {
+          flight->record(flight::EventKind::kLockAcquire, resource->flight_id(flight), wait,
+                         1);
+        }
       }
     }
   };
@@ -160,6 +169,17 @@ class Resource {
 
   void note_acquired() { hold_starts_.push_back(sim_->now()); }
 
+  // Interned flight-recorder id for this resource's name, resolved lazily on
+  // first acquisition so construction order does not pin the id space.
+  std::uint64_t flight_id(flight::FlightRecorder* flight) {
+    if (flight_name_id_ == kNoFlightId) {
+      flight_name_id_ = flight->intern(name_);
+    }
+    return flight_name_id_;
+  }
+
+  static constexpr std::uint64_t kNoFlightId = ~0ull;
+
   Simulation* sim_;
   std::string name_;
   std::uint32_t capacity_;
@@ -174,6 +194,7 @@ class Resource {
   std::deque<SimTime> hold_starts_;
   LatencyHistogram wait_hist_;
   LatencyHistogram hold_hist_;
+  std::uint64_t flight_name_id_ = kNoFlightId;
 };
 
 }  // namespace pvm

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/fault/fault.h"
+#include "src/obs/flight.h"
 #include "src/obs/span.h"
 #include "src/sim/resource.h"
 
@@ -54,6 +55,13 @@ void Simulation::set_faults(fault::FaultInjector* faults) {
   faults_ = faults;
   if (faults_ != nullptr) {
     faults_->bind(&now_);
+  }
+}
+
+void Simulation::set_flight(flight::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ != nullptr) {
+    flight_->bind(&now_, &active_root_);
   }
 }
 
@@ -186,7 +194,8 @@ std::string Simulation::blocked_report() const {
       for (const auto& waiter : resource->waiters()) {
         if (waiter.root == root) {
           report += parked ? ", " : " waiting on ";
-          report += "\"" + resource->name() + "\"";
+          report += "\"" + resource->name() + "\" (queued " +
+                    std::to_string(now_ - waiter.enqueued) + " ns ago)";
           parked = true;
         }
       }
@@ -202,7 +211,16 @@ std::string Simulation::blocked_report() const {
     }
     report += "  resource \"" + resource->name() + "\": capacity " +
               std::to_string(resource->capacity()) + ", " +
-              std::to_string(resource->queue_depth()) + " queued\n";
+              std::to_string(resource->queue_depth()) + " queued, ages ns [";
+    // Queue ages in FIFO order: oldest waiter first. A deadlocked queue shows
+    // monotonically decreasing ages; one stale outlier points at the waiter
+    // whose wakeup was lost.
+    bool first = true;
+    for (const auto& waiter : resource->waiters()) {
+      report += (first ? "" : ", ") + std::to_string(now_ - waiter.enqueued);
+      first = false;
+    }
+    report += "]\n";
   }
   return report;
 }

@@ -33,6 +33,10 @@ namespace fault {
 class FaultInjector;
 }  // namespace fault
 
+namespace flight {
+class FlightRecorder;
+}  // namespace flight
+
 // Virtual time in nanoseconds since simulation start.
 using SimTime = std::uint64_t;
 
@@ -117,6 +121,14 @@ class Simulation {
   // attachment, and instrumented sites pay one pointer check when detached.
   void set_faults(fault::FaultInjector* faults);
   fault::FaultInjector* faults() const { return faults_; }
+
+  // Attaches (or detaches, with nullptr) the black-box flight recorder,
+  // binding it to this simulation's clock and active-root pointers so every
+  // recorded event carries (virtual time, root task). Unlike spans, the
+  // recorder is always on: VirtualPlatform owns one and attaches it at
+  // construction. Same lifetime contract as set_spans.
+  void set_flight(flight::FlightRecorder* flight);
+  flight::FlightRecorder* flight() const { return flight_; }
 
   // Records a recovery-escalation diagnostic (e.g. from the watchdog);
   // appended to blocked_report() so a post-mortem shows what the recovery
@@ -216,6 +228,7 @@ class Simulation {
   std::vector<std::string> diagnostics_;
   obs::SpanRecorder* spans_ = nullptr;
   fault::FaultInjector* faults_ = nullptr;
+  flight::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace pvm

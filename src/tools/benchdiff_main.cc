@@ -1,0 +1,236 @@
+// benchdiff — compare two pvm.bench.v1 exports and gate on regressions.
+//
+// Matches runs by label and compares every gated metric (the run's headline
+// `values`, the `derived` ratios, the always-present `recovery` outcome
+// counts, plus `sim_ns` and `events`) with a symmetric relative threshold:
+//
+//   delta = |head - base| / max(|base|, |head|)
+//
+// so a 2x regression and a 2x "improvement" both trip the gate — either one
+// means the modelled behavior changed and the checked-in baseline is stale.
+// The exported quantities are virtual-clock values, deterministic per build,
+// so the threshold guards against modelling drift, not machine noise.
+//
+// Exit codes: 0 all metrics within threshold, 1 at least one beyond it (or a
+// baseline run/metric missing from head), 2 usage or parse error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_parse.h"
+
+namespace pvm {
+namespace {
+
+struct Metric {
+  std::string name;  // "values.switch_cost_ns", "recovery.oom_kill", ...
+  double value = 0.0;
+};
+
+struct RunMetrics {
+  std::string label;
+  std::vector<Metric> metrics;
+};
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void collect_object(const obs::JsonValue* object, const std::string& prefix,
+                    std::vector<Metric>* out) {
+  if (object == nullptr || !object->is_object()) {
+    return;
+  }
+  for (const auto& [key, value] : object->object) {
+    if (value.is_number()) {
+      out->push_back({prefix + key, value.number});
+    }
+  }
+}
+
+// Flattens one export's runs into label -> gated metric list. Counters and
+// the resource/span sections are deliberately not gated: they are diagnostic
+// detail, and the counters object elides zeros so absence is ambiguous.
+bool load_export(const std::string& path, std::vector<RunMetrics>* out,
+                 std::string* error) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    *error = path + ": cannot read";
+    return false;
+  }
+  obs::JsonValue doc;
+  if (!obs::json_parse(text, &doc, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != "pvm.bench.v1") {
+    *error = path + ": not a pvm.bench.v1 export";
+    return false;
+  }
+  const obs::JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    *error = path + ": no runs array";
+    return false;
+  }
+  for (const obs::JsonValue& run : runs->array) {
+    const obs::JsonValue* label = run.find("label");
+    if (label == nullptr || !label->is_string()) {
+      continue;
+    }
+    RunMetrics rm;
+    rm.label = label->string;
+    collect_object(run.find("values"), "values.", &rm.metrics);
+    collect_object(run.find("derived"), "derived.", &rm.metrics);
+    collect_object(run.find("recovery"), "recovery.", &rm.metrics);
+    if (const obs::JsonValue* v = run.find("sim_ns"); v != nullptr && v->is_number()) {
+      rm.metrics.push_back({"sim_ns", v->number});
+    }
+    if (const obs::JsonValue* v = run.find("events"); v != nullptr && v->is_number()) {
+      rm.metrics.push_back({"events", v->number});
+    }
+    out->push_back(std::move(rm));
+  }
+  return true;
+}
+
+const RunMetrics* find_run(const std::vector<RunMetrics>& runs, const std::string& label) {
+  for (const RunMetrics& run : runs) {
+    if (run.label == label) {
+      return &run;
+    }
+  }
+  return nullptr;
+}
+
+const Metric* find_metric(const RunMetrics& run, const std::string& name) {
+  for (const Metric& metric : run.metrics) {
+    if (metric.name == name) {
+      return &metric;
+    }
+  }
+  return nullptr;
+}
+
+// Symmetric relative delta in [0, 1]; values within epsilon of each other
+// (and of zero) compare equal so 1e-12 float dust cannot trip the gate.
+double symmetric_delta(double base, double head) {
+  constexpr double kEpsilon = 1e-9;
+  const double magnitude = std::max(std::fabs(base), std::fabs(head));
+  if (magnitude < kEpsilon || std::fabs(head - base) < kEpsilon) {
+    return 0.0;
+  }
+  return std::fabs(head - base) / magnitude;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <head.json> [--threshold-pct P] [--quiet]\n"
+               "  compares two pvm.bench.v1 exports run-by-run, metric-by-metric\n"
+               "  --threshold-pct  symmetric relative threshold (default 10.0)\n"
+               "  --quiet          print only metrics beyond the threshold\n"
+               "  exits 0 when every metric is within threshold, 1 otherwise\n",
+               argv0);
+  return 2;
+}
+
+int diff_main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double threshold_pct = 10.0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold-pct" && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 || threshold_pct < 0) {
+    return usage(argv[0]);
+  }
+
+  std::vector<RunMetrics> baseline;
+  std::vector<RunMetrics> head;
+  std::string error;
+  if (!load_export(paths[0], &baseline, &error) ||
+      !load_export(paths[1], &head, &error)) {
+    std::fprintf(stderr, "benchdiff: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("benchdiff: %s vs %s (threshold %.1f%%)\n", paths[0].c_str(),
+              paths[1].c_str(), threshold_pct);
+  int failures = 0;
+  int compared = 0;
+  for (const RunMetrics& base_run : baseline) {
+    const RunMetrics* head_run = find_run(head, base_run.label);
+    if (head_run == nullptr) {
+      std::printf("  FAIL %s: run missing from head export\n", base_run.label.c_str());
+      ++failures;
+      continue;
+    }
+    bool printed_label = false;
+    for (const Metric& base_metric : base_run.metrics) {
+      const Metric* head_metric = find_metric(*head_run, base_metric.name);
+      ++compared;
+      if (head_metric == nullptr) {
+        std::printf("  FAIL %s/%s: metric missing from head export\n",
+                    base_run.label.c_str(), base_metric.name.c_str());
+        ++failures;
+        continue;
+      }
+      const double delta = symmetric_delta(base_metric.value, head_metric->value);
+      const bool fail = delta * 100.0 > threshold_pct;
+      if (fail) {
+        ++failures;
+      }
+      if (fail || !quiet) {
+        if (!printed_label) {
+          std::printf("  run %s\n", base_run.label.c_str());
+          printed_label = true;
+        }
+        std::printf("    %-4s %-32s %14.3f -> %14.3f  (%+.1f%%)\n",
+                    fail ? "FAIL" : "ok", base_metric.name.c_str(), base_metric.value,
+                    head_metric->value,
+                    (base_metric.value == 0.0 && head_metric->value != 0.0)
+                        ? delta * 100.0
+                        : (head_metric->value - base_metric.value) /
+                              (base_metric.value == 0.0 ? 1.0 : base_metric.value) *
+                              100.0);
+      }
+    }
+  }
+  for (const RunMetrics& head_run : head) {
+    if (find_run(baseline, head_run.label) == nullptr) {
+      // New runs are informational, not regressions: the baseline refresh
+      // procedure (EXPERIMENTS.md) picks them up on the next check-in.
+      std::printf("  note %s: new run, not in baseline\n", head_run.label.c_str());
+    }
+  }
+  std::printf("benchdiff: %d metric(s) compared, %d beyond threshold\n", compared,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pvm
+
+int main(int argc, char** argv) { return pvm::diff_main(argc, argv); }

@@ -213,9 +213,21 @@ TEST(WatchdogTest, EscalatesKickResetKillInOrderOnWedgedVcpu) {
   EXPECT_TRUE(container.init_process()->oom_killed());
 
   // The kill surfaces in the simulation diagnostics (and so in
-  // blocked_report) for post-mortems.
+  // blocked_report) for post-mortems. The OOM kills it triggers add their
+  // own diagnostics first, so search the whole list.
   ASSERT_FALSE(platform.sim().diagnostics().empty());
-  EXPECT_NE(platform.sim().diagnostics().front().find("watchdog"), std::string::npos);
+  bool found_watchdog = false;
+  for (const std::string& line : platform.sim().diagnostics()) {
+    found_watchdog = found_watchdog || line.find("watchdog") != std::string::npos;
+  }
+  EXPECT_TRUE(found_watchdog);
+
+  // The kill also renders a black-box postmortem from the flight recorder:
+  // a human-readable timeline and a pvm.postmortem.v1 JSON document whose
+  // tracks include the watchdog escalation events.
+  EXPECT_NE(watchdog.postmortem_text().find("flight timeline"), std::string::npos);
+  EXPECT_NE(watchdog.postmortem_json().find("\"pvm.postmortem.v1\""), std::string::npos);
+  EXPECT_NE(watchdog.postmortem_json().find("\"watchdog\""), std::string::npos);
 }
 
 TEST(WatchdogTest, ProgressingVcpuIsNeverEscalated) {

@@ -1,0 +1,284 @@
+// pvm::flight tests: ring wraparound semantics, run-to-run determinism of
+// the recorder and both postmortem renderings (the acceptance bar: a
+// coherence violation and a watchdog kill each dump byte-identically across
+// two same-seed runs), and the Chrome-trace flight overlay under an active
+// faultstorm plan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/backends/platform.h"
+#include "src/check/chaos.h"
+#include "src/check/simcheck.h"
+#include "src/fault/fault.h"
+#include "src/fault/watchdog.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/flight.h"
+#include "src/obs/json_parse.h"
+#include "src/obs/span.h"
+#include "src/workloads/memstress.h"
+
+namespace pvm {
+namespace {
+
+// --- Ring semantics ----------------------------------------------------
+
+TEST(FlightRingTest, WraparoundKeepsNewestAndCountsDropped) {
+  std::uint64_t now = 0;
+  std::int64_t track = 7;
+  flight::FlightRecorder recorder;
+  recorder.bind(&now, &track);
+  recorder.set_capacity(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    now = i * 100;
+    recorder.record(flight::EventKind::kZap, /*a=*/i, /*b=*/0);
+  }
+
+  EXPECT_EQ(recorder.total_events(), 20u);
+  EXPECT_EQ(recorder.dropped_events(), 12u);
+  ASSERT_EQ(recorder.rings().size(), 1u);
+  const flight::FlightRecorder::Ring& ring = recorder.rings().at(7);
+  EXPECT_EQ(ring.total, 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  // The snapshot holds exactly the last `capacity` events, oldest first.
+  const std::vector<flight::Event> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12 + i);
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].t, (12 + i) * 100);
+    EXPECT_EQ(events[i].track, 7);
+  }
+}
+
+TEST(FlightRingTest, EventsAreAttributedToTheActiveTrack) {
+  std::uint64_t now = 5;
+  std::int64_t track = 0;
+  flight::FlightRecorder recorder;
+  recorder.bind(&now, &track);
+  recorder.record(flight::EventKind::kReclaim, 1, 2);
+  track = 3;
+  recorder.record(flight::EventKind::kReclaim, 3, 4);
+  track = -1;  // outside any root task
+  recorder.record(flight::EventKind::kReclaim, 5, 6);
+
+  ASSERT_EQ(recorder.rings().size(), 3u);
+  EXPECT_EQ(recorder.rings().at(0).total, 1u);
+  EXPECT_EQ(recorder.rings().at(3).total, 1u);
+  EXPECT_EQ(recorder.rings().at(-1).total, 1u);
+
+  // merged() interleaves the per-track rings back into execution order.
+  const std::vector<flight::Event> merged = recorder.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].seq, 0u);
+  EXPECT_EQ(merged[1].track, 3);
+  EXPECT_EQ(merged[2].track, -1);
+}
+
+TEST(FlightRingTest, DisabledRecorderRecordsNothing) {
+  std::uint64_t now = 0;
+  std::int64_t track = 0;
+  flight::FlightRecorder recorder;
+  recorder.bind(&now, &track);
+  recorder.set_enabled(false);
+  recorder.record(flight::EventKind::kZap, 1, 2);
+  EXPECT_EQ(recorder.total_events(), 0u);
+}
+
+// --- Recorder determinism on a real platform ---------------------------
+
+std::string run_workload_timeline() {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot());
+  platform.sim().run();
+  MemStressParams stress;
+  stress.total_bytes = 1ull << 20;
+  platform.sim().spawn(
+      memstress_process(container, container.vcpu(0), *container.init_process(), stress));
+  platform.sim().run();
+  EXPECT_GT(platform.flight().total_events(), 0u);
+  return flight::render_flight_timeline(platform.flight(), &platform.sim());
+}
+
+TEST(FlightDeterminismTest, TimelineIsByteIdenticalAcrossIdenticalRuns) {
+  const std::string first = run_workload_timeline();
+  const std::string second = run_workload_timeline();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("flight timeline"), std::string::npos);
+  EXPECT_NE(first.find("spt-fill"), std::string::npos);
+}
+
+// --- Coherence-violation postmortem ------------------------------------
+
+// Boots a container, touches a few heap pages, corrupts one shadow leaf the
+// way the oracle mutation tests do, and captures the dump the moment
+// verify_coherence() throws — the same path simcheck takes on a violation.
+std::pair<std::string, std::string> coherence_violation_postmortem() {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  config.coherence_oracle = true;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot());
+  platform.sim().run();
+  GuestProcess& proc = *container.init_process();
+  proc.vmas()[GuestProcess::kHeapBase] = Vma{GuestProcess::kHeapBase, 1ull << 20, true};
+  platform.sim().spawn([](SecureContainer& c, GuestProcess& p) -> Task<void> {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      co_await c.kernel().touch(c.vcpu(0), p, GuestProcess::kHeapBase + i * kPageSize,
+                                true);
+    }
+  }(container, proc));
+  platform.sim().run();
+
+  PvmMemoryEngine* engine = container.shadow_engine();
+  EXPECT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->debug_corrupt_spt_leaf(proc.pid(), false, GuestProcess::kHeapBase));
+  std::string reason;
+  try {
+    engine->verify_coherence(false);
+  } catch (const SptCoherenceError&) {
+    reason = "coherence violation";
+  }
+  EXPECT_EQ(reason, "coherence violation");
+
+  SimcheckCase repro;  // the case whose reproduce line the dump embeds
+  repro.schedule_seed = 42;
+  return {flight::render_flight_timeline(platform.flight(), &platform.sim()),
+          flight::render_postmortem_json(platform.flight(), &platform.sim(), reason,
+                                         simcheck_reproduce_line(repro))};
+}
+
+TEST(PostmortemTest, CoherenceViolationDumpIsByteIdentical) {
+  const auto [text1, json1] = coherence_violation_postmortem();
+  const auto [text2, json2] = coherence_violation_postmortem();
+  EXPECT_EQ(text1, text2);
+  EXPECT_EQ(json1, json2);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(json1, &doc, &error)) << error;
+  ASSERT_TRUE(doc.find("schema") != nullptr);
+  EXPECT_EQ(doc.find("schema")->string, "pvm.postmortem.v1");
+  EXPECT_EQ(doc.find("reason")->string, "coherence violation");
+  // The embedded reproduce line replays the case bit-for-bit.
+  EXPECT_NE(doc.find("reproduce")->string.find("simcheck --modes pvm"),
+            std::string::npos);
+  EXPECT_NE(doc.find("reproduce")->string.find("--first-seed 42"), std::string::npos);
+  ASSERT_TRUE(doc.find("tracks") != nullptr);
+  EXPECT_FALSE(doc.find("tracks")->array.empty());
+}
+
+// --- Watchdog-kill postmortem ------------------------------------------
+
+// The wedged-vCPU pattern from fault_test.cc: nothing runs after boot, the
+// watchdog escalates kick -> reset -> kill and dumps at the moment of death.
+std::pair<std::string, std::string> watchdog_kill_postmortem() {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  VirtualPlatform platform(config);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot());
+  platform.sim().run();
+  fault::WatchdogParams params;
+  params.check_interval_ns = kNsPerMs;
+  fault::Watchdog watchdog(platform, container, params);
+  platform.sim().spawn(watchdog.run());
+  platform.sim().run();
+  EXPECT_TRUE(watchdog.killed());
+  return {watchdog.postmortem_text(), watchdog.postmortem_json()};
+}
+
+TEST(PostmortemTest, WatchdogKillDumpIsByteIdentical) {
+  const auto [text1, json1] = watchdog_kill_postmortem();
+  const auto [text2, json2] = watchdog_kill_postmortem();
+  EXPECT_EQ(text1, text2);
+  EXPECT_EQ(json1, json2);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(json1, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("schema")->string, "pvm.postmortem.v1");
+  EXPECT_NE(doc.find("reason")->string.find("watchdog kill"), std::string::npos);
+  // Rendered before the kill's own teardown, so the escalation ladder is
+  // still in the rings rather than wrapped out by OOM traffic.
+  EXPECT_NE(json1.find("\"watchdog\""), std::string::npos);
+  EXPECT_NE(text1.find("watchdog kill vcpu=0"), std::string::npos);
+}
+
+// --- Chrome trace under a faultstorm -----------------------------------
+
+// One observed run under simcheck's faultstorm plan; returns the rendered
+// Chrome trace (with the flight overlay) and the number of faults injected.
+std::pair<std::string, std::uint64_t> faultstorm_trace() {
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  VirtualPlatform platform(config);
+  // Unwrapped rings: the overlay draws from the surviving ring contents, and
+  // this test wants every injected fault of the run, not just the tail.
+  platform.flight().set_capacity(1u << 16);
+  fault::FaultInjector injector;
+  // Seed pinned to a storm that draws exit-spike / spurious-inval specs —
+  // the kinds the flight recorder marks (frame pressure and lock handoff
+  // surface through counters and span latencies instead of instant events).
+  injector.arm(faultstorm_plan(2));
+  platform.arm_faults(&injector);
+  obs::SpanRecorder recorder;
+  recorder.set_enabled(true);
+  platform.sim().set_spans(&recorder);
+
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot());
+  platform.sim().run();
+  MemStressParams stress;
+  stress.total_bytes = 1ull << 20;
+  platform.sim().spawn(
+      memstress_process(container, container.vcpu(0), *container.init_process(), stress));
+  platform.sim().run();
+  EXPECT_TRUE(platform.sim().all_tasks_done());
+  return {obs::export_chrome_trace(recorder, platform.sim(), platform.sim().flight()),
+          injector.total_fired()};
+}
+
+TEST(ChromeTraceFlightTest, FaultstormTraceIsValidJsonWithInjectedFaultInstants) {
+  const auto [trace, fired] = faultstorm_trace();
+  ASSERT_GT(fired, 0u);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(trace, &doc, &error)) << error;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  // Every injected fault the flight recorder retained shows up as an
+  // instant event in the "flight" category.
+  std::uint64_t instants = 0;
+  for (const obs::JsonValue& event : events->array) {
+    const obs::JsonValue* cat = event.find("cat");
+    if (cat == nullptr || cat->string != "flight") {
+      continue;
+    }
+    EXPECT_EQ(event.find("ph")->string, "i");
+    if (event.find("name")->string == "fault-injected") {
+      ++instants;
+    }
+  }
+  EXPECT_GT(instants, 0u);
+}
+
+TEST(ChromeTraceFlightTest, FaultstormTraceIsByteIdenticalOnReplay) {
+  const auto [trace1, fired1] = faultstorm_trace();
+  const auto [trace2, fired2] = faultstorm_trace();
+  EXPECT_EQ(fired1, fired2);
+  EXPECT_EQ(trace1, trace2);
+}
+
+}  // namespace
+}  // namespace pvm
