@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/entries.h"
 #include "src/backends/platform.h"
 #include "src/fault/fault.h"
 #include "src/metrics/table.h"
@@ -243,6 +244,23 @@ class BenchIo {
 };
 
 inline BenchIo& bench_io() { return BenchIo::instance(); }
+
+// Adapts the binary-wide BenchIo singleton to the run-as-library entry-point
+// hooks (bench/entries.h): observe every simulation/platform, record every
+// run into the shared export. Binaries pass this so the extracted
+// measurement bodies keep their historical --json/--trace/--report behavior.
+inline bench::EntryHooks bench_io_hooks() {
+  bench::EntryHooks hooks;
+  hooks.on_sim = [](Simulation& sim) { bench_io().observe(sim); };
+  hooks.on_platform = [](VirtualPlatform& platform) {
+    bench_io().observe(platform);
+  };
+  hooks.record = [](const std::string& label, Simulation& sim, CounterSet& counters,
+                    std::vector<std::pair<std::string, double>> values) {
+    bench_io().record_run(label, sim, counters, std::move(values));
+  };
+  return hooks;
+}
 
 }  // namespace pvm
 

@@ -1,0 +1,101 @@
+// Run-as-library bench entry points.
+//
+// The per-table binaries (table0_switch_cost, table2_syscall, ...) used to
+// inline their measurement loops around the BenchIo singleton, which made
+// them impossible to call from the pvm-matrix driver — and unsafe to call
+// from two sweep workers at once. The measurement bodies now live here,
+// parameterized by an explicit EntryHooks value instead of process-global
+// state: the binaries pass bench_io_hooks() and keep their exact historical
+// labels and numbers; pvm-matrix passes hooks that capture into a local,
+// per-cell BenchExport, so concurrent cells never share mutable state.
+
+#ifndef PVM_BENCH_ENTRIES_H_
+#define PVM_BENCH_ENTRIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/backends/config.h"
+
+namespace pvm {
+
+class Simulation;
+class VirtualPlatform;
+class CounterSet;
+
+namespace bench {
+
+// Observation hooks threaded through an entry point. Every member may be
+// empty, in which case the entry runs bare — no recorder, no export —
+// exactly as the binaries always did without --json/--trace/--report.
+struct EntryHooks {
+  // Called right after a raw Simulation (no platform) is constructed.
+  std::function<void(Simulation&)> on_sim;
+  // Called right after a VirtualPlatform is constructed, before any run.
+  std::function<void(VirtualPlatform&)> on_platform;
+  // Called once per completed run with the entry's headline values, while
+  // the simulation is still alive.
+  std::function<void(const std::string& label, Simulation& sim, CounterSet& counters,
+                     std::vector<std::pair<std::string, double>> values)>
+      record;
+};
+
+// ---- Table 0: world-switch unit costs (us per switch) ----
+// Raw-simulation micro measurements; deployment mode does not apply.
+double switch_single_level_us(const EntryHooks& hooks = {});
+double switch_pvm_us(const EntryHooks& hooks = {});
+double switch_nested_us(const EntryHooks& hooks = {});
+
+// ---- Table 2: get_pid syscall latency (us) ----
+double syscall_getpid_us(const std::string& label, const PlatformConfig& config,
+                         const EntryHooks& hooks = {});
+
+// ---- Fig. 10-style page-fault workload (mean seconds per process) ----
+double pagefault_mean_seconds(const std::string& label, const PlatformConfig& config,
+                              int processes, std::uint64_t bytes_per_proc,
+                              const EntryHooks& hooks = {});
+
+// ---- Fig. 12b-style boot storm (startup latency percentiles, ms) ----
+struct BootStormStats {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double worst_ms = 0;
+};
+BootStormStats boot_storm(const std::string& label, const PlatformConfig& config,
+                          int containers, const EntryHooks& hooks = {});
+
+// ---- Matrix cells ----
+
+// One pvm-matrix cell: which entry to run and under what scheduling /
+// fault-injection coordinates.
+struct CellConfig {
+  DeployMode mode = DeployMode::kPvmNst;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  std::uint64_t schedule_seed = 1;
+  std::string fault_plan = "none";  // fault::FaultPlan::parse spec, or "none"
+};
+
+struct CellOutcome {
+  bool ok = false;
+  std::string error;       // set when !ok (exception text)
+  std::string bench_json;  // pvm.bench.v1 document for this cell when ok
+};
+
+// The workload names run_workload_cell accepts, in canonical order.
+const std::vector<std::string>& matrix_workloads();
+
+// Runs `workload` ("switch" | "syscall" | "pagefault" | "boot") for one cell
+// in a private Simulation/platform with a private BenchExport, and returns
+// the cell's pvm.bench.v1 document. Thread-safe: no process-global state is
+// touched, so sweep workers can run cells concurrently. "switch" is a
+// raw-simulation micro bench: the cell's mode and fault plan do not apply
+// (policy and seed still do). Unknown workloads return ok=false.
+CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cell);
+
+}  // namespace bench
+}  // namespace pvm
+
+#endif  // PVM_BENCH_ENTRIES_H_

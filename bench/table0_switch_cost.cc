@@ -3,87 +3,12 @@
 // Paper measurements: single-level world switch ~0.105 us, PVM switcher
 // switch ~0.179 us, nested (EPT-on-EPT) L2-to-L1 switch ~1.3 us ("an order
 // of magnitude more expensive").
+//
+// The measurement bodies live in bench/entries.h so pvm-matrix can run them
+// as library calls; this binary keeps the table rendering and the
+// BenchIo-backed --json/--trace/--report plumbing.
 
 #include "bench/bench_common.h"
-#include "src/core/switcher.h"
-#include "src/hv/host_hypervisor.h"
-
-namespace pvm {
-namespace {
-
-constexpr int kIterations = 10000;
-
-double measure_single_level_us() {
-  Simulation sim;
-  bench_io().observe(sim);
-  CostModel costs;
-  CounterSet counters;
-  TraceLog trace;
-  HostHypervisor l0(sim, costs, counters, trace, 1u << 20);
-  HostHypervisor::Vm& vm = l0.create_vm("vm", 1u << 16, false);
-
-  const SimTime start = sim.now();
-  sim.spawn([](HostHypervisor& hv, HostHypervisor::Vm& v) -> Task<void> {
-    for (int i = 0; i < kIterations; ++i) {
-      co_await hv.exit_roundtrip(v, ExitKind::kHypercall);
-    }
-  }(l0, vm));
-  sim.run();
-  // A round trip is two world switches (exit + entry).
-  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
-  bench_io().record_run("single_level", sim, counters, {{"us_per_switch", us}});
-  return us;
-}
-
-double measure_pvm_switch_us() {
-  Simulation sim;
-  bench_io().observe(sim);
-  CostModel costs;
-  CounterSet counters;
-  TraceLog trace;
-  Switcher switcher(sim, costs, counters, trace);
-
-  const SimTime start = sim.now();
-  sim.spawn([](Switcher& s) -> Task<void> {
-    SwitcherState state;
-    VcpuState vcpu;
-    for (int i = 0; i < kIterations; ++i) {
-      co_await s.to_hypervisor(state, vcpu, SwitchReason::kHypercall);
-      co_await s.enter_guest(state, vcpu, VirtRing::kVRing3);
-    }
-  }(switcher));
-  sim.run();
-  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
-  bench_io().record_run("pvm_switcher", sim, counters, {{"us_per_switch", us}});
-  return us;
-}
-
-double measure_nested_switch_us() {
-  Simulation sim;
-  bench_io().observe(sim);
-  CostModel costs;
-  CounterSet counters;
-  TraceLog trace;
-  HostHypervisor l0(sim, costs, counters, trace, 1u << 20);
-  HostHypervisor::Vm& l1 = l0.create_vm("l1", 1u << 16, true);
-
-  const SimTime start = sim.now();
-  sim.spawn([](HostHypervisor& hv, HostHypervisor::Vm& vm) -> Task<void> {
-    HostHypervisor::NestedVcpu vcpu;
-    for (int i = 0; i < kIterations; ++i) {
-      // One L2-to-L1 transition (forward) + one L1-to-L2 (emulated resume).
-      co_await hv.nested_forward_exit_to_l1(vm, vcpu, ExitKind::kHypercall);
-      co_await hv.nested_resume_l2(vm, vcpu);
-    }
-  }(l0, l1));
-  sim.run();
-  const double us = to_us(sim.now() - start) / (2.0 * kIterations);
-  bench_io().record_run("nested_l2_l1", sim, counters, {{"us_per_switch", us}});
-  return us;
-}
-
-}  // namespace
-}  // namespace pvm
 
 int main(int argc, char** argv) {
   using namespace pvm;
@@ -92,11 +17,14 @@ int main(int argc, char** argv) {
                "PVM paper, §2.2 & §3.3.2 text measurements",
                "Paper: single-level 0.105, PVM switcher 0.179, nested 1.3");
 
+  const bench::EntryHooks hooks = bench_io_hooks();
   TextTable table({"switch type", "measured (us)", "paper (us)"});
-  table.add_row({"single-level (VMX exit/entry)", TextTable::cell(measure_single_level_us()),
-                 "0.105"});
-  table.add_row({"PVM switcher (within L1)", TextTable::cell(measure_pvm_switch_us()), "0.179"});
-  table.add_row({"nested L2<->L1 (via L0)", TextTable::cell(measure_nested_switch_us()), "1.3"});
+  table.add_row({"single-level (VMX exit/entry)",
+                 TextTable::cell(bench::switch_single_level_us(hooks)), "0.105"});
+  table.add_row({"PVM switcher (within L1)", TextTable::cell(bench::switch_pvm_us(hooks)),
+                 "0.179"});
+  table.add_row({"nested L2<->L1 (via L0)", TextTable::cell(bench::switch_nested_us(hooks)),
+                 "1.3"});
   std::printf("%s\n", table.render().c_str());
   return 0;
 }

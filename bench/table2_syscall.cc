@@ -9,36 +9,21 @@
 //   kvm (NST)             0.23/0.06
 //   pvm (NST) none        1.93/1.93
 //   pvm (NST) direct      0.3/0.3
+//
+// The measurement body (bench::syscall_getpid_us) lives in bench/entries.h
+// so pvm-matrix can run it as a library call.
 
 #include "bench/bench_common.h"
-#include "src/workloads/lmbench.h"
 
 namespace pvm {
 namespace {
 
-double measure_getpid_us(const std::string& label, const PlatformConfig& config) {
-  VirtualPlatform platform(config);
-  bench_io().observe(platform);
-  SecureContainer& c = platform.create_container("c0");
-  platform.sim().spawn(c.boot(8));
-  platform.sim().run();
-
-  std::uint64_t latency = 0;
-  platform.sim().spawn([](SecureContainer& cc, std::uint64_t* out) -> Task<void> {
-    *out = co_await lmbench_run(cc, cc.vcpu(0), *cc.init_process(), LmbenchOp::kGetPid, 4000,
-                                LmbenchParams{});
-  }(c, &latency));
-  platform.sim().run();
-  const double us = to_us(latency);
-  bench_io().record_run(label, platform, {{"getpid_us", us}});
-  return us;
-}
-
 std::string cell_on_off(const std::string& name, PlatformConfig config) {
+  const bench::EntryHooks hooks = bench_io_hooks();
   config.kpti = true;
-  const double on = measure_getpid_us(name + "/kpti", config);
+  const double on = bench::syscall_getpid_us(name + "/kpti", config, hooks);
   config.kpti = false;
-  const double off = measure_getpid_us(name + "/nokpti", config);
+  const double off = bench::syscall_getpid_us(name + "/nokpti", config, hooks);
   return TextTable::cell(on) + "/" + TextTable::cell(off);
 }
 

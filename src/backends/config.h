@@ -40,6 +40,57 @@ constexpr std::string_view deploy_mode_name(DeployMode mode) {
   return "?";
 }
 
+// CLI-safe spelling of a deployment mode ("pvm", "kvm-spt", "ept", ...);
+// shared by simcheck's --modes parser, pvm-matrix specs, and the printed
+// reproduce commands so a failure report pastes back verbatim.
+constexpr std::string_view deploy_mode_token(DeployMode mode) {
+  switch (mode) {
+    case DeployMode::kKvmEptBm:
+      return "ept-bm";
+    case DeployMode::kKvmSptBm:
+      return "kvm-spt";
+    case DeployMode::kPvmBm:
+      return "pvm-bm";
+    case DeployMode::kKvmEptNst:
+      return "ept";
+    case DeployMode::kPvmNst:
+      return "pvm";
+    case DeployMode::kSptOnEptNst:
+      return "spt-on-ept";
+    case DeployMode::kPvmDirectNst:
+      return "pvm-direct";
+  }
+  return "?";
+}
+
+// Every deployment mode, in enum order (the order "--modes all" expands to).
+inline constexpr DeployMode kAllDeployModes[] = {
+    DeployMode::kKvmEptBm,    DeployMode::kKvmSptBm,   DeployMode::kPvmBm,
+    DeployMode::kKvmEptNst,   DeployMode::kPvmNst,     DeployMode::kSptOnEptNst,
+    DeployMode::kPvmDirectNst};
+
+// Parses a mode / policy token; returns false on an unknown spelling.
+inline bool parse_deploy_mode_token(std::string_view token, DeployMode* mode) {
+  for (const DeployMode m : kAllDeployModes) {
+    if (token == deploy_mode_token(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool parse_schedule_policy_token(std::string_view token, SchedulePolicy* policy) {
+  for (const SchedulePolicy p :
+       {SchedulePolicy::kFifo, SchedulePolicy::kRandom, SchedulePolicy::kLifo}) {
+    if (token == schedule_policy_name(p)) {
+      *policy = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 constexpr bool deploy_mode_is_nested(DeployMode mode) {
   return mode == DeployMode::kKvmEptNst || mode == DeployMode::kPvmNst ||
          mode == DeployMode::kSptOnEptNst || mode == DeployMode::kPvmDirectNst;

@@ -1,12 +1,16 @@
 #include "src/check/simcheck.h"
 
+#include <atomic>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "src/sweep/sweep.h"
 
 #include "src/backends/platform.h"
 #include "src/guest/guest_kernel.h"
@@ -17,48 +21,17 @@
 
 namespace pvm {
 
-std::string_view simcheck_mode_token(DeployMode mode) {
-  switch (mode) {
-    case DeployMode::kKvmEptBm:
-      return "ept-bm";
-    case DeployMode::kKvmSptBm:
-      return "kvm-spt";
-    case DeployMode::kPvmBm:
-      return "pvm-bm";
-    case DeployMode::kKvmEptNst:
-      return "ept";
-    case DeployMode::kPvmNst:
-      return "pvm";
-    case DeployMode::kSptOnEptNst:
-      return "spt-on-ept";
-    case DeployMode::kPvmDirectNst:
-      return "pvm-direct";
-  }
-  return "?";
-}
+// Token spellings live with DeployMode itself (backends/config.h) so the
+// matrix tooling shares them; these wrappers keep the historical simcheck
+// API.
+std::string_view simcheck_mode_token(DeployMode mode) { return deploy_mode_token(mode); }
 
 bool parse_mode_token(std::string_view token, DeployMode* mode) {
-  for (const DeployMode m :
-       {DeployMode::kKvmEptBm, DeployMode::kKvmSptBm, DeployMode::kPvmBm,
-        DeployMode::kKvmEptNst, DeployMode::kPvmNst, DeployMode::kSptOnEptNst,
-        DeployMode::kPvmDirectNst}) {
-    if (token == simcheck_mode_token(m)) {
-      *mode = m;
-      return true;
-    }
-  }
-  return false;
+  return parse_deploy_mode_token(token, mode);
 }
 
 bool parse_policy_token(std::string_view token, SchedulePolicy* policy) {
-  for (const SchedulePolicy p :
-       {SchedulePolicy::kFifo, SchedulePolicy::kRandom, SchedulePolicy::kLifo}) {
-    if (token == schedule_policy_name(p)) {
-      *policy = p;
-      return true;
-    }
-  }
-  return false;
+  return parse_schedule_policy_token(token, policy);
 }
 
 namespace {
@@ -220,6 +193,12 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     // check is sound (unless the backend defers sync, which the platform
     // already encoded in the oracle's strictness).
     if (PvmMemoryEngine* engine = container.shadow_engine()) {
+      if (c.debug_corrupt_from_seed != 0 && c.schedule_seed >= c.debug_corrupt_from_seed) {
+        // Test hook: plant one deterministic violation for the oracle to
+        // find, so sweep tests can compare serial and parallel triage on a
+        // known-failing matrix.
+        engine->debug_plant_violation();
+      }
       engine->verify_coherence(engine->coherence_oracle_strict());
       result.shadow_frames = engine->shadow_table_frames();
     }
@@ -239,70 +218,135 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
   return result;
 }
 
+namespace {
+
+SimcheckCase sweep_case(const SweepOptions& options, DeployMode mode, SchedulePolicy policy,
+                        int seed_index) {
+  const std::uint64_t seed = options.first_seed + static_cast<std::uint64_t>(seed_index);
+  SimcheckCase c;
+  c.mode = mode;
+  c.policy = policy;
+  c.schedule_seed = seed;
+  // Cycle the PVM ablations from the seed so a sweep covers the
+  // lock-granularity x prefault x PCID cross-product without
+  // multiplying the run count. Non-PVM engines read the same Options,
+  // so the cycling exercises their configurations too.
+  c.fine_grained_locks = (seed & 1) != 0;
+  c.prefault = (seed & 2) != 0;
+  c.pcid_mapping = (seed & 4) != 0;
+  c.chaos = options.chaos;
+  c.chaos_seed = seed + 17;
+  c.faults = options.faults;
+  c.fault_seed = seed + 23;
+  c.processes = options.processes;
+  c.memstress_bytes = options.memstress_bytes;
+  c.debug_corrupt_from_seed = options.debug_corrupt_from_seed;
+  return c;
+}
+
+}  // namespace
+
 int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
-  int failing_combinations = 0;
+  struct Combo {
+    DeployMode mode;
+    SchedulePolicy policy;
+  };
+  std::vector<Combo> combos;
   for (const DeployMode mode : options.modes) {
     for (const SchedulePolicy policy : options.policies) {
-      int passed = 0;
-      bool failed = false;
-      for (int i = 0; i < options.seeds; ++i) {
-        const std::uint64_t seed = options.first_seed + static_cast<std::uint64_t>(i);
-        SimcheckCase c;
-        c.mode = mode;
-        c.policy = policy;
-        c.schedule_seed = seed;
-        // Cycle the PVM ablations from the seed so a sweep covers the
-        // lock-granularity x prefault x PCID cross-product without
-        // multiplying the run count. Non-PVM engines read the same Options,
-        // so the cycling exercises their configurations too.
-        c.fine_grained_locks = (seed & 1) != 0;
-        c.prefault = (seed & 2) != 0;
-        c.pcid_mapping = (seed & 4) != 0;
-        c.chaos = options.chaos;
-        c.chaos_seed = seed + 17;
-        c.faults = options.faults;
-        c.fault_seed = seed + 23;
-        c.processes = options.processes;
-        c.memstress_bytes = options.memstress_bytes;
+      combos.push_back({mode, policy});
+    }
+  }
+  const std::size_t seeds = static_cast<std::size_t>(options.seeds);
+  const int jobs =
+      options.jobs == 0 ? sweep::default_jobs() : sweep::effective_jobs(options.jobs);
 
-        const SimcheckResult r = run_simcheck_case(c);
-        if (options.verbose) {
-          out << (r.ok ? "ok   " : "FAIL ") << case_label(c) << ": events=" << r.events
-              << " fills=" << r.fills << " races=" << r.fill_races << "\n";
-        }
-        if (!r.ok) {
-          // Seeds run ascending, so the first failure is the minimal failing
-          // seed for this (mode, policy) combination.
-          out << "FAIL " << case_label(c) << "\n"
-              << "     minimal failing seed: " << seed << "\n"
-              << "     reproduce: " << simcheck_reproduce_line(c) << "\n"
-              << r.failure << "\n";
-          if (!r.profile.empty()) {
-            out << r.profile << "\n";
-          }
-          if (!options.postmortem_dir.empty() && !r.postmortem_json.empty()) {
-            std::error_code ec;  // best effort; the writes below report nothing either
-            std::filesystem::create_directories(options.postmortem_dir, ec);
-            const std::string stem = options.postmortem_dir + "/postmortem-" +
-                                     std::string(simcheck_mode_token(mode)) + "-" +
-                                     std::string(schedule_policy_name(policy)) + "-" +
-                                     std::to_string(seed);
-            std::ofstream(stem + ".json") << r.postmortem_json;
-            std::ofstream(stem + ".txt") << r.postmortem_text;
-            out << "     postmortem: " << stem << ".{json,txt}\n";
-          } else if (!r.postmortem_text.empty()) {
-            out << r.postmortem_text;
-          }
-          failed = true;
-          ++failing_combinations;
-          break;
-        }
-        ++passed;
+  // Parallel phase: every (combo, seed) case is an isolated Simulation, so
+  // workers claim them from a shared cursor and stash results per index.
+  // Triage economy: once a seed of a combination has failed, the
+  // combination's *larger* seeds are skipped (their results could never be
+  // printed — the merge below stops at the minimal failing seed). Smaller
+  // seeds always run, so the minimal failing seed is exact, not a race
+  // winner.
+  std::vector<std::vector<std::optional<SimcheckResult>>> results(
+      combos.size(), std::vector<std::optional<SimcheckResult>>(seeds));
+  if (jobs > 1 && !combos.empty() && seeds > 0) {
+    std::vector<std::atomic<std::size_t>> min_failed(combos.size());
+    for (auto& m : min_failed) {
+      m.store(seeds, std::memory_order_relaxed);
+    }
+    sweep::parallel_for(combos.size() * seeds, jobs, [&](std::size_t job) {
+      const std::size_t combo = job / seeds;
+      const std::size_t seed_index = job % seeds;
+      if (min_failed[combo].load(std::memory_order_relaxed) < seed_index) {
+        return;  // a smaller seed of this combination already failed
       }
-      if (!failed) {
-        out << "ok   " << deploy_mode_name(mode) << " x " << schedule_policy_name(policy)
-            << ": " << passed << " seeds\n";
+      SimcheckResult r = run_simcheck_case(
+          sweep_case(options, combos[combo].mode, combos[combo].policy,
+                     static_cast<int>(seed_index)));
+      if (!r.ok) {
+        std::size_t expected = min_failed[combo].load(std::memory_order_relaxed);
+        while (seed_index < expected &&
+               !min_failed[combo].compare_exchange_weak(expected, seed_index,
+                                                        std::memory_order_relaxed)) {
+        }
       }
+      results[combo][seed_index] = std::move(r);
+    });
+  }
+
+  // Deterministic merge: walk combinations x seeds in the serial order and
+  // print exactly what the serial sweep prints, reading parallel results by
+  // index (or running the case inline when --jobs 1 left the slot empty —
+  // which also preserves the serial sweep's early-stop laziness).
+  int failing_combinations = 0;
+  for (std::size_t combo = 0; combo < combos.size(); ++combo) {
+    const DeployMode mode = combos[combo].mode;
+    const SchedulePolicy policy = combos[combo].policy;
+    int passed = 0;
+    bool failed = false;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const SimcheckCase c = sweep_case(options, mode, policy, static_cast<int>(i));
+      if (!results[combo][i].has_value()) {
+        results[combo][i] = run_simcheck_case(c);
+      }
+      const SimcheckResult& r = *results[combo][i];
+      if (options.verbose) {
+        out << (r.ok ? "ok   " : "FAIL ") << case_label(c) << ": events=" << r.events
+            << " fills=" << r.fills << " races=" << r.fill_races << "\n";
+      }
+      if (!r.ok) {
+        // Seeds are merged ascending, so the first failure is the minimal
+        // failing seed for this (mode, policy) combination.
+        out << "FAIL " << case_label(c) << "\n"
+            << "     minimal failing seed: " << c.schedule_seed << "\n"
+            << "     reproduce: " << simcheck_reproduce_line(c) << "\n"
+            << r.failure << "\n";
+        if (!r.profile.empty()) {
+          out << r.profile << "\n";
+        }
+        if (!options.postmortem_dir.empty() && !r.postmortem_json.empty()) {
+          std::error_code ec;  // best effort; the writes below report nothing either
+          std::filesystem::create_directories(options.postmortem_dir, ec);
+          const std::string stem = options.postmortem_dir + "/postmortem-" +
+                                   std::string(simcheck_mode_token(mode)) + "-" +
+                                   std::string(schedule_policy_name(policy)) + "-" +
+                                   std::to_string(c.schedule_seed);
+          std::ofstream(stem + ".json") << r.postmortem_json;
+          std::ofstream(stem + ".txt") << r.postmortem_text;
+          out << "     postmortem: " << stem << ".{json,txt}\n";
+        } else if (!r.postmortem_text.empty()) {
+          out << r.postmortem_text;
+        }
+        failed = true;
+        ++failing_combinations;
+        break;
+      }
+      ++passed;
+    }
+    if (!failed) {
+      out << "ok   " << deploy_mode_name(mode) << " x " << schedule_policy_name(policy)
+          << ": " << passed << " seeds\n";
     }
   }
   return failing_combinations;

@@ -58,6 +58,13 @@ struct SimcheckCase {
 
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;  // per process
+
+  // Test hook (sweep determinism tests): when nonzero and schedule_seed >=
+  // this value, one shadow leaf is corrupted at the final quiescent point so
+  // the oracle deterministically reports a violation. Lets tests prove that
+  // serial and parallel sweeps find the same minimal failing seed without
+  // depending on a real protocol bug.
+  std::uint64_t debug_corrupt_from_seed = 0;
 };
 
 // The exact `simcheck ...` invocation that replays this case bit-for-bit;
@@ -96,15 +103,31 @@ struct SweepOptions {
   std::uint64_t memstress_bytes = 1ull << 20;
   bool verbose = false;
 
+  // Worker threads for the sweep (pvm::sweep engine); 0 means one per
+  // hardware thread. Each case runs a fully isolated Simulation on one
+  // worker, and results are merged by case index — the report, exit code,
+  // and postmortem files are byte-identical to a --jobs 1 run.
+  int jobs = 1;
+
   // When non-empty, each failing case's postmortem is written to
   // <dir>/postmortem-<mode>-<policy>-<seed>.{json,txt} (CI uploads these).
   std::string postmortem_dir;
+
+  // Plumbed into every case's debug_corrupt_from_seed (test hook, above).
+  std::uint64_t debug_corrupt_from_seed = 0;
 };
 
 // Sweeps seeds (ascending) x policies x modes, cycling the PVM lock /
 // prefault / PCID ablations from the seed's low bits so the cross-product is
 // covered. Reports each combination's minimal failing seed to `out`.
 // Returns the number of failing (mode, policy) combinations.
+//
+// With options.jobs > 1 the cases run on a thread pool: workers claim cases
+// from a shared cursor, and a combination's remaining seeds are skipped once
+// a smaller seed of that combination has failed (so triage work stays close
+// to the serial early-stop). Because seeds below a failure always run and
+// the merge walks seeds in ascending order, the minimal failing seed — and
+// every output byte — matches the serial sweep.
 int run_simcheck_sweep(const SweepOptions& options, std::ostream& out);
 
 }  // namespace pvm

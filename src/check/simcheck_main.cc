@@ -6,6 +6,7 @@
 //   simcheck --modes pvm --policies lifo --seeds 1 --first-seed 42  # replay
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "src/check/simcheck.h"
+#include "src/sweep/sweep.h"
 
 namespace {
 
@@ -26,6 +28,10 @@ void usage(std::ostream& out) {
          "  --first-seed N        first schedule seed (default: 1)\n"
          "  --processes N         concurrent worker processes (default: 3)\n"
          "  --bytes N             memstress bytes per process (default: 1 MiB)\n"
+         "  --jobs N              worker threads for the sweep (default: 1;\n"
+         "                        0 = one per hardware thread). Output is\n"
+         "                        byte-identical to --jobs 1; timing goes to\n"
+         "                        stderr so reports stay diffable\n"
          "  --no-chaos            disable fault-injection agents\n"
          "  --no-faults           disable the faultstorm fault plans\n"
          "  --postmortem-dir D    write failing cases' flight-recorder dumps\n"
@@ -107,6 +113,15 @@ int main(int argc, char** argv) {
       options.processes = std::atoi(next_value(i).c_str());
     } else if (arg == "--bytes") {
       options.memstress_bytes = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(next_value(i).c_str());
+      if (options.jobs < 0) {
+        die("--jobs must be >= 0");
+      }
+    } else if (arg == "--debug-corrupt-from-seed") {
+      // Undocumented test hook: plant a deterministic oracle violation for
+      // every schedule seed >= N (see SweepOptions::debug_corrupt_from_seed).
+      options.debug_corrupt_from_seed = std::strtoull(next_value(i).c_str(), nullptr, 10);
     } else if (arg == "--postmortem-dir") {
       options.postmortem_dir = next_value(i);
     } else if (arg == "--no-chaos") {
@@ -126,7 +141,16 @@ int main(int argc, char** argv) {
     die("nothing to sweep");
   }
 
+  // Wall-clock goes to stderr: stdout is the deterministic sweep report that
+  // CI diffs against a serial golden, and timing is the one thing a parallel
+  // run is allowed to change.
+  const pvm::sweep::Stopwatch stopwatch;
   const int failures = pvm::run_simcheck_sweep(options, std::cout);
+  const std::size_t cases = options.modes.size() * options.policies.size() *
+                            static_cast<std::size_t>(options.seeds);
+  std::fprintf(stderr, "simcheck: %zu case(s) max, jobs=%d, wall %.2fs\n", cases,
+               options.jobs == 0 ? pvm::sweep::default_jobs() : options.jobs,
+               stopwatch.seconds());
   if (failures == 0) {
     std::cout << "simcheck: all combinations passed\n";
   } else {

@@ -1,6 +1,7 @@
 #include "src/core/memory_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -705,6 +706,22 @@ bool PvmMemoryEngine::debug_corrupt_spt_leaf(std::uint64_t pid, bool kernel_ring
   return table.update_pte(gva, [](Pte& pte) {
     pte = Pte::make(pte.frame_number() + 1, pte.flags());
   });
+}
+
+bool PvmMemoryEngine::debug_plant_violation() {
+  // Prefer corrupting a live tracked leaf (first in (pid, ring, gva) order,
+  // so the choice is interleaving-independent). At a fully torn-down
+  // quiescent point there may be none left; fall back to planting a
+  // dangling backpointer, which the structural oracle reports as
+  // "backpointer for destroyed process".
+  for (const auto& [key, gfn] : leaf_gfn_) {
+    const auto& [pid, kernel_ring, gva] = key;
+    if (debug_corrupt_spt_leaf(pid, kernel_ring, gva)) {
+      return true;
+    }
+  }
+  leaf_gfn_.emplace(LeafKey{std::numeric_limits<std::uint64_t>::max(), false, 0}, 0);
+  return true;
 }
 
 bool PvmMemoryEngine::debug_drop_rmap_entry(std::uint64_t pid, bool kernel_ring,

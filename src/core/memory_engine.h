@@ -218,6 +218,15 @@ class PvmMemoryEngine {
   // leaf-vs-gpa_map agreement). Returns false if no leaf exists.
   bool debug_corrupt_spt_leaf(std::uint64_t pid, bool kernel_ring, std::uint64_t gva);
 
+  // Plants one deterministic coherence violation: corrupts the first tracked
+  // shadow leaf in (pid, ring, gva) order (the backpointer index is an
+  // ordered map, so the choice is interleaving-independent), or — when no
+  // leaf survived, e.g. at a post-teardown quiescent point — inserts a
+  // dangling backpointer that the structural oracle reports as
+  // "backpointer for destroyed process". Used by the sweep determinism
+  // tests to make the oracle fail on demand. Always returns true.
+  bool debug_plant_violation();
+
   // Erases the rmap entry for an existing leaf but keeps the leaf (creates a
   // missing-rmap-entry violation). Returns false if no entry exists.
   bool debug_drop_rmap_entry(std::uint64_t pid, bool kernel_ring, std::uint64_t gva);

@@ -1,6 +1,7 @@
 #include "src/obs/json_parse.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace pvm::obs {
@@ -234,6 +235,11 @@ class Parser {
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
+    // RFC 8259: a number is '-'? digit ... — no leading '+', no bare '-',
+    // no leading '.' (strtod would accept all three).
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return fail("expected value");
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
@@ -249,6 +255,11 @@ class Parser {
     out->number = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
       return fail("malformed number");
+    }
+    if (!std::isfinite(out->number)) {
+      // JSON has no Infinity/NaN; an overflowing literal like 1e999 must be
+      // an error, not a silent inf that poisons downstream arithmetic.
+      return fail("number out of range");
     }
     return true;
   }

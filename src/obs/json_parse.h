@@ -30,6 +30,7 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> object;
 
   bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
   bool is_object() const { return type == Type::kObject; }
   bool is_array() const { return type == Type::kArray; }
   bool is_number() const { return type == Type::kNumber; }

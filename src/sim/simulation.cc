@@ -82,7 +82,21 @@ std::uint64_t Simulation::tie_key(std::uint64_t seq) const {
   return seq;
 }
 
+void Simulation::assert_thread_confined() const {
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_ == std::thread::id{}) {
+    owner_ = self;
+    return;
+  }
+  if (owner_ != self) {
+    throw std::logic_error(
+        "Simulation used from two threads: a Simulation is single-threaded by "
+        "design; run whole simulations on separate threads instead (pvm::sweep)");
+  }
+}
+
 void Simulation::spawn(Task<void> task, std::string name) {
+  assert_thread_confined();
   auto handle = task.release();
   if (!handle) {
     throw std::invalid_argument("Simulation::spawn: empty task");
@@ -99,6 +113,7 @@ void Simulation::schedule(std::coroutine_handle<> handle, SimTime when) {
 }
 
 void Simulation::schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root) {
+  assert_thread_confined();
   if (when < now_) {
     throw std::logic_error("Simulation::schedule: time went backwards");
   }
@@ -107,6 +122,7 @@ void Simulation::schedule(std::coroutine_handle<> handle, SimTime when, std::int
 }
 
 std::uint64_t Simulation::run() {
+  assert_thread_confined();
   std::uint64_t processed = 0;
   while (!queue_.empty()) {
     Event event = queue_.top();
@@ -123,6 +139,7 @@ std::uint64_t Simulation::run() {
 }
 
 std::uint64_t Simulation::run_until(SimTime deadline) {
+  assert_thread_confined();
   std::uint64_t processed = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event event = queue_.top();

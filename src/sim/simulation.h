@@ -17,6 +17,7 @@
 #include <queue>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/sim/task.h"
@@ -191,6 +192,15 @@ class Simulation {
 
   DelayAwaiter delay(SimTime ns) { return DelayAwaiter{this, ns}; }
 
+  // Thread confinement: a Simulation is a single-threaded coroutine kernel
+  // with no internal locking — the parallel sweep engine (pvm::sweep) gets
+  // its speedup from running *whole simulations* on separate threads, never
+  // from sharing one. The first spawn/schedule/run binds the simulation to
+  // the calling thread; any later use from a different thread throws. (The
+  // binding is first-use, not construction, so a sweep may construct a
+  // platform on one thread and hand it to a worker before running it.)
+  void assert_thread_confined() const;
+
  private:
   struct Event {
     SimTime when;
@@ -216,6 +226,7 @@ class Simulation {
   void rethrow_failed_roots();
 
   SimTime now_ = 0;
+  mutable std::thread::id owner_;  // default id until the first use binds it
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   SchedulePolicy policy_ = SchedulePolicy::kFifo;

@@ -1,0 +1,111 @@
+#include "src/sweep/matrix.h"
+
+#include "src/obs/json.h"
+
+namespace pvm::sweep {
+
+std::vector<MatrixCell> enumerate_matrix(const MatrixSpec& spec) {
+  std::vector<MatrixCell> cells;
+  cells.reserve(spec.cell_count());
+  for (const DeployMode mode : spec.modes) {
+    for (const std::string& workload : spec.workloads) {
+      for (const std::string& plan : spec.fault_plans) {
+        for (const SchedulePolicy policy : spec.policies) {
+          for (int s = 0; s < spec.seeds; ++s) {
+            MatrixCell cell;
+            cell.index = cells.size();
+            cell.mode = mode;
+            cell.workload = workload;
+            cell.fault_plan = plan;
+            cell.policy = policy;
+            cell.seed = spec.first_seed + static_cast<std::uint64_t>(s);
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> run_matrix(const MatrixSpec& spec, int jobs, const CellRunner& runner,
+                                   SweepTiming* timing) {
+  const std::vector<MatrixCell> cells = enumerate_matrix(spec);
+  Stopwatch stopwatch;
+  std::vector<CellResult> results =
+      run_indexed<CellResult>(cells.size(), jobs, [&](std::size_t i) { return runner(cells[i]); });
+  if (timing != nullptr) {
+    timing->jobs = effective_jobs(jobs);
+    timing->cells = cells.size();
+    timing->wall_seconds = stopwatch.seconds();
+  }
+  return results;
+}
+
+std::string render_matrix_json(const MatrixSpec& spec, const std::vector<CellResult>& cells,
+                               const SweepTiming* timing) {
+  const std::vector<MatrixCell> coordinates = enumerate_matrix(spec);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kMatrixSchemaVersion);
+
+  w.key("spec").begin_object();
+  w.key("modes").begin_array();
+  for (const DeployMode mode : spec.modes) {
+    w.value(deploy_mode_token(mode));
+  }
+  w.end_array();
+  w.key("workloads").begin_array();
+  for (const std::string& workload : spec.workloads) {
+    w.value(workload);
+  }
+  w.end_array();
+  w.key("fault_plans").begin_array();
+  for (const std::string& plan : spec.fault_plans) {
+    w.value(plan);
+  }
+  w.end_array();
+  w.key("policies").begin_array();
+  for (const SchedulePolicy policy : spec.policies) {
+    w.value(schedule_policy_name(policy));
+  }
+  w.end_array();
+  w.key("seeds").value(static_cast<std::int64_t>(spec.seeds));
+  w.key("first_seed").value(static_cast<std::uint64_t>(spec.first_seed));
+  w.end_object();
+
+  w.key("cells").begin_array();
+  for (std::size_t i = 0; i < coordinates.size() && i < cells.size(); ++i) {
+    const MatrixCell& cell = coordinates[i];
+    const CellResult& result = cells[i];
+    w.begin_object();
+    w.key("index").value(static_cast<std::uint64_t>(cell.index));
+    w.key("mode").value(deploy_mode_token(cell.mode));
+    w.key("workload").value(cell.workload);
+    w.key("fault_plan").value(cell.fault_plan);
+    w.key("policy").value(schedule_policy_name(cell.policy));
+    w.key("seed").value(cell.seed);
+    w.key("ok").value(result.ok);
+    if (!result.ok) {
+      w.key("error").value(result.error);
+    }
+    if (!result.bench_json.empty()) {
+      w.key("bench").raw(result.bench_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  if (timing != nullptr) {
+    w.key("timing").begin_object();
+    w.key("jobs").value(static_cast<std::int64_t>(timing->jobs));
+    w.key("cells").value(static_cast<std::uint64_t>(timing->cells));
+    w.key("wall_seconds").value(timing->wall_seconds);
+    w.key("cells_per_second").value(timing->cells_per_second());
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace pvm::sweep

@@ -1,0 +1,87 @@
+// Declarative scenario matrix: the cross-product
+//
+//   deployment mode x workload x fault plan x schedule policy x seed
+//
+// enumerated in a fixed row-major order (modes outermost, seeds innermost),
+// so a cell's flat index — and therefore the merged document — is a pure
+// function of the spec, independent of how many worker threads ran it.
+//
+// The matrix engine is workload-agnostic: a CellRunner callback produces
+// each cell's payload (pvm-matrix wires it to the bench library entry
+// points, tests wire it to stubs). The rendered document is versioned
+// ("pvm.matrix.v1"): per-cell coordinates plus the cell's embedded
+// pvm.bench.v1 export, serialized with the deterministic JSON writer. Wall
+// clock / throughput live in an optional `timing` object that callers add
+// explicitly (pvm-matrix's --timing) because it is the one nondeterministic
+// quantity — without it, parallel and serial documents are byte-identical.
+
+#ifndef PVM_SRC_SWEEP_MATRIX_H_
+#define PVM_SRC_SWEEP_MATRIX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/backends/config.h"
+#include "src/sim/simulation.h"
+#include "src/sweep/sweep.h"
+
+namespace pvm::sweep {
+
+inline constexpr const char* kMatrixSchemaVersion = "pvm.matrix.v1";
+
+struct MatrixSpec {
+  std::vector<DeployMode> modes;
+  std::vector<std::string> workloads;    // bench-entry names ("switch", ...)
+  std::vector<std::string> fault_plans;  // fault::FaultPlan::parse specs; "none" = off
+  std::vector<SchedulePolicy> policies;
+  int seeds = 1;
+  std::uint64_t first_seed = 1;
+
+  std::size_t cell_count() const {
+    return modes.size() * workloads.size() * fault_plans.size() * policies.size() *
+           static_cast<std::size_t>(seeds > 0 ? seeds : 0);
+  }
+};
+
+// One cell's coordinates in the matrix.
+struct MatrixCell {
+  std::size_t index = 0;  // flat row-major index (the merge key)
+  DeployMode mode = DeployMode::kPvmNst;
+  std::string workload;
+  std::string fault_plan;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  std::uint64_t seed = 0;
+};
+
+// What a CellRunner returns: the cell's pvm.bench.v1 export (pre-serialized
+// — the runner's platform dies with the cell) and a success flag. A failed
+// cell keeps its slot in the document with ok=false and the error text, so
+// one bad cell cannot shift the indices of the others.
+struct CellResult {
+  bool ok = true;
+  std::string error;
+  std::string bench_json;  // pvm.bench.v1 document; empty when !ok
+};
+
+using CellRunner = std::function<CellResult(const MatrixCell&)>;
+
+// The spec's cells in flat index order.
+std::vector<MatrixCell> enumerate_matrix(const MatrixSpec& spec);
+
+// Runs every cell on up to `jobs` workers and returns results in cell-index
+// order (deterministic merge). `timing`, when non-null, receives the
+// wall-clock accounting for the whole sweep.
+std::vector<CellResult> run_matrix(const MatrixSpec& spec, int jobs, const CellRunner& runner,
+                                   SweepTiming* timing = nullptr);
+
+// Renders the versioned matrix document. `timing` non-null embeds the
+// nondeterministic `timing` object (jobs / wall_seconds / cells_per_second);
+// pass null for byte-reproducible output.
+std::string render_matrix_json(const MatrixSpec& spec, const std::vector<CellResult>& cells,
+                               const SweepTiming* timing = nullptr);
+
+}  // namespace pvm::sweep
+
+#endif  // PVM_SRC_SWEEP_MATRIX_H_

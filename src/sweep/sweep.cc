@@ -1,0 +1,70 @@
+#include "src/sweep/sweep.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace pvm::sweep {
+
+int effective_jobs(int requested) { return std::max(1, requested); }
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(effective_jobs(jobs)), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  // Lowest failed job index + its exception; the index tiebreak makes the
+  // rethrown error independent of worker timing.
+  std::mutex failure_mutex;
+  std::size_t failed_index = count;
+  std::exception_ptr failure;
+  std::atomic<bool> abort{false};
+
+  const auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (i < failed_index) {
+          failed_index = i;
+          failure = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (failure != nullptr) {
+    std::rethrow_exception(failure);
+  }
+}
+
+}  // namespace pvm::sweep

@@ -1,0 +1,81 @@
+// pvm::sweep — parallel scenario-matrix execution with deterministic merge.
+//
+// The evaluation surface of this repo is a configuration matrix (deployment
+// mode x workload x fault plan x schedule policy x seed), and each cell is
+// one isolated single-threaded `Simulation`: no cell shares mutable state
+// with another, so the matrix is embarrassingly parallel. This engine runs
+// the cells on a pool of worker threads and merges results **by job index,
+// never by completion order**, so the output of a parallel run is
+// byte-identical to the serial run — parallelism changes wall-clock time
+// and nothing else. Consumers: `simcheck --jobs N` and the `pvm-matrix`
+// tool; Simulation itself stays single-threaded and enforces that with a
+// thread-confinement guard (simulation.h).
+
+#ifndef PVM_SRC_SWEEP_SWEEP_H_
+#define PVM_SRC_SWEEP_SWEEP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pvm::sweep {
+
+// Number of worker threads a `--jobs N` request actually gets: at least 1,
+// and never more than the job count a caller passes to the run functions.
+int effective_jobs(int requested);
+
+// `--jobs 0` convention: one worker per hardware thread.
+int default_jobs();
+
+// Runs body(0) .. body(count-1), each exactly once, on up to `jobs` worker
+// threads (inline on the calling thread when jobs <= 1). Jobs are claimed
+// from a shared cursor, so completion order is nondeterministic — callers
+// must write results into per-index slots and merge in index order. If any
+// body throws, every worker finishes its current job, remaining jobs are
+// abandoned, and the exception of the *lowest-indexed* failed job is
+// rethrown on the calling thread (lowest index, not first-in-time, so the
+// error a caller sees does not depend on thread timing).
+void parallel_for(std::size_t count, int jobs, const std::function<void(std::size_t)>& body);
+
+// parallel_for with results: runs fn over [0, count) and returns the values
+// in index order regardless of which worker computed them when. R must be
+// default-constructible and movable.
+template <typename R>
+std::vector<R> run_indexed(std::size_t count, int jobs,
+                           const std::function<R(std::size_t)>& fn) {
+  std::vector<R> results(count);
+  parallel_for(count, jobs, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+// Wall-clock accounting for a sweep. Wall time is the only nondeterministic
+// quantity a sweep produces, so it is kept in this side-band struct and the
+// deterministic report/JSON documents never embed it by default.
+struct SweepTiming {
+  int jobs = 1;
+  std::size_t cells = 0;
+  double wall_seconds = 0.0;
+
+  double cells_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+  }
+};
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pvm::sweep
+
+#endif  // PVM_SRC_SWEEP_SWEEP_H_

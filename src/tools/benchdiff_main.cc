@@ -1,4 +1,5 @@
-// benchdiff — compare two pvm.bench.v1 exports and gate on regressions.
+// benchdiff — compare two pvm.bench.v1 (or pvm.matrix.v1) exports and gate
+// on regressions.
 //
 // Matches runs by label and compares every gated metric (the run's headline
 // `values`, the `derived` ratios, the always-present `recovery` outcome
@@ -15,6 +16,7 @@
 // baseline run/metric missing from head), 2 usage or parse error.
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,9 +63,82 @@ void collect_object(const obs::JsonValue* object, const std::string& prefix,
   }
 }
 
-// Flattens one export's runs into label -> gated metric list. Counters and
-// the resource/span sections are deliberately not gated: they are diagnostic
+// Flattens one pvm.bench.v1 document's runs into label -> gated metric
+// list, prefixing every label with `label_prefix` (empty for a plain bench
+// export; the cell coordinates for a matrix cell). Counters and the
+// resource/span sections are deliberately not gated: they are diagnostic
 // detail, and the counters object elides zeros so absence is ambiguous.
+bool collect_bench_runs(const obs::JsonValue& doc, const std::string& path,
+                        const std::string& label_prefix, std::vector<RunMetrics>* out,
+                        std::string* error) {
+  const obs::JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    *error = path + ": no runs array";
+    return false;
+  }
+  for (const obs::JsonValue& run : runs->array) {
+    const obs::JsonValue* label = run.find("label");
+    if (label == nullptr || !label->is_string()) {
+      continue;
+    }
+    RunMetrics rm;
+    rm.label = label_prefix + label->string;
+    collect_object(run.find("values"), "values.", &rm.metrics);
+    collect_object(run.find("derived"), "derived.", &rm.metrics);
+    collect_object(run.find("recovery"), "recovery.", &rm.metrics);
+    if (const obs::JsonValue* v = run.find("sim_ns"); v != nullptr && v->is_number()) {
+      rm.metrics.push_back({"sim_ns", v->number});
+    }
+    if (const obs::JsonValue* v = run.find("events"); v != nullptr && v->is_number()) {
+      rm.metrics.push_back({"events", v->number});
+    }
+    out->push_back(std::move(rm));
+  }
+  return true;
+}
+
+std::string cell_string(const obs::JsonValue& cell, const char* key) {
+  const obs::JsonValue* v = cell.find(key);
+  return (v != nullptr && v->is_string()) ? v->string : std::string("?");
+}
+
+// Flattens a pvm.matrix.v1 document: every ok cell's embedded pvm.bench.v1
+// payload contributes its runs, labels prefixed with the cell coordinates so
+// the same micro-bench label in two cells stays distinct. Failed cells
+// contribute a run with an `ok` metric of 0 — a cell that regresses from
+// passing to failing trips the gate even though its runs vanished.
+bool collect_matrix_cells(const obs::JsonValue& doc, const std::string& path,
+                          std::vector<RunMetrics>* out, std::string* error) {
+  const obs::JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    *error = path + ": no cells array";
+    return false;
+  }
+  for (const obs::JsonValue& cell : cells->array) {
+    std::string seed = "?";
+    if (const obs::JsonValue* v = cell.find("seed"); v != nullptr && v->is_number()) {
+      seed = std::to_string(static_cast<std::uint64_t>(v->number));
+    }
+    const std::string prefix = cell_string(cell, "mode") + "/" +
+                               cell_string(cell, "workload") + "/" +
+                               cell_string(cell, "fault_plan") + "/" +
+                               cell_string(cell, "policy") + "/seed" + seed;
+    const obs::JsonValue* ok = cell.find("ok");
+    const bool cell_ok = ok != nullptr && ok->is_bool() && ok->boolean;
+    RunMetrics status;
+    status.label = prefix;
+    status.metrics.push_back({"ok", cell_ok ? 1.0 : 0.0});
+    out->push_back(std::move(status));
+    const obs::JsonValue* bench = cell.find("bench");
+    if (cell_ok && bench != nullptr && bench->is_object()) {
+      if (!collect_bench_runs(*bench, path, prefix + ":", out, error)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool load_export(const std::string& path, std::vector<RunMetrics>* out,
                  std::string* error) {
   std::string text;
@@ -77,34 +152,18 @@ bool load_export(const std::string& path, std::vector<RunMetrics>* out,
     return false;
   }
   const obs::JsonValue* schema = doc.find("schema");
-  if (schema == nullptr || !schema->is_string() || schema->string != "pvm.bench.v1") {
-    *error = path + ": not a pvm.bench.v1 export";
+  if (schema == nullptr || !schema->is_string()) {
+    *error = path + ": no schema string";
     return false;
   }
-  const obs::JsonValue* runs = doc.find("runs");
-  if (runs == nullptr || !runs->is_array()) {
-    *error = path + ": no runs array";
-    return false;
+  if (schema->string == "pvm.bench.v1") {
+    return collect_bench_runs(doc, path, "", out, error);
   }
-  for (const obs::JsonValue& run : runs->array) {
-    const obs::JsonValue* label = run.find("label");
-    if (label == nullptr || !label->is_string()) {
-      continue;
-    }
-    RunMetrics rm;
-    rm.label = label->string;
-    collect_object(run.find("values"), "values.", &rm.metrics);
-    collect_object(run.find("derived"), "derived.", &rm.metrics);
-    collect_object(run.find("recovery"), "recovery.", &rm.metrics);
-    if (const obs::JsonValue* v = run.find("sim_ns"); v != nullptr && v->is_number()) {
-      rm.metrics.push_back({"sim_ns", v->number});
-    }
-    if (const obs::JsonValue* v = run.find("events"); v != nullptr && v->is_number()) {
-      rm.metrics.push_back({"events", v->number});
-    }
-    out->push_back(std::move(rm));
+  if (schema->string == "pvm.matrix.v1") {
+    return collect_matrix_cells(doc, path, out, error);
   }
-  return true;
+  *error = path + ": not a pvm.bench.v1 or pvm.matrix.v1 export";
+  return false;
 }
 
 const RunMetrics* find_run(const std::vector<RunMetrics>& runs, const std::string& label) {

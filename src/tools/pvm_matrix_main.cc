@@ -1,0 +1,204 @@
+// pvm-matrix — run a declarative scenario matrix across the bench library
+// entry points and emit one versioned pvm.matrix.v1 document.
+//
+//   pvm-matrix --modes pvm,kvm-spt --workloads syscall,boot --seeds 4
+//              --jobs 8 --out matrix.json
+//
+// Cells run on a worker pool (--jobs), each in its own isolated simulation;
+// results merge by cell index, so the document is byte-identical to a
+// --jobs 1 run. --timing embeds wall-clock/throughput stats — the one
+// nondeterministic section — and is therefore off by default.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/entries.h"
+#include "src/sweep/matrix.h"
+#include "src/sweep/sweep.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: pvm-matrix [options]\n"
+         "  --modes m1,m2,...      pvm | pvm-bm | pvm-direct | kvm-spt |\n"
+         "                         spt-on-ept | ept | ept-bm | all\n"
+         "                         (default: pvm,kvm-spt,ept)\n"
+         "  --workloads w1,w2,...  switch | syscall | pagefault | boot | all\n"
+         "                         (default: syscall)\n"
+         "  --faults f1,f2,...     fault plans (fault::FaultPlan::parse specs,\n"
+         "                         e.g. none,faultstorm:seed=7; default: none)\n"
+         "  --policies p1,p2,...   fifo | random | lifo | all (default: fifo)\n"
+         "  --seeds N              schedule seeds per combination (default: 1)\n"
+         "  --first-seed N         first schedule seed (default: 1)\n"
+         "  --jobs N               worker threads (default: 1; 0 = one per\n"
+         "                         hardware thread). Output is byte-identical\n"
+         "                         to --jobs 1\n"
+         "  --out PATH             write the document to PATH (default: stdout)\n"
+         "  --timing               embed wall-clock stats (nondeterministic;\n"
+         "                         off by default so documents stay diffable)\n";
+}
+
+std::vector<std::string> split_csv(std::string_view list) {
+  std::vector<std::string> tokens;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    tokens.emplace_back(list.substr(0, comma));
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    list.remove_prefix(comma + 1);
+  }
+  return tokens;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pvm-matrix: " << message << "\n";
+  usage(std::cerr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pvm::sweep::MatrixSpec spec;
+  spec.modes = {pvm::DeployMode::kPvmNst, pvm::DeployMode::kKvmSptBm,
+                pvm::DeployMode::kKvmEptNst};
+  spec.workloads = {"syscall"};
+  spec.fault_plans = {"none"};
+  spec.policies = {pvm::SchedulePolicy::kFifo};
+  int jobs = 1;
+  bool timing = false;
+  std::string out_path;
+
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      die(std::string(argv[i]) + " needs a value");
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--modes") {
+      const std::string value = next_value(i);
+      spec.modes.clear();
+      if (value == "all") {
+        spec.modes.assign(std::begin(pvm::kAllDeployModes), std::end(pvm::kAllDeployModes));
+      } else {
+        for (const std::string& token : split_csv(value)) {
+          pvm::DeployMode mode;
+          if (!pvm::parse_deploy_mode_token(token, &mode)) {
+            die("unknown mode '" + token + "'");
+          }
+          spec.modes.push_back(mode);
+        }
+      }
+    } else if (arg == "--workloads") {
+      const std::string value = next_value(i);
+      if (value == "all") {
+        spec.workloads = pvm::bench::matrix_workloads();
+      } else {
+        spec.workloads = split_csv(value);
+        for (const std::string& workload : spec.workloads) {
+          const auto& known = pvm::bench::matrix_workloads();
+          if (std::find(known.begin(), known.end(), workload) == known.end()) {
+            die("unknown workload '" + workload + "'");
+          }
+        }
+      }
+    } else if (arg == "--faults") {
+      spec.fault_plans = split_csv(next_value(i));
+    } else if (arg == "--policies") {
+      const std::string value = next_value(i);
+      if (value == "all") {
+        spec.policies = {pvm::SchedulePolicy::kFifo, pvm::SchedulePolicy::kRandom,
+                         pvm::SchedulePolicy::kLifo};
+      } else {
+        spec.policies.clear();
+        for (const std::string& token : split_csv(value)) {
+          pvm::SchedulePolicy policy;
+          if (!pvm::parse_schedule_policy_token(token, &policy)) {
+            die("unknown policy '" + token + "'");
+          }
+          spec.policies.push_back(policy);
+        }
+      }
+    } else if (arg == "--seeds") {
+      spec.seeds = std::atoi(next_value(i).c_str());
+    } else if (arg == "--first-seed") {
+      spec.first_seed = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next_value(i).c_str());
+      if (jobs < 0) {
+        die("--jobs must be >= 0");
+      }
+    } else if (arg == "--out") {
+      out_path = next_value(i);
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      die("unknown option '" + std::string(arg) + "'");
+    }
+  }
+  if (spec.cell_count() == 0) {
+    die("empty matrix (check --modes/--workloads/--faults/--policies/--seeds)");
+  }
+
+  const auto runner = [](const pvm::sweep::MatrixCell& cell) {
+    pvm::bench::CellConfig config;
+    config.mode = cell.mode;
+    config.policy = cell.policy;
+    config.schedule_seed = cell.seed;
+    config.fault_plan = cell.fault_plan;
+    const pvm::bench::CellOutcome outcome =
+        pvm::bench::run_workload_cell(cell.workload, config);
+    pvm::sweep::CellResult result;
+    result.ok = outcome.ok;
+    result.error = outcome.error;
+    result.bench_json = outcome.bench_json;
+    return result;
+  };
+
+  pvm::sweep::SweepTiming sweep_timing;
+  const std::vector<pvm::sweep::CellResult> cells =
+      pvm::sweep::run_matrix(spec, jobs, runner, &sweep_timing);
+  const std::string document =
+      pvm::sweep::render_matrix_json(spec, cells, timing ? &sweep_timing : nullptr);
+
+  if (out_path.empty()) {
+    std::fwrite(document.data(), 1, document.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pvm-matrix: cannot open " << out_path << " for writing\n";
+      return 2;
+    }
+    out << document;
+  }
+  // Wall clock always goes to stderr (whether or not --timing embedded it):
+  // the document stays diffable, the operator still sees throughput.
+  std::fprintf(stderr, "pvm-matrix: %zu cell(s), jobs=%d, wall %.2fs (%.1f cells/s)\n",
+               cells.size(), sweep_timing.jobs, sweep_timing.wall_seconds,
+               sweep_timing.cells_per_second());
+
+  std::size_t failed = 0;
+  for (const pvm::sweep::CellResult& cell : cells) {
+    if (!cell.ok) {
+      ++failed;
+    }
+  }
+  if (failed != 0) {
+    std::fprintf(stderr, "pvm-matrix: %zu cell(s) failed\n", failed);
+    return 1;
+  }
+  return 0;
+}

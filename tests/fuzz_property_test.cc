@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <optional>
 
@@ -17,6 +18,42 @@
 
 namespace pvm {
 namespace {
+
+// Seed-sharding knobs, so CI shards and soak runs can widen coverage
+// without recompiling:
+//
+//   PVM_FUZZ_SEED_OFFSET=N   shifts every parameterized seed by N — shard k
+//                            of a fleet explores a disjoint seed set
+//   PVM_FUZZ_ITER_SCALE=X    multiplies the per-seed step counts (0.1 for a
+//                            quick smoke pass, 10 for a soak)
+//
+// Unset, both default to the historical suite exactly (offset 0, scale 1).
+
+std::uint64_t fuzz_seed_offset() {
+  const char* env = std::getenv("PVM_FUZZ_SEED_OFFSET");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+}
+
+std::vector<std::uint64_t> sharded_seeds(std::initializer_list<std::uint64_t> base) {
+  std::vector<std::uint64_t> seeds;
+  for (const std::uint64_t seed : base) {
+    seeds.push_back(seed + fuzz_seed_offset());
+  }
+  return seeds;
+}
+
+int fuzz_steps(int base) {
+  const char* env = std::getenv("PVM_FUZZ_ITER_SCALE");
+  if (env == nullptr) {
+    return base;
+  }
+  const double scale = std::atof(env);
+  if (scale <= 0) {
+    return base;
+  }
+  const double scaled = static_cast<double>(base) * scale;
+  return scaled < 1.0 ? 1 : static_cast<int>(scaled);
+}
 
 // --- Page table vs oracle, full op mix ---
 
@@ -45,7 +82,7 @@ TEST_P(PageTableFuzz, MatchesOracleUnderOpMix) {
     return rng.next_below(1ull << 46) & ~kPageMask;
   };
 
-  for (int step = 0; step < 4000; ++step) {
+  for (int step = 0, steps = fuzz_steps(4000); step < steps; ++step) {
     const double draw = rng.next_double();
     const std::uint64_t va = random_va();
     if (draw < 0.45) {
@@ -94,7 +131,8 @@ TEST_P(PageTableFuzz, MatchesOracleUnderOpMix) {
   EXPECT_EQ(visited, oracle.size());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz, ::testing::Values(3, 17, 71, 313, 1409));
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz,
+                         ::testing::ValuesIn(sharded_seeds({3, 17, 71, 313, 1409})));
 
 // --- TLB internal consistency under random ops ---
 
@@ -105,7 +143,7 @@ TEST_P(TlbFuzz, IndexStaysConsistent) {
   Tlb tlb(64);
   std::map<std::tuple<std::uint16_t, std::uint16_t, std::uint64_t>, std::uint64_t> oracle;
 
-  for (int step = 0; step < 6000; ++step) {
+  for (int step = 0, steps = fuzz_steps(6000); step < steps; ++step) {
     const auto vpid = static_cast<std::uint16_t>(rng.next_in(1, 3));
     const auto pcid = static_cast<std::uint16_t>(rng.next_in(1, 4));
     const std::uint64_t vpn = rng.next_below(128);
@@ -138,7 +176,8 @@ TEST_P(TlbFuzz, IndexStaysConsistent) {
   EXPECT_EQ(hit.frame, 4242u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TlbFuzz, ::testing::Values(5, 25, 125));
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbFuzz,
+                         ::testing::ValuesIn(sharded_seeds({5, 25, 125})));
 
 // --- VMCS merge over random values ---
 
