@@ -84,6 +84,10 @@ inline void print_header(const char* experiment, const char* paper_ref, const ch
 //                    see fault::FaultPlan::parse) on every platform passed
 //                    to arm_faults(); "none" disables, including a bench's
 //                    own default plan
+//   --alloc-stats    add the `alloc` section (event-queue calendar shape,
+//                    slab live/high-water accounting, shadow-engine node
+//                    slabs) to each exported run; off by default so the
+//                    default --json output stays byte-identical
 //
 // With none of the flags given, observe()/record_run() are no-ops and no
 // span recorder is attached to any platform, so simulations run exactly as
@@ -102,6 +106,8 @@ class BenchIo {
         report_ = true;
       } else if (arg == "--faults" && i + 1 < argc) {
         fault_plan_ = argv[++i];
+      } else if (arg == "--alloc-stats") {
+        alloc_stats_ = true;
       }
     }
     instance_slot() = this;
@@ -163,34 +169,39 @@ class BenchIo {
     by_sim_[&sim] = recorder;
   }
 
-  void observe(VirtualPlatform& platform) { observe(platform.sim()); }
+  void observe(VirtualPlatform& platform) {
+    observe(platform.sim());
+    if (active()) {
+      // Remembered so runs recorded through the sim-level hooks can still
+      // reach the platform's shadow-engine slabs for --alloc-stats.
+      platform_by_sim_[&platform.sim()] = &platform;
+    }
+  }
 
   // Capture one completed run while its simulation is still alive. `values`
   // are the bench's own headline numbers for this run.
   void record_run(const std::string& label, Simulation& sim, CounterSet& counters,
                   std::vector<std::pair<std::string, double>> values = {}) {
-    if (!active()) {
-      return;
-    }
-    obs::SpanRecorder* recorder = nullptr;
-    if (const auto it = by_sim_.find(&sim); it != by_sim_.end()) {
-      recorder = it->second;
-    }
-    export_.add_run(label, sim, counters, recorder, std::move(values));
-    if (!trace_path_.empty() && recorder != nullptr) {
-      // Written per run while the simulation is alive; the last run wins.
-      // The flight overlay marks injected faults / watchdog / OOM events.
-      write_file(trace_path_, export_chrome_trace(*recorder, sim, sim.flight()));
-    }
-    if (report_) {
-      std::printf("--- pvm-report: %s ---\n%s\n", label.c_str(),
-                  obs::render_obs_report(sim, recorder).c_str());
-    }
+    record_run_impl(label, sim, counters, std::move(values), nullptr);
   }
 
   void record_run(const std::string& label, VirtualPlatform& platform,
                   std::vector<std::pair<std::string, double>> values = {}) {
-    record_run(label, platform.sim(), platform.counters(), std::move(values));
+    if (alloc_stats_) {
+      // Engine slabs are only reachable through the platform; captured here
+      // so the sim-level impl can fold them into the alloc section.
+      const SlabStats engines = platform.engine_alloc_stats();
+      record_run_impl(label, platform.sim(), platform.counters(), std::move(values),
+                      &engines);
+      return;
+    }
+    record_run_impl(label, platform.sim(), platform.counters(), std::move(values), nullptr);
+  }
+
+  // A platform remembered by observe(), or null (sim-only benches).
+  VirtualPlatform* platform_for(const Simulation& sim) const {
+    const auto it = platform_by_sim_.find(&sim);
+    return it == platform_by_sim_.end() ? nullptr : it->second;
   }
 
   // A values-only row (derived numbers with no backing platform).
@@ -217,6 +228,42 @@ class BenchIo {
   }
 
  private:
+  void record_run_impl(const std::string& label, Simulation& sim, CounterSet& counters,
+                       std::vector<std::pair<std::string, double>> values,
+                       const SlabStats* engines) {
+    if (!active()) {
+      return;
+    }
+    obs::SpanRecorder* recorder = nullptr;
+    if (const auto it = by_sim_.find(&sim); it != by_sim_.end()) {
+      recorder = it->second;
+    }
+    std::string alloc_json;
+    if (alloc_stats_) {
+      SlabStats from_platform;
+      if (engines == nullptr) {
+        // Recorded through the sim-level hooks: recover the platform (and
+        // its engines) from the observe() registration, if there was one.
+        if (VirtualPlatform* platform = platform_for(sim)) {
+          from_platform = platform->engine_alloc_stats();
+          engines = &from_platform;
+        }
+      }
+      alloc_json = obs::render_alloc_json(sim.event_queue_stats(), engines);
+    }
+    export_.add_run(label, sim, counters, recorder, std::move(values),
+                    std::move(alloc_json));
+    if (!trace_path_.empty() && recorder != nullptr) {
+      // Written per run while the simulation is alive; the last run wins.
+      // The flight overlay marks injected faults / watchdog / OOM events.
+      write_file(trace_path_, export_chrome_trace(*recorder, sim, sim.flight()));
+    }
+    if (report_) {
+      std::printf("--- pvm-report: %s ---\n%s\n", label.c_str(),
+                  obs::render_obs_report(sim, recorder).c_str());
+    }
+  }
+
   static BenchIo*& instance_slot() {
     static BenchIo* slot = nullptr;
     return slot;
@@ -237,9 +284,11 @@ class BenchIo {
   std::string trace_path_;
   std::string fault_plan_;
   bool report_ = false;
+  bool alloc_stats_ = false;
   bool finished_ = false;
   std::vector<std::unique_ptr<obs::SpanRecorder>> recorders_;
   std::map<const Simulation*, obs::SpanRecorder*> by_sim_;
+  std::map<const Simulation*, VirtualPlatform*> platform_by_sim_;
   std::vector<std::unique_ptr<fault::FaultInjector>> injectors_;
 };
 

@@ -200,9 +200,12 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
   const bool want_faults = !cell.fault_plan.empty() && cell.fault_plan != "none";
 
   EntryHooks hooks;
-  hooks.record = [&cell_export](const std::string& label, Simulation& sim,
-                                CounterSet& counters,
-                                std::vector<std::pair<std::string, double>> values) {
+  hooks.record = [&cell_export, &outcome](const std::string& label, Simulation& sim,
+                                          CounterSet& counters,
+                                          std::vector<std::pair<std::string, double>> values) {
+    // Every current workload records each simulation exactly once, so the
+    // sum over record calls is the cell's total event count.
+    outcome.events += sim.events_processed();
     cell_export.add_run(label, sim, counters, /*recorder=*/nullptr, std::move(values));
   };
   hooks.on_sim = [&cell](Simulation& sim) {

@@ -82,6 +82,9 @@ struct CellOutcome {
   bool ok = false;
   std::string error;       // set when !ok (exception text)
   std::string bench_json;  // pvm.bench.v1 document for this cell when ok
+  // Simulation events processed across the cell's recorded runs — the sweep
+  // engine's throughput denominator (events/sec in pvm-matrix --timing).
+  std::uint64_t events = 0;
 };
 
 // The workload names run_workload_cell accepts, in canonical order.

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,80 @@ void BM_TlbLookupHit(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbLookupHit);
 
+// Raw event-queue cost, isolated from coroutine resumption: the simulator's
+// steady-state pattern (N live events; pop the minimum, advance the clock,
+// push a successor at now + delta). This is where the calendar-queue overhaul
+// shows up undiluted — BM_SimulationEventThroughput wraps the same operations
+// in coroutine frame switches that dominate its per-event budget.
+// BM_EventQueueBinaryHeap is the pre-overhaul std::priority_queue compiled
+// into the same binary, so one run yields a like-for-like ratio.
+
+struct HeapOrderedEvent {
+  std::uint64_t when, tie, seq;
+  std::int64_t root;
+  std::coroutine_handle<> handle;
+  bool operator>(const HeapOrderedEvent& other) const {
+    if (when != other.when) return when > other.when;
+    if (tie != other.tie) return tie > other.tie;
+    return seq > other.seq;
+  }
+};
+
+void BM_EventQueueBinaryHeap(benchmark::State& state) {
+  const int live = static_cast<int>(state.range(0));
+  const std::uint64_t delta = static_cast<std::uint64_t>(state.range(1));
+  std::priority_queue<HeapOrderedEvent, std::vector<HeapOrderedEvent>,
+                      std::greater<HeapOrderedEvent>>
+      queue;
+  std::uint64_t seq = 0;
+  std::uint64_t now = 0;
+  for (int i = 0; i < live; ++i) {
+    queue.push({now + delta, seq, seq, -1, {}});
+    ++seq;
+  }
+  for (auto _ : state) {
+    const HeapOrderedEvent event = queue.top();
+    queue.pop();
+    now = event.when;
+    queue.push({now + delta, seq, seq, -1, {}});
+    ++seq;
+  }
+  benchmark::DoNotOptimize(now);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueBinaryHeap)
+    ->ArgNames({"live", "delta"})
+    ->Args({8, 10})
+    ->Args({1024, 1000})
+    ->Args({16384, 50})
+    ->Args({1024, 0});
+
+void BM_EventQueueCalendar(benchmark::State& state) {
+  const int live = static_cast<int>(state.range(0));
+  const std::uint64_t delta = static_cast<std::uint64_t>(state.range(1));
+  CalendarQueue queue;
+  std::uint64_t seq = 0;
+  std::uint64_t now = 0;
+  for (int i = 0; i < live; ++i) {
+    queue.push(SimEvent{now + delta, seq, seq, -1, {}});
+    ++seq;
+  }
+  for (auto _ : state) {
+    const SimEvent event = queue.pop();
+    now = event.when;
+    queue.push(SimEvent{now + delta, seq, seq, -1, {}});
+    ++seq;
+  }
+  benchmark::DoNotOptimize(now);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCalendar)
+    ->ArgNames({"live", "delta"})
+    ->Args({8, 10})
+    ->Args({1024, 1000})
+    ->Args({16384, 50})
+    ->Args({1024, 0});
+
 void BM_SimulationEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     Simulation sim;
@@ -111,7 +186,10 @@ void BM_ResourceContention(benchmark::State& state) {
 BENCHMARK(BM_ResourceContention);
 
 void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
-  bool captured = false;
+  // static: google-benchmark may invoke the function several times while
+  // calibrating the iteration count, and the export should hold exactly one
+  // platform capture for this label.
+  static bool captured = false;
   for (auto _ : state) {
     state.PauseTiming();
     PlatformConfig config;
@@ -139,7 +217,10 @@ void BM_FullFaultProtocolPvmNst(benchmark::State& state) {
       // region), so --report and the export's counter/contention sections
       // work here like in the table/figure binaries.
       state.PauseTiming();
-      bench_io().record_run("BM_FullFaultProtocolPvmNst", platform,
+      // Distinct label from the timing row google-benchmark reports: two
+      // runs sharing one label would make label-keyed diffs (benchdiff)
+      // ambiguous about which run carries which metrics.
+      bench_io().record_run("BM_FullFaultProtocolPvmNst_platform", platform,
                             {{"pages_touched", 512.0}});
       captured = true;
       state.ResumeTiming();
@@ -222,7 +303,7 @@ int main(int argc, char** argv) {
       ++i;  // skip the flag's value too
       continue;
     }
-    if (arg == "--report") {
+    if (arg == "--report" || arg == "--alloc-stats") {
       continue;
     }
     args.push_back(argv[i]);

@@ -1,17 +1,12 @@
 #include "src/arch/page_table.h"
 
-namespace pvm {
+#include <utility>
 
-struct PageTable::Node {
-  std::uint64_t frame = 0;
-  int level = 0;  // 4 = root (PML4) ... 1 = leaf page table
-  std::array<Pte, kEntriesPerNode> entries{};
-  std::array<std::unique_ptr<Node>, kEntriesPerNode> children;
-};
+namespace pvm {
 
 PageTable::PageTable(std::string name, FrameAllocator* allocator)
     : name_(std::move(name)), allocator_(allocator) {
-  root_ = std::make_unique<Node>();
+  root_ = node_slab_.acquire();
   root_->level = kPageTableLevels;
   root_->frame = allocator_ ? allocator_->allocate_or_throw() : synthetic_next_frame_++;
   owned_frames_.insert(root_->frame);
@@ -19,14 +14,48 @@ PageTable::PageTable(std::string name, FrameAllocator* allocator)
 }
 
 PageTable::~PageTable() {
-  if (root_) {
+  // Node memory is returned wholesale by the slab; only backing frames need
+  // the recursive walk, and only when a FrameAllocator is attached.
+  if (root_ != nullptr && allocator_ != nullptr) {
     release_node_frames(*root_);
   }
 }
 
+PageTable::PageTable(PageTable&& other) noexcept
+    : name_(std::move(other.name_)),
+      allocator_(other.allocator_),
+      node_slab_(std::move(other.node_slab_)),
+      root_(other.root_),
+      synthetic_next_frame_(other.synthetic_next_frame_),
+      node_count_(other.node_count_),
+      leaf_count_(other.leaf_count_),
+      owned_frames_(std::move(other.owned_frames_)) {
+  other.root_ = nullptr;
+  other.allocator_ = nullptr;
+  other.node_count_ = 0;
+  other.leaf_count_ = 0;
+  other.owned_frames_.clear();
+}
+
+PageTable& PageTable::operator=(PageTable&& other) noexcept {
+  if (this != &other) {
+    // Swap wholesale: our previous state rides out in `other` and is torn
+    // down by its destructor (frames released there, slabs freed there).
+    std::swap(name_, other.name_);
+    std::swap(allocator_, other.allocator_);
+    std::swap(node_slab_, other.node_slab_);
+    std::swap(root_, other.root_);
+    std::swap(synthetic_next_frame_, other.synthetic_next_frame_);
+    std::swap(node_count_, other.node_count_);
+    std::swap(leaf_count_, other.leaf_count_);
+    std::swap(owned_frames_, other.owned_frames_);
+  }
+  return *this;
+}
+
 void PageTable::release_node_frames(Node& node) {
-  for (auto& child : node.children) {
-    if (child) {
+  for (Node* child : node.children) {
+    if (child != nullptr) {
       release_node_frames(*child);
     }
   }
@@ -35,11 +64,23 @@ void PageTable::release_node_frames(Node& node) {
   }
 }
 
+void PageTable::destroy_subtree(Node* node) {
+  for (Node* child : node->children) {
+    if (child != nullptr) {
+      destroy_subtree(child);
+    }
+  }
+  if (allocator_) {
+    allocator_->free(node->frame);
+  }
+  node_slab_.release(node);
+}
+
 std::uint64_t PageTable::root_frame() const { return root_->frame; }
 
 PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index, MapResult& result) {
   if (!parent.children[index]) {
-    auto child = std::make_unique<Node>();
+    Node* child = node_slab_.acquire();
     child->level = parent.level - 1;
     child->frame = allocator_ ? allocator_->allocate_or_throw() : synthetic_next_frame_++;
     owned_frames_.insert(child->frame);
@@ -49,18 +90,18 @@ PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index, MapR
     parent.entries[index] = Pte::make(child->frame, PteFlags::rw_user());
     ++result.entries_written;
     result.touched_table_frames.push_back(parent.frame);
-    parent.children[index] = std::move(child);
+    parent.children[index] = child;
   }
-  return parent.children[index].get();
+  return parent.children[index];
 }
 
 const PageTable::Node* PageTable::child_at(const Node& parent, std::uint64_t index) const {
-  return parent.children[index].get();
+  return parent.children[index];
 }
 
 MapResult PageTable::map(std::uint64_t va, std::uint64_t frame_number, const PteFlags& flags) {
   MapResult result;
-  Node* node = root_.get();
+  Node* node = root_;
   for (int level = kPageTableLevels; level > 1; --level) {
     node = ensure_child(*node, table_index(va, level), result);
   }
@@ -79,7 +120,7 @@ MapResult PageTable::map(std::uint64_t va, std::uint64_t frame_number, const Pte
 
 WalkResult PageTable::walk(std::uint64_t va, AccessType access, bool user_mode) const {
   WalkResult result;
-  const Node* node = root_.get();
+  const Node* node = root_;
   for (int level = kPageTableLevels; level > 1; --level) {
     result.node_frames[result.levels_walked] = node->frame;
     ++result.levels_walked;
@@ -88,7 +129,7 @@ WalkResult PageTable::walk(std::uint64_t va, AccessType access, bool user_mode) 
       result.missing_level = level;
       return result;
     }
-    node = node->children[index].get();
+    node = node->children[index];
   }
   result.node_frames[result.levels_walked] = node->frame;
   ++result.levels_walked;
@@ -124,38 +165,38 @@ bool PageTable::unmap(std::uint64_t va) {
 }
 
 Pte* PageTable::find_pte(std::uint64_t va) {
-  Node* node = root_.get();
+  Node* node = root_;
   for (int level = kPageTableLevels; level > 1; --level) {
     const std::uint64_t index = table_index(va, level);
     if (!node->children[index]) {
       return nullptr;
     }
-    node = node->children[index].get();
+    node = node->children[index];
   }
   return &node->entries[table_index(va, 1)];
 }
 
 const Pte* PageTable::find_pte(std::uint64_t va) const {
-  const Node* node = root_.get();
+  const Node* node = root_;
   for (int level = kPageTableLevels; level > 1; --level) {
     const std::uint64_t index = table_index(va, level);
     if (!node->children[index]) {
       return nullptr;
     }
-    node = node->children[index].get();
+    node = node->children[index];
   }
   return &node->entries[table_index(va, 1)];
 }
 
 bool PageTable::update_pte(std::uint64_t va, const std::function<void(Pte&)>& mutate,
                            std::uint64_t* touched_table_frame) {
-  Node* node = root_.get();
+  Node* node = root_;
   for (int level = kPageTableLevels; level > 1; --level) {
     const std::uint64_t index = table_index(va, level);
     if (!node->children[index]) {
       return false;
     }
-    node = node->children[index].get();
+    node = node->children[index];
   }
   Pte& leaf = node->entries[table_index(va, 1)];
   const bool was_present = leaf.present();
@@ -194,10 +235,12 @@ void PageTable::for_each_leaf(
 }
 
 void PageTable::clear() {
-  for (auto& child : root_->children) {
-    if (child) {
-      release_node_frames(*child);
-      child.reset();
+  for (Node*& child : root_->children) {
+    if (child != nullptr) {
+      // Subtree slots go back to the slab's free list so the next build
+      // cycle (shadow-table rebuilds do this constantly) reuses them.
+      destroy_subtree(child);
+      child = nullptr;
     }
   }
   // Rebuild bookkeeping: only the root remains.

@@ -17,7 +17,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +24,7 @@
 #include "src/arch/addresses.h"
 #include "src/arch/physical_memory.h"
 #include "src/arch/pte.h"
+#include "src/sim/arena.h"
 
 namespace pvm {
 
@@ -58,8 +58,10 @@ class PageTable {
   ~PageTable();
   PageTable(const PageTable&) = delete;
   PageTable& operator=(const PageTable&) = delete;
-  PageTable(PageTable&&) = default;
-  PageTable& operator=(PageTable&&) = default;
+  // Moves transfer the node slab wholesale; node pointers stay valid because
+  // slabs live on the heap, not inside the PageTable object.
+  PageTable(PageTable&& other) noexcept;
+  PageTable& operator=(PageTable&& other) noexcept;
 
   // Installs va -> frame with `flags`, creating intermediate nodes as needed.
   MapResult map(std::uint64_t va, std::uint64_t frame_number, const PteFlags& flags);
@@ -96,16 +98,35 @@ class PageTable {
   // page-table data). Used by shadow paging to classify write faults.
   bool owns_table_frame(std::uint64_t frame) const;
 
+  // Node-allocation accounting: table pages are slab-allocated per table
+  // (arena-per-owner), so node churn — shadow-table teardown/rebuild cycles
+  // in particular — recycles slots instead of hitting the heap. Feeds the
+  // opt-in `alloc` section of the bench export.
+  const SlabStats& node_alloc_stats() const { return node_slab_.stats(); }
+
  private:
-  struct Node;
+  // One table page: 512 PTEs plus the child pointers that mirror them.
+  // Trivially destructible by design — the owning slab frees all node memory
+  // wholesale in ~PageTable with no per-node walk (frames still need a walk,
+  // but only when a FrameAllocator is attached).
+  struct Node {
+    std::uint64_t frame = 0;
+    int level = 0;  // 4 = root (PML4) ... 1 = leaf page table
+    std::array<Pte, kEntriesPerNode> entries{};
+    std::array<Node*, kEntriesPerNode> children{};
+  };
 
   Node* ensure_child(Node& parent, std::uint64_t index, MapResult& result);
   const Node* child_at(const Node& parent, std::uint64_t index) const;
   void release_node_frames(Node& node);
+  void destroy_subtree(Node* node);
 
   std::string name_;
   FrameAllocator* allocator_;
-  std::unique_ptr<Node> root_;
+  // First slab holds 8 nodes (~64 KiB): a 4-level table mapping one small
+  // region needs 4; doubling reaches steady state within a few faults.
+  SlabAllocator<Node> node_slab_{8};
+  Node* root_ = nullptr;
   std::uint64_t synthetic_next_frame_ = 1ull << 40;  // out-of-band ids w/o allocator
   std::uint64_t node_count_ = 0;
   std::uint64_t leaf_count_ = 0;

@@ -236,6 +236,16 @@ PvmMemoryEngine* SecureContainer::shadow_engine() {
   return nullptr;
 }
 
+SlabStats VirtualPlatform::engine_alloc_stats() {
+  SlabStats stats;
+  for (const auto& container : containers_) {
+    if (PvmMemoryEngine* engine = container->shadow_engine()) {
+      stats += engine->alloc_stats();
+    }
+  }
+  return stats;
+}
+
 std::size_t VirtualPlatform::total_vcpus() const {
   std::size_t total = 0;
   for (const auto& container : containers_) {

@@ -145,6 +145,12 @@ class VirtualPlatform {
   flight::FlightRecorder& flight() { return flight_; }
   const flight::FlightRecorder& flight() const { return flight_; }
 
+  // Aggregated arena accounting across every container's shadow engine:
+  // page-table nodes (shadow tables + gpa_map) plus rmap chain nodes. All
+  // zeros in modes with no shadow dimension (EPT, direct paging). Feeds the
+  // opt-in `alloc` section of the bench export (--alloc-stats).
+  SlabStats engine_alloc_stats();
+
  private:
   PlatformConfig config_;
   CostModel costs_;

@@ -45,7 +45,7 @@ void PvmMemoryEngine::erase_process_rmap_state(std::uint64_t pid) {
     }
   }
   for (auto& [gfn, entries] : rmap_) {
-    std::erase_if(entries, [pid](const RmapEntry& e) { return e.pid == pid; });
+    entries.erase_if([pid](const RmapEntry& e) { return e.pid == pid; }, rmap_slab_);
   }
 }
 
@@ -113,6 +113,18 @@ std::uint64_t PvmMemoryEngine::shadow_table_frames() const {
     }
   }
   return total;
+}
+
+SlabStats PvmMemoryEngine::alloc_stats() const {
+  SlabStats stats = rmap_slab_.stats();
+  stats += gpa_map_.node_alloc_stats();
+  for (const auto& [pid, shadow] : shadows_) {
+    stats += shadow.kernel_spt->node_alloc_stats();
+    if (shadow.user_spt) {
+      stats += shadow.user_spt->node_alloc_stats();
+    }
+  }
+  return stats;
 }
 
 std::uint64_t PvmMemoryEngine::translate_or_allocate_gpa(std::uint64_t gpa_frame,
@@ -192,6 +204,7 @@ std::optional<std::uint64_t> PvmMemoryEngine::reclaim_backing_frame(std::uint64_
         leaf_gfn_.erase(LeafKey{entry.pid, entry.kernel_ring, entry.gva});
         ++leaves_zapped;
       }
+      rit->second.clear(rmap_slab_);
       rmap_.erase(rit);
     }
     gpa_map_.unmap(gfn << kPageShift);
@@ -326,7 +339,8 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
     if (bp == leaf_gfn_.end()) {
       fresh = true;
       leaf_gfn_.emplace(key, gfn);
-      rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva});
+      rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva},
+                                                     rmap_slab_);
     }
   }
 
@@ -351,7 +365,7 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
     if (recheck == leaf_gfn_.end() || recheck->second != gfn) {
       if (fresh) {
         if (auto rit = rmap_.find(gfn); rit != rmap_.end()) {
-          std::erase(rit->second, RmapEntry{pid, kernel_ring, gva});
+          rit->second.erase(RmapEntry{pid, kernel_ring, gva}, rmap_slab_);
         }
       }
       counters_->add(Counter::kSptFillRaced);
@@ -453,7 +467,7 @@ Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, b
     }
     table.unmap(gva);
     if (auto rit = rmap_.find(gfn); rit != rmap_.end()) {
-      std::erase(rit->second, RmapEntry{pid, kernel_ring, gva});
+      rit->second.erase(RmapEntry{pid, kernel_ring, gva}, rmap_slab_);
     }
     leaf_gfn_.erase(post);
     if (flight::FlightRecorder* flight = sim_->flight()) {
@@ -627,9 +641,7 @@ std::vector<std::string> PvmMemoryEngine::check_coherence(bool strict) const {
     }
     std::size_t matches = 0;
     if (const auto rit = rmap_.find(gfn); rit != rmap_.end()) {
-      matches = static_cast<std::size_t>(
-          std::count(rit->second.begin(), rit->second.end(),
-                     RmapEntry{pid, kernel_ring, gva}));
+      matches = rit->second.count(RmapEntry{pid, kernel_ring, gva});
     }
     if (matches != 1) {
       violations.push_back("rmap entry count for leaf is " + std::to_string(matches) +
@@ -734,7 +746,7 @@ bool PvmMemoryEngine::debug_drop_rmap_entry(std::uint64_t pid, bool kernel_ring,
   if (rit == rmap_.end()) {
     return false;
   }
-  return std::erase(rit->second, RmapEntry{pid, kernel_ring, gva}) > 0;
+  return rit->second.erase(RmapEntry{pid, kernel_ring, gva}, rmap_slab_) > 0;
 }
 
 bool PvmMemoryEngine::debug_duplicate_rmap_entry(std::uint64_t pid, bool kernel_ring,
@@ -744,7 +756,7 @@ bool PvmMemoryEngine::debug_duplicate_rmap_entry(std::uint64_t pid, bool kernel_
     return false;
   }
   rmap_.try_emplace(bp->second)
-      .first->second.push_back(RmapEntry{pid, kernel_ring, gva});
+      .first->second.push_back(RmapEntry{pid, kernel_ring, gva}, rmap_slab_);
   return true;
 }
 

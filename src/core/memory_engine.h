@@ -50,6 +50,7 @@
 #include "src/core/pcid_mapper.h"
 #include "src/core/spt_locks.h"
 #include "src/metrics/counters.h"
+#include "src/sim/arena.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 #include "src/trace/trace.h"
@@ -191,6 +192,11 @@ class PvmMemoryEngine {
   // the memory cost of the dual-SPT design the paper's §5 discusses.
   std::uint64_t shadow_table_frames() const;
 
+  // Aggregated slab accounting across this engine's arenas: rmap chain
+  // nodes plus the node slabs of gpa_map and every live shadow table. Feeds
+  // the opt-in `alloc` section of the bench export (--alloc-stats).
+  SlabStats alloc_stats() const;
+
   // ---- Coherence oracle ----
 
   // Turns on post-mutation structural checking. `strict_gpt` additionally
@@ -254,6 +260,105 @@ class PvmMemoryEngine {
     bool operator==(const RmapEntry&) const = default;
   };
 
+  struct RmapNode {
+    RmapEntry entry;
+    RmapNode* next = nullptr;
+  };
+
+  // Insertion-order-preserving chain of slab-allocated rmap entries — the
+  // KVM pte_list idiom. Entries churn on every fill/zap cycle; the shared
+  // per-engine slab recycles nodes through its free list instead of paying
+  // vector reallocation per gfn. Iteration yields entries oldest-first, the
+  // exact order the previous std::vector gave, which the coherence oracle
+  // and reclaim sweep depend on for determinism. Mutators take the owning
+  // slab explicitly: the chain is a dumb intrusive list, the engine owns the
+  // storage. Chains destroyed non-empty (engine teardown) leak nothing —
+  // the slab frees all node memory wholesale.
+  class RmapChain {
+   public:
+    RmapChain() = default;
+    RmapChain(const RmapChain&) = delete;
+    RmapChain& operator=(const RmapChain&) = delete;
+    RmapChain(RmapChain&& other) noexcept : head_(other.head_), tail_(other.tail_) {
+      other.head_ = nullptr;
+      other.tail_ = nullptr;
+    }
+    RmapChain& operator=(RmapChain&& other) noexcept {
+      std::swap(head_, other.head_);
+      std::swap(tail_, other.tail_);
+      return *this;
+    }
+
+    struct Iterator {
+      const RmapNode* node;
+      const RmapEntry& operator*() const { return node->entry; }
+      Iterator& operator++() {
+        node = node->next;
+        return *this;
+      }
+      bool operator==(const Iterator&) const = default;
+    };
+    Iterator begin() const { return Iterator{head_}; }
+    Iterator end() const { return Iterator{nullptr}; }
+    bool empty() const { return head_ == nullptr; }
+
+    void push_back(const RmapEntry& entry, SlabAllocator<RmapNode>& slab) {
+      RmapNode* node = slab.acquire(RmapNode{entry, nullptr});
+      if (tail_ == nullptr) {
+        head_ = node;
+      } else {
+        tail_->next = node;
+      }
+      tail_ = node;
+    }
+
+    // Unlinks and recycles every entry matching `match`; returns the count.
+    std::size_t erase(const RmapEntry& match, SlabAllocator<RmapNode>& slab) {
+      return erase_if([&match](const RmapEntry& entry) { return entry == match; }, slab);
+    }
+
+    template <typename Pred>
+    std::size_t erase_if(Pred pred, SlabAllocator<RmapNode>& slab) {
+      std::size_t erased = 0;
+      RmapNode** link = &head_;
+      RmapNode* prev = nullptr;
+      while (*link != nullptr) {
+        RmapNode* node = *link;
+        if (pred(node->entry)) {
+          *link = node->next;
+          slab.release(node);
+          ++erased;
+        } else {
+          prev = node;
+          link = &node->next;
+        }
+      }
+      tail_ = prev;
+      return erased;
+    }
+
+    std::size_t count(const RmapEntry& match) const {
+      std::size_t matches = 0;
+      for (const RmapNode* node = head_; node != nullptr; node = node->next) {
+        matches += node->entry == match ? 1 : 0;
+      }
+      return matches;
+    }
+
+    void clear(SlabAllocator<RmapNode>& slab) {
+      while (head_ != nullptr) {
+        RmapNode* node = head_;
+        head_ = node->next;
+        slab.release(node);
+      }
+      tail_ = nullptr;
+    }
+
+   private:
+    RmapNode* head_ = nullptr;
+    RmapNode* tail_ = nullptr;
+  };
+
   // (pid, kernel_ring, gva) — one shadow leaf. std::map for deterministic
   // iteration order in the oracle and in bulk erases.
   using LeafKey = std::tuple<std::uint64_t, bool, std::uint64_t>;
@@ -310,7 +415,8 @@ class PvmMemoryEngine {
   PcidMapper pcid_mapper_;
   PageTable gpa_map_;  // GPA_L2 page -> GPA_L1 frame (memslots)
   std::unordered_map<std::uint64_t, ProcessShadow> shadows_;
-  std::unordered_map<std::uint64_t, std::vector<RmapEntry>> rmap_;
+  std::unordered_map<std::uint64_t, RmapChain> rmap_;
+  SlabAllocator<RmapNode> rmap_slab_{64};
   // Backpointers: which gfn each installed shadow leaf translates. Keeps the
   // rmap exact (zaps erase precisely their own entry) and lets fills detect
   // that a concurrent zap invalidated them.

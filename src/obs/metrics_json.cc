@@ -97,7 +97,8 @@ std::string render_spans_json(const SpanRecorder& recorder) {
 
 void BenchExport::add_run(const std::string& label, const Simulation& sim,
                           const CounterSet& counters, const SpanRecorder* recorder,
-                          std::vector<std::pair<std::string, double>> values) {
+                          std::vector<std::pair<std::string, double>> values,
+                          std::string alloc_json) {
   Run run;
   run.label = label;
   run.values = std::move(values);
@@ -109,6 +110,7 @@ void BenchExport::add_run(const std::string& label, const Simulation& sim,
   if (recorder != nullptr && recorder->enabled()) {
     run.spans_json = render_spans_json(*recorder);
   }
+  run.alloc_json = std::move(alloc_json);
   runs_.push_back(std::move(run));
 }
 
@@ -118,6 +120,33 @@ void BenchExport::add_values(const std::string& label,
   run.label = label;
   run.values = std::move(values);
   runs_.push_back(std::move(run));
+}
+
+std::string render_alloc_json(const EventQueueStats& queue, const SlabStats* engines) {
+  JsonWriter json;
+  json.begin_object();
+  const auto emit_slab = [&json](const char* key, const SlabStats& stats) {
+    json.key(key).begin_object()
+        .key("acquired").value(stats.acquired)
+        .key("released").value(stats.released)
+        .key("live").value(stats.live)
+        .key("live_high_water").value(stats.live_high_water)
+        .key("slabs").value(stats.slabs)
+        .key("bytes_reserved").value(stats.bytes_reserved)
+        .end_object();
+  };
+  emit_slab("event_slots", queue.slab);
+  json.key("event_queue").begin_object()
+      .key("buckets").value(queue.buckets)
+      .key("resizes").value(queue.resizes)
+      .key("day_jumps").value(queue.day_jumps)
+      .key("heap_buckets").value(queue.heap_buckets)
+      .end_object();
+  if (engines != nullptr) {
+    emit_slab("engine_nodes", *engines);
+  }
+  json.end_object();
+  return json.str();
 }
 
 std::string BenchExport::to_json() const {
@@ -168,6 +197,10 @@ std::string BenchExport::to_json() const {
       if (!run.spans_json.empty()) {
         json.key("spans");
         json.raw(run.spans_json);
+      }
+      if (!run.alloc_json.empty()) {
+        json.key("alloc");
+        json.raw(run.alloc_json);
       }
     }
     json.end_object();

@@ -33,10 +33,14 @@ class BenchExport {
 
   // Captures one completed run. `values` are the bench's headline numbers
   // ("seconds", "faults_per_sec", ...), emitted in the given order.
-  // `recorder` may be null (no span attribution section then).
+  // `recorder` may be null (no span attribution section then). `alloc_json`
+  // (pre-rendered by render_alloc_json, empty to omit) is the opt-in arena
+  // accounting section — only --alloc-stats runs carry it, so default
+  // exports stay byte-identical.
   void add_run(const std::string& label, const Simulation& sim, const CounterSet& counters,
                const SpanRecorder* recorder,
-               std::vector<std::pair<std::string, double>> values);
+               std::vector<std::pair<std::string, double>> values,
+               std::string alloc_json = {});
 
   // Captures a run that has no live platform (values only).
   void add_values(const std::string& label,
@@ -57,11 +61,18 @@ class BenchExport {
     CounterSet counters;
     std::string resources_json;  // pre-rendered array (platform dies after capture)
     std::string spans_json;      // pre-rendered object, empty if no recorder
+    std::string alloc_json;      // pre-rendered object, empty unless --alloc-stats
   };
 
   std::string bench_name_;
   std::vector<Run> runs_;
 };
+
+// Renders the opt-in `alloc` section: the simulation event queue's calendar
+// shape and slot accounting, plus (when `engines` is non-null) the
+// aggregated page-table-node and rmap-chain slab stats of the platform's
+// shadow engines.
+std::string render_alloc_json(const EventQueueStats& queue, const SlabStats* engines);
 
 }  // namespace pvm::obs
 

@@ -1,0 +1,212 @@
+#include "src/sim/event_queue.h"
+
+#include <bit>
+#include <limits>
+
+namespace pvm {
+
+namespace {
+
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+constexpr unsigned kMaxShift = 62;
+
+unsigned shift_for_gap(std::uint64_t gap) {
+  if (gap < 2) {
+    return 0;
+  }
+  const unsigned shift = std::bit_width(gap) - 1;
+  return shift > kMaxShift ? kMaxShift : shift;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets), bucket_mask_(kMinBuckets - 1), shift_(10) {}
+
+void EventBuf::grow(std::size_t need) {
+  std::size_t cap = cap_ == 0 ? 8 : 2 * static_cast<std::size_t>(cap_);
+  while (cap < len_ + need) {
+    cap *= 2;
+  }
+  SimEvent* data = new SimEvent[cap];
+  if (len_ != 0) {
+    std::memcpy(data, data_, len_ * sizeof(SimEvent));
+  }
+  delete[] data_;
+  data_ = data;
+  cap_ = static_cast<std::uint32_t>(cap);
+}
+
+void CalendarQueue::bucket_push_slow(Bucket& bucket, const SimEvent& event) {
+  if (bucket.heap_mode) {
+    bucket.slots.push_back(event);
+    std::push_heap(bucket.slots.begin(), bucket.slots.end(), Later{});
+  } else if (earlier(event, bucket.slots[bucket.head])) {
+    bucket_push_front(bucket, event);            // LIFO ties
+  } else {
+    bucket_insert_middle(bucket, event);         // random ties
+  }
+}
+
+void CalendarQueue::bucket_push_front(Bucket& bucket, const SimEvent& event) {
+  if (bucket.head == 0) {
+    // Grow a front gap proportional to the live run, deque-style, so a
+    // same-timestamp LIFO burst prepends in amortized O(1).
+    const std::size_t gap = std::max<std::size_t>(8, bucket.live());
+    bucket.slots.open_front_gap(gap);
+    bucket.head = gap;
+  }
+  bucket.slots[--bucket.head] = event;
+}
+
+void CalendarQueue::bucket_insert_middle(Bucket& bucket, const SimEvent& event) {
+  SimEvent* it = std::upper_bound(bucket.slots.begin() + bucket.head,
+                                  bucket.slots.end(), event, earlier);
+  bucket.slots.insert_at(static_cast<std::size_t>(it - bucket.slots.begin()), event);
+  // Only middle inserts (random-tie floods) pay O(live) memmove; append and
+  // prepend are O(1) at any size, so the heap-mode escape hatch arms here
+  // and nowhere else.
+  if (bucket.live() > kHeapBucket) {
+    bucket_to_heap(bucket);
+  }
+}
+
+void CalendarQueue::bucket_to_heap(Bucket& bucket) {
+  // A sorted ascending run is already a valid min-heap under Later{}; just
+  // drop the front gap and flip the flag.
+  bucket.slots.drop_front(bucket.head);
+  bucket.head = 0;
+  bucket.heap_mode = true;
+  ++heap_buckets_;
+}
+
+void CalendarQueue::locate_min_slow() {
+  // Scan forward one calendar year. A bucket's front is its earliest entry,
+  // and day order implies when order, so the first front matching the
+  // scanned day is the global minimum's day.
+  const std::size_t nbuckets = buckets_.size();
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    const std::uint64_t day = current_day_ + i;
+    if (day < current_day_) {
+      break;  // wrapped past the last representable day
+    }
+    Bucket& bucket = bucket_of_day(day);
+    if (!bucket.empty() && day_of(bucket_front(bucket).when) == day) {
+      current_day_ = day;
+      min_bucket_ = &bucket;
+      return;
+    }
+  }
+  // A whole year of empty days: the next event is far in the future. Jump
+  // straight to the minimum day across bucket fronts — O(nbuckets), not
+  // O(gap) — and widen days to match the observed gap so the *next* quiet
+  // stretch is a short scan instead of another jump.
+  std::uint64_t best_day = std::numeric_limits<std::uint64_t>::max();
+  for (Bucket& bucket : buckets_) {
+    if (!bucket.empty()) {
+      best_day = std::min(best_day, day_of(bucket_front(bucket).when));
+    }
+  }
+  const std::uint64_t day_gap = best_day - current_day_;
+  current_day_ = best_day;
+  min_bucket_ = &bucket_of_day(best_day);
+  ++day_jumps_;
+
+  const std::uint64_t gap_ns =
+      (std::bit_width(day_gap) + shift_ > 63) ? std::numeric_limits<std::uint64_t>::max()
+                                              : day_gap << shift_;
+  const unsigned wanted =
+      shift_for_gap(gap_ns / std::max<std::size_t>(1, buckets_.size() / 4));
+  if (wanted > shift_) {
+    do_resize(static_cast<int>(wanted));
+    // do_resize repoints current_day_ at the global minimum's day; its
+    // bucket front is the minimum (buckets are sorted).
+    min_bucket_ = &bucket_of_day(current_day_);
+  }
+}
+
+void CalendarQueue::clear() {
+  for (Bucket& bucket : buckets_) {
+    bucket.slots.clear();
+    bucket.head = 0;
+    bucket.heap_mode = false;
+  }
+  size_ = 0;
+  heap_buckets_ = 0;
+  min_bucket_ = nullptr;
+}
+
+void CalendarQueue::do_resize(int forced_shift) {
+  ++resizes_;
+  std::vector<SimEvent> entries;
+  entries.reserve(size_);
+  for (Bucket& bucket : buckets_) {
+    if (bucket.heap_mode) {
+      entries.insert(entries.end(), bucket.slots.begin(), bucket.slots.end());
+    } else {
+      entries.insert(entries.end(),
+                     bucket.slots.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+                     bucket.slots.end());
+    }
+    bucket.slots.clear();
+    bucket.head = 0;
+    bucket.heap_mode = false;
+  }
+  heap_buckets_ = 0;
+
+  std::size_t nbuckets = std::bit_ceil(size_ == 0 ? std::size_t{1} : size_);
+  nbuckets = std::clamp(nbuckets, kMinBuckets, kMaxBuckets);
+  buckets_.resize(nbuckets);
+  bucket_mask_ = nbuckets - 1;
+  min_bucket_ = nullptr;
+  resize_up_at_ = nbuckets >= kMaxBuckets
+                      ? std::numeric_limits<std::size_t>::max()
+                      : 2 * nbuckets;
+  resize_down_at_ = nbuckets > kMinBuckets ? nbuckets / 8 : 0;
+
+  if (entries.empty()) {
+    return;
+  }
+
+  // Redistribution appends in globally sorted order, so every bucket's run
+  // stays sorted with zero per-entry search.
+  std::sort(entries.begin(), entries.end(), earlier);
+
+  if (forced_shift >= 0) {
+    shift_ = static_cast<unsigned>(forced_shift);
+  } else {
+    // Day width = average gap between *distinct* timestamps (rounded down
+    // to a power of two). Same-timestamp batches would drag a plain
+    // min/max/size estimate to zero and pile every batch into one day.
+    std::uint64_t distinct = 1;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      distinct += entries[i].when != entries[i - 1].when ? 1 : 0;
+    }
+    const std::uint64_t span = entries.back().when - entries.front().when;
+    shift_ = shift_for_gap(distinct > 1 ? span / (distinct - 1) : 0);
+  }
+
+  for (const SimEvent& entry : entries) {
+    bucket_of_day(day_of(entry.when)).slots.push_back(entry);
+  }
+  current_day_ = day_of(entries.front().when);
+}
+
+EventQueueStats CalendarQueue::stats() const {
+  EventQueueStats stats;
+  stats.slab.acquired = pushes_;
+  stats.slab.released = pushes_ - size_;
+  stats.slab.live = size_;
+  stats.slab.live_high_water = live_high_water_;
+  stats.slab.slabs = buckets_.size();
+  for (const Bucket& bucket : buckets_) {
+    stats.slab.bytes_reserved += bucket.slots.capacity() * sizeof(SimEvent);
+  }
+  stats.buckets = buckets_.size();
+  stats.resizes = resizes_;
+  stats.day_jumps = day_jumps_;
+  stats.heap_buckets = heap_buckets_;
+  return stats;
+}
+
+}  // namespace pvm

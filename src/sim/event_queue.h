@@ -1,0 +1,395 @@
+// Calendar event queue for the discrete-event core.
+//
+// Replaces the binary-heap std::priority_queue in Simulation. The queue
+// stores pending coroutine resumptions keyed by (when, tie, seq) — the exact
+// total order the heap used: virtual time first, then the schedule policy's
+// tie key, then insertion sequence as the final arbiter. Because the order
+// is total (seq is unique), *any* correct min-queue pops in the identical
+// sequence; swapping the container is therefore invisible to every consumer,
+// bit for bit. The differential fuzz suite (fuzz_property_test.cc) and the
+// golden byte-identity suite (tests/golden/) hold this queue to that
+// contract against a std::priority_queue oracle.
+//
+// Structure (Brown's calendar queue, adapted for the simulator's patterns):
+//
+//   - Buckets form a power-of-two calendar: an entry's "day" is
+//     when >> shift, its bucket day & (nbuckets - 1). Entries whose days
+//     collide in one bucket ("other years") wait their turn behind the
+//     current year's.
+//
+//   - Each bucket is a sorted gap buffer, not a heap. The simulator's hot
+//     pattern is a batch of events at one timestamp resuming and scheduling
+//     the next batch: under FIFO ties new keys are the bucket's maximum
+//     (append, O(1)); under LIFO ties they are the minimum of the live batch
+//     (prepend into the front gap, amortized O(1)); random ties
+//     binary-insert. Pop takes the front element — one load, no sift-down.
+//     A binary heap pays O(log n) compares + moves on *every* pop; the
+//     sorted bucket pays nothing, which is where the throughput win lives.
+//
+//   - A bucket that grows past kHeapBucket entries (an irreducible
+//     same-timestamp flood with random ties — the one pattern where sorted
+//     insertion costs O(n) memmove) flips to heap mode: a sorted array is
+//     already a valid min-heap, so the flip is free, ops become push_heap/
+//     pop_heap, and the worst case stays O(log n) — the old
+//     priority_queue's complexity, never worse. The bucket reverts when it
+//     drains.
+//
+//   - current_day_ is a lower bound on every live entry's day. Pop's fast
+//     path checks the current day's bucket front; while a day drains —
+//     the common case — there is no search at all. This is what "batched
+//     dispatch" means here: one locate amortizes over a whole day's worth
+//     of events, while every pop still consults the live bucket, so events
+//     scheduled *during* the batch (e.g. LIFO ties that must run next) are
+//     ordered exactly as the old heap ordered them. When the day drains,
+//     the scan walks consecutive days (O(1) each); after a calendar year of
+//     empty days it jumps straight to the minimum day across bucket fronts,
+//     so sparse far-future schedules cost O(nbuckets), not O(gap).
+//
+//   - The calendar resizes (re-deriving shift from the live entries'
+//     average gap) when occupancy leaves [nbuckets/8, 2*nbuckets], keeping
+//     buckets O(1) on average.
+//
+// Bucket storage is arena-style: vectors keep their capacity across
+// push/pop churn, so steady-state operation performs zero allocations; the
+// high-water mark and reserved bytes are tracked and surfaced through
+// EventQueueStats into the opt-in `alloc` section of pvm.bench.v1.
+//
+// Thread-unsafe by design; owned by the thread-confined Simulation.
+
+#ifndef PVM_SRC_SIM_EVENT_QUEUE_H_
+#define PVM_SRC_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "src/sim/arena.h"
+
+namespace pvm {
+
+// One pending resumption. `tie` is the schedule policy's tie key, `seq` the
+// global insertion sequence (unique — makes the order total).
+struct SimEvent {
+  std::uint64_t when;
+  std::uint64_t tie;
+  std::uint64_t seq;
+  std::int64_t root;
+  std::coroutine_handle<> handle;
+};
+
+// Minimal growable array of SimEvent. std::vector's push_back compiles to an
+// out-of-line call here (the realloc path drags the whole function out of
+// line), which alone cost ~40% of the simulator's event budget; this buffer
+// guarantees the append fast path stays three inlined instructions. Grows
+// geometrically, never shrinks — bucket storage is arena-style, reused
+// across churn so steady-state operation allocates nothing.
+class EventBuf {
+ public:
+  static_assert(std::is_trivially_copyable_v<SimEvent>);
+
+  EventBuf() = default;
+  EventBuf(const EventBuf&) = delete;
+  EventBuf& operator=(const EventBuf&) = delete;
+  EventBuf(EventBuf&& other) noexcept
+      : data_(other.data_), len_(other.len_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.len_ = other.cap_ = 0;
+  }
+  EventBuf& operator=(EventBuf&& other) noexcept {
+    if (this != &other) {
+      delete[] data_;
+      data_ = other.data_;
+      len_ = other.len_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.len_ = other.cap_ = 0;
+    }
+    return *this;
+  }
+  ~EventBuf() { delete[] data_; }
+
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
+  std::size_t capacity() const { return cap_; }
+  SimEvent* begin() { return data_; }
+  SimEvent* end() { return data_ + len_; }
+  SimEvent& operator[](std::size_t i) { return data_[i]; }
+  const SimEvent& operator[](std::size_t i) const { return data_[i]; }
+  SimEvent& front() { return data_[0]; }
+  const SimEvent& front() const { return data_[0]; }
+  SimEvent& back() { return data_[len_ - 1]; }
+  const SimEvent& back() const { return data_[len_ - 1]; }
+
+  void clear() { len_ = 0; }
+  void pop_back() { --len_; }
+
+  void push_back(const SimEvent& event) {
+    if (len_ == cap_) [[unlikely]] {
+      grow(1);
+    }
+    data_[len_++] = event;
+  }
+
+  // Shifts the live run right by `gap` slots (contents of the gap are
+  // unspecified — callers fill it back-to-front).
+  void open_front_gap(std::size_t gap) {
+    if (len_ + gap > cap_) {
+      grow(gap);
+    }
+    std::memmove(data_ + gap, data_, len_ * sizeof(SimEvent));
+    len_ += gap;
+  }
+
+  void insert_at(std::size_t index, const SimEvent& event) {
+    if (len_ == cap_) {
+      grow(1);
+    }
+    std::memmove(data_ + index + 1, data_ + index, (len_ - index) * sizeof(SimEvent));
+    data_[index] = event;
+    ++len_;
+  }
+
+  void drop_front(std::size_t n) {
+    std::memmove(data_, data_ + n, (len_ - n) * sizeof(SimEvent));
+    len_ -= n;
+  }
+
+ private:
+  void grow(std::size_t need);
+
+  SimEvent* data_ = nullptr;
+  std::uint32_t len_ = 0;
+  std::uint32_t cap_ = 0;
+};
+
+struct EventQueueStats {
+  SlabStats slab;                 // event-slot accounting (live == queued)
+  std::uint64_t buckets = 0;      // current calendar width
+  std::uint64_t resizes = 0;      // calendar rebuilds
+  std::uint64_t day_jumps = 0;    // sparse-gap direct jumps taken
+  std::uint64_t heap_buckets = 0; // flood buckets currently in heap mode
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Enqueues one event. Amortized O(1) for time-ordered and same-timestamp
+  // FIFO/LIFO patterns; O(log bucket) once a bucket flips to heap mode.
+  // Inline: push and pop are the simulator's innermost loop.
+  void push(const SimEvent& event) {
+    const std::uint64_t day = day_of(event.when);
+    Bucket& bucket = bucket_of_day(day);
+    // Fast path kept inline: a sorted-mode append — the overwhelmingly
+    // common case (time-ordered schedules and FIFO ties are both appends).
+    if (!bucket.heap_mode &&
+        (bucket.slots.empty() || earlier(bucket.slots.back(), event))) {
+      bucket.slots.push_back(event);
+    } else {
+      bucket_push_slow(bucket, event);
+    }
+    if (size_ == 0 || day < current_day_) {
+      current_day_ = day;
+    }
+    ++size_;
+    if (size_ > live_high_water_) {
+      live_high_water_ = size_;
+    }
+    ++pushes_;
+    if (size_ > resize_up_at_) {
+      resize_calendar();
+    }
+  }
+
+  // Timestamp of the earliest event (full-key minimum). Locates the minimum
+  // and caches the location for the following pop(). Precondition: !empty().
+  std::uint64_t min_when() {
+    locate_min();
+    return bucket_front(*min_bucket_).when;
+  }
+
+  // Pops the earliest event by (when, tie, seq). Precondition: !empty().
+  SimEvent pop() {
+    locate_min();
+    const SimEvent event = bucket_pop(*min_bucket_);
+    --size_;
+    if (size_ < resize_down_at_) {
+      resize_calendar();
+    }
+    return event;
+  }
+
+  // Pops the front run of events sharing the minimum timestamp — at most
+  // `max` — writing them to `out` in pop order. Returns the count popped
+  // (>= 1). ONLY sound when the caller guarantees no future push can sort
+  // before the copied run's tail: true under FIFO ties, where a
+  // same-timestamp push receives a strictly larger (tie, seq) than
+  // everything already queued; NOT true for LIFO (~seq shrinks) or random
+  // ties. Heap-mode buckets have no contiguous sorted run and fall back to
+  // a single pop. Precondition: !empty().
+  std::size_t pop_min_run(SimEvent* out, std::size_t max) {
+    locate_min();
+    Bucket& bucket = *min_bucket_;
+    if (bucket.heap_mode) {
+      out[0] = bucket_pop(bucket);
+      --size_;
+      if (size_ < resize_down_at_) {
+        resize_calendar();
+      }
+      return 1;
+    }
+    const std::uint64_t when = bucket.slots[bucket.head].when;
+    std::size_t n = 0;
+    while (n < max && bucket.head < bucket.slots.size() &&
+           bucket.slots[bucket.head].when == when) {
+      out[n] = bucket.slots[bucket.head];
+      ++bucket.head;
+      ++n;
+    }
+    // Same compaction policy as bucket_pop, applied once per run.
+    if (bucket.head == bucket.slots.size()) {
+      bucket.slots.clear();
+      bucket.head = 0;
+    } else if (bucket.head >= 64 && bucket.head * 2 >= bucket.slots.size()) {
+      bucket.slots.drop_front(bucket.head);
+      bucket.head = 0;
+    }
+    size_ -= n;
+    if (size_ < resize_down_at_) {
+      resize_calendar();
+    }
+    return n;
+  }
+
+  // Drops every queued event without resuming anything.
+  void clear();
+
+  EventQueueStats stats() const;
+
+ private:
+  // A sorted run of events ([head, slots.size()) ascending by key) with a
+  // reusable front gap, or — past kHeapBucket live entries — a binary
+  // min-heap over the same storage (heap_mode).
+  struct Bucket {
+    EventBuf slots;
+    std::size_t head = 0;
+    bool heap_mode = false;
+
+    std::size_t live() const { return slots.size() - head; }
+    bool empty() const { return slots.size() == head; }
+  };
+
+  // Strict total order: a runs before b.
+  static bool earlier(const SimEvent& a, const SimEvent& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.tie != b.tie) {
+      return a.tie < b.tie;
+    }
+    return a.seq < b.seq;
+  }
+
+  // std::*_heap comparator: max-heap under "later" == min-heap under key.
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      return earlier(b, a);
+    }
+  };
+
+  static constexpr std::size_t kMinBuckets = 4;
+  static constexpr std::size_t kHeapBucket = 512;
+
+  std::uint64_t day_of(std::uint64_t when) const { return when >> shift_; }
+  Bucket& bucket_of_day(std::uint64_t day) { return buckets_[day & bucket_mask_]; }
+
+  static const SimEvent& bucket_front(const Bucket& bucket) {
+    return bucket.heap_mode ? bucket.slots.front() : bucket.slots[bucket.head];
+  }
+
+  // Slow cases only: heap-mode push, LIFO prepend, random-tie middle insert.
+  void bucket_push_slow(Bucket& bucket, const SimEvent& event);
+
+  SimEvent bucket_pop(Bucket& bucket) {
+    if (bucket.heap_mode) {
+      std::pop_heap(bucket.slots.begin(), bucket.slots.end(), Later{});
+      const SimEvent event = bucket.slots.back();
+      bucket.slots.pop_back();
+      if (bucket.slots.empty()) {
+        bucket.heap_mode = false;
+        --heap_buckets_;
+      }
+      return event;
+    }
+    const SimEvent event = bucket.slots[bucket.head++];
+    if (bucket.head == bucket.slots.size()) {
+      bucket.slots.clear();
+      bucket.head = 0;
+    } else if (bucket.head >= 64 && bucket.head * 2 >= bucket.slots.size()) {
+      // Steady same-timestamp churn (pop front, append back) would otherwise
+      // grow the buffer without bound; dropping the consumed prefix once it
+      // dominates costs at most one element move per prior pop.
+      bucket.slots.drop_front(bucket.head);
+      bucket.head = 0;
+    }
+    return event;
+  }
+
+  void bucket_push_front(Bucket& bucket, const SimEvent& event);
+  void bucket_insert_middle(Bucket& bucket, const SimEvent& event);
+  void bucket_to_heap(Bucket& bucket);
+
+  // Points current_day_ (and the cached min_bucket_) at the day of the
+  // global minimum entry. Precondition: !empty().
+  void locate_min() {
+    // Fast path: the current day's bucket still has a same-day entry in
+    // front — while a day drains, every pop lands here.
+    Bucket& bucket = bucket_of_day(current_day_);
+    if (!bucket.empty() && day_of(bucket_front(bucket).when) == current_day_) {
+      min_bucket_ = &bucket;
+      return;
+    }
+    locate_min_slow();
+  }
+
+  void locate_min_slow();
+
+  // Rebuilds the calendar for the current size: picks nbuckets as the next
+  // power of two >= size (clamped) and shift from the live entries' average
+  // gap between *distinct* timestamps, then redistributes (globally sorted,
+  // so every bucket receives its entries in order). A day jump that skipped
+  // a whole calendar year instead passes the observed gap via forced_shift
+  // to widen days — the size-based estimator can't see inter-batch gaps
+  // when every live event shares one timestamp.
+  void resize_calendar() { do_resize(-1); }
+  void do_resize(int forced_shift);
+
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::uint64_t bucket_mask_ = 0;   // nbuckets - 1 (power of two)
+  unsigned shift_ = 0;              // log2 of a day's width in ns
+  std::uint64_t current_day_ = 0;   // lower bound on every live entry's day
+  Bucket* min_bucket_ = nullptr;    // set by locate_min(), valid until mutation
+  // Occupancy band [nbuckets/8, 2*nbuckets] cached so the per-op checks are
+  // one load + compare (resize_down_at_ is 0 at the minimum width).
+  std::size_t resize_up_at_ = 2 * kMinBuckets;
+  std::size_t resize_down_at_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t live_high_water_ = 0;
+  std::uint64_t resizes_ = 0;
+  std::uint64_t day_jumps_ = 0;
+  std::uint64_t heap_buckets_ = 0;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_SIM_EVENT_QUEUE_H_

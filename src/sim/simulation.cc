@@ -28,9 +28,7 @@ Simulation::~Simulation() { abandon_pending(); }
 void Simulation::abandon_pending() {
   // Drop queued resumptions first, then reclaim root frames. Destroying a
   // suspended coroutine frame is safe; destroying a completed one is too.
-  while (!queue_.empty()) {
-    queue_.pop();
-  }
+  queue_.clear();
   for (auto& handle : roots_) {
     if (handle) {
       handle.destroy();
@@ -39,9 +37,7 @@ void Simulation::abandon_pending() {
   }
   // Frame destructors may have released Resources, which re-schedules their
   // (now destroyed) waiters; purge those dangling handles without resuming.
-  while (!queue_.empty()) {
-    queue_.pop();
-  }
+  queue_.clear();
 }
 
 void Simulation::set_spans(obs::SpanRecorder* spans) {
@@ -70,29 +66,18 @@ void Simulation::set_schedule_policy(SchedulePolicy policy, std::uint64_t seed) 
   schedule_seed_ = seed;
 }
 
-std::uint64_t Simulation::tie_key(std::uint64_t seq) const {
-  switch (policy_) {
-    case SchedulePolicy::kFifo:
-      return seq;
-    case SchedulePolicy::kLifo:
-      return ~seq;
-    case SchedulePolicy::kRandom:
-      return mix64(schedule_seed_ ^ (seq * 0xd1342543de82ef95ull));
-  }
-  return seq;
+std::uint64_t Simulation::random_tie_key(std::uint64_t seq) const {
+  return mix64(schedule_seed_ ^ (seq * 0xd1342543de82ef95ull));
 }
 
-void Simulation::assert_thread_confined() const {
-  const std::thread::id self = std::this_thread::get_id();
-  if (owner_ == std::thread::id{}) {
-    owner_ = self;
+void Simulation::bind_or_reject_thread() const {
+  if (owner_key_ == nullptr) {
+    owner_key_ = thread_key();
     return;
   }
-  if (owner_ != self) {
-    throw std::logic_error(
-        "Simulation used from two threads: a Simulation is single-threaded by "
-        "design; run whole simulations on separate threads instead (pvm::sweep)");
-  }
+  throw std::logic_error(
+      "Simulation used from two threads: a Simulation is single-threaded by "
+      "design; run whole simulations on separate threads instead (pvm::sweep)");
 }
 
 void Simulation::spawn(Task<void> task, std::string name) {
@@ -108,48 +93,61 @@ void Simulation::spawn(Task<void> task, std::string name) {
   schedule(handle, now_, root);
 }
 
-void Simulation::schedule(std::coroutine_handle<> handle, SimTime when) {
-  schedule(handle, when, active_root_);
-}
-
-void Simulation::schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root) {
-  assert_thread_confined();
-  if (when < now_) {
-    throw std::logic_error("Simulation::schedule: time went backwards");
-  }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, tie_key(seq), seq, root, handle});
-}
-
-std::uint64_t Simulation::run() {
-  assert_thread_confined();
-  std::uint64_t processed = 0;
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+// Batched dispatch: pop the whole front run of same-timestamp events in one
+// queue operation, then resume them back-to-back. Sound only under FIFO ties
+// (see CalendarQueue::pop_min_run); the other policies dispatch one event
+// per queue operation, which pops in the identical (when, tie, seq) order.
+// If a resume throws, the un-dispatched tail is re-enqueued so the queue is
+// left exactly as the unbatched loop would leave it.
+std::size_t Simulation::dispatch_min_run() {
+  if (policy_ != SchedulePolicy::kFifo) {
+    const SimEvent event = queue_.pop();
     now_ = event.when;
     active_root_ = event.root;
     event.handle.resume();
     active_root_ = -1;
-    ++processed;
     ++events_processed_;
+    return 1;
+  }
+  SimEvent batch[kDispatchBatch];
+  const std::size_t n = queue_.pop_min_run(batch, kDispatchBatch);
+  std::size_t i = 0;
+  try {
+    for (; i < n; ++i) {
+      now_ = batch[i].when;
+      active_root_ = batch[i].root;
+      batch[i].handle.resume();
+      active_root_ = -1;
+      ++events_processed_;
+    }
+  } catch (...) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      queue_.push(batch[j]);
+    }
+    throw;
+  }
+  return n;
+}
+
+std::uint64_t Simulation::run() {
+  assert_thread_confined();
+  const std::uint64_t start = events_processed_;
+  while (!queue_.empty()) {
+    dispatch_min_run();
   }
   rethrow_failed_roots();
-  return processed;
+  return events_processed_ - start;
 }
 
 std::uint64_t Simulation::run_until(SimTime deadline) {
   assert_thread_confined();
   std::uint64_t processed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.when;
-    active_root_ = event.root;
-    event.handle.resume();
-    active_root_ = -1;
-    ++processed;
-    ++events_processed_;
+  // Events at exactly `deadline` run (inclusive bound), including cascades
+  // they schedule at the deadline; later events stay queued — the contract
+  // pinned by RunUntilBoundaryTest in sim_test.cc. A dispatched run shares
+  // one timestamp, so the deadline check per run bounds every event in it.
+  while (!queue_.empty() && queue_.min_when() <= deadline) {
+    processed += dispatch_min_run();
   }
   if (now_ < deadline) {
     now_ = deadline;

@@ -14,12 +14,12 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
+#include <stdexcept>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
+#include "src/sim/event_queue.h"
 #include "src/sim/task.h"
 
 namespace pvm {
@@ -93,8 +93,19 @@ class Simulation {
   // attributed to the root task currently executing (for deadlock reports);
   // the 3-argument overload attributes it explicitly (used when waking a
   // *different* task's coroutine, e.g. a Resource handing off to a waiter).
-  void schedule(std::coroutine_handle<> handle, SimTime when);
-  void schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root);
+  // Inline: this is the simulator's hottest entry point — one call per event
+  // — and out-of-line it costs as much as the queue work it wraps.
+  void schedule(std::coroutine_handle<> handle, SimTime when) {
+    schedule(handle, when, active_root_);
+  }
+  void schedule(std::coroutine_handle<> handle, SimTime when, std::int64_t root) {
+    assert_thread_confined();
+    if (when < now_) {
+      throw std::logic_error("Simulation::schedule: time went backwards");
+    }
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(SimEvent{when, tie_key(seq), seq, root, handle});
+  }
 
   // Root task (index into spawn order) whose event is currently being
   // executed, or -1 outside run(). Awaitables capture this to attribute
@@ -177,6 +188,10 @@ class Simulation {
   // Total events processed so far.
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Event-queue internals: calendar shape plus the event-slot slab's
+  // live/high-water accounting (feeds the opt-in `alloc` bench export).
+  EventQueueStats event_queue_stats() const { return queue_.stats(); }
+
   // Awaitable: advance virtual time by `ns`.
   struct DelayAwaiter {
     Simulation* sim;
@@ -199,40 +214,57 @@ class Simulation {
   // the calling thread; any later use from a different thread throws. (The
   // binding is first-use, not construction, so a sweep may construct a
   // platform on one thread and hand it to a worker before running it.)
-  void assert_thread_confined() const;
+  // Inline so the per-schedule check is one TLS address materialization and
+  // compare — std::this_thread::get_id() would be a PLT call per event. The
+  // address of a thread_local is unique per live thread, which is exactly
+  // the guarantee pthread_self gives (both can recycle after thread exit).
+  void assert_thread_confined() const {
+    if (owner_key_ != thread_key()) [[unlikely]] {
+      bind_or_reject_thread();
+    }
+  }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t tie;  // policy-dependent tie key (seq / ~seq / hashed)
-    std::uint64_t seq;
-    std::int64_t root;  // owning root task, -1 if unattributed
-    std::coroutine_handle<> handle;
+  static const void* thread_key() {
+    thread_local char key;
+    return &key;
+  }
 
-    // Min-heap by (when, tie, seq): earlier time first, then the policy's
-    // tie key, then insertion order as the final deterministic arbiter.
-    bool operator>(const Event& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      if (tie != other.tie) {
-        return tie > other.tie;
-      }
-      return seq > other.seq;
+  void bind_or_reject_thread() const;
+
+  std::uint64_t tie_key(std::uint64_t seq) const {
+    switch (policy_) {
+      case SchedulePolicy::kFifo:
+        return seq;
+      case SchedulePolicy::kLifo:
+        return ~seq;
+      case SchedulePolicy::kRandom:
+        return random_tie_key(seq);
     }
-  };
+    return seq;
+  }
 
-  std::uint64_t tie_key(std::uint64_t seq) const;
+  std::uint64_t random_tie_key(std::uint64_t seq) const;
   void rethrow_failed_roots();
 
+  // Max same-timestamp events resumed per queue operation (FIFO only).
+  static constexpr std::size_t kDispatchBatch = 64;
+
+  // Pops and resumes the front run of same-timestamp events (FIFO) or one
+  // event (LIFO/random); returns events dispatched. Exception-safe: an
+  // un-dispatched batch tail is re-enqueued before the throw propagates.
+  std::size_t dispatch_min_run();
+
   SimTime now_ = 0;
-  mutable std::thread::id owner_;  // default id until the first use binds it
+  mutable const void* owner_key_ = nullptr;  // bound by first use
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   SchedulePolicy policy_ = SchedulePolicy::kFifo;
   std::uint64_t schedule_seed_ = 0;
   std::int64_t active_root_ = -1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Events pop in (when, tie, seq) order — the identical total order the old
+  // binary heap used, held to it by the differential fuzz + golden suites.
+  CalendarQueue queue_;
   std::vector<std::coroutine_handle<TaskPromise<void>>> roots_;
   std::vector<std::string> root_names_;
   std::vector<Resource*> resources_;

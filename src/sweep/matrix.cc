@@ -38,6 +38,10 @@ std::vector<CellResult> run_matrix(const MatrixSpec& spec, int jobs, const CellR
     timing->jobs = effective_jobs(jobs);
     timing->cells = cells.size();
     timing->wall_seconds = stopwatch.seconds();
+    timing->events = 0;
+    for (const CellResult& result : results) {
+      timing->events += result.events;
+    }
   }
   return results;
 }
@@ -100,8 +104,10 @@ std::string render_matrix_json(const MatrixSpec& spec, const std::vector<CellRes
     w.key("timing").begin_object();
     w.key("jobs").value(static_cast<std::int64_t>(timing->jobs));
     w.key("cells").value(static_cast<std::uint64_t>(timing->cells));
+    w.key("events").value(timing->events);
     w.key("wall_seconds").value(timing->wall_seconds);
     w.key("cells_per_second").value(timing->cells_per_second());
+    w.key("events_per_second").value(timing->events_per_second());
     w.end_object();
   }
   w.end_object();

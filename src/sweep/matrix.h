@@ -63,6 +63,9 @@ struct CellResult {
   bool ok = true;
   std::string error;
   std::string bench_json;  // pvm.bench.v1 document; empty when !ok
+  // Simulation events the cell processed (deterministic; also present inside
+  // bench_json). Summed into SweepTiming::events for events/sec reporting.
+  std::uint64_t events = 0;
 };
 
 using CellRunner = std::function<CellResult(const MatrixCell&)>;

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <thread>
@@ -58,10 +59,17 @@ std::vector<R> run_indexed(std::size_t count, int jobs,
 struct SweepTiming {
   int jobs = 1;
   std::size_t cells = 0;
+  std::uint64_t events = 0;  // simulation events processed, summed over cells
   double wall_seconds = 0.0;
 
   double cells_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(cells) / wall_seconds : 0.0;
+  }
+
+  // Wall-clock simulator throughput: the headline number benchdiff gates the
+  // simulator-core overhaul on.
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
   }
 };
 

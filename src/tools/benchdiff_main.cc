@@ -198,22 +198,98 @@ double symmetric_delta(double base, double head) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <head.json> [--threshold-pct P] [--quiet]\n"
+               "          [--metrics m1,m2,...] [--warn-pct P] [--direction both|down|up]\n"
                "  compares two pvm.bench.v1 exports run-by-run, metric-by-metric\n"
                "  --threshold-pct  symmetric relative threshold (default 10.0)\n"
                "  --quiet          print only metrics beyond the threshold\n"
-               "  exits 0 when every metric is within threshold, 1 otherwise\n",
+               "  --metrics        gate only metrics whose name contains one of the\n"
+               "                   given substrings (default: every collected metric)\n"
+               "  --runs           gate only runs whose label contains one of the\n"
+               "                   given substrings (default: every run)\n"
+               "  --warn-pct       deltas beyond this but within --threshold-pct print\n"
+               "                   WARN without failing the gate (default: disabled)\n"
+               "  --direction      which way a change must go to trip the gate:\n"
+               "                   both (default, symmetric), down (head below base\n"
+               "                   fails - throughput metrics), up (head above base\n"
+               "                   fails - latency metrics)\n"
+               "  exits 0 when every gated metric is within threshold, 1 otherwise\n",
                argv0);
   return 2;
+}
+
+enum class Direction { kBoth, kDown, kUp };
+
+// True when the gated direction covers a head-vs-base change of this sign.
+bool direction_gates(Direction direction, double base, double head) {
+  switch (direction) {
+    case Direction::kBoth:
+      return true;
+    case Direction::kDown:
+      return head < base;
+    case Direction::kUp:
+      return head > base;
+  }
+  return true;
+}
+
+bool metric_selected(const std::vector<std::string>& filters, const std::string& name) {
+  if (filters.empty()) {
+    return true;
+  }
+  for (const std::string& filter : filters) {
+    if (name.find(filter) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = (comma == std::string::npos) ? list.size() : comma;
+    if (end > start) {
+      tokens.push_back(list.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return tokens;
 }
 
 int diff_main(int argc, char** argv) {
   std::vector<std::string> paths;
   double threshold_pct = 10.0;
+  double warn_pct = -1.0;  // < 0: warnings disabled
+  Direction direction = Direction::kBoth;
+  std::vector<std::string> metric_filters;
+  std::vector<std::string> run_filters;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold-pct" && i + 1 < argc) {
       threshold_pct = std::atof(argv[++i]);
+    } else if (arg == "--warn-pct" && i + 1 < argc) {
+      warn_pct = std::atof(argv[++i]);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metric_filters = split_csv(argv[++i]);
+    } else if (arg == "--runs" && i + 1 < argc) {
+      run_filters = split_csv(argv[++i]);
+    } else if (arg == "--direction" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "both") {
+        direction = Direction::kBoth;
+      } else if (value == "down") {
+        direction = Direction::kDown;
+      } else if (value == "up") {
+        direction = Direction::kUp;
+      } else {
+        return usage(argv[0]);
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -222,7 +298,7 @@ int diff_main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.size() != 2 || threshold_pct < 0) {
+  if (paths.size() != 2 || threshold_pct < 0 || warn_pct > threshold_pct) {
     return usage(argv[0]);
   }
 
@@ -238,16 +314,36 @@ int diff_main(int argc, char** argv) {
   std::printf("benchdiff: %s vs %s (threshold %.1f%%)\n", paths[0].c_str(),
               paths[1].c_str(), threshold_pct);
   int failures = 0;
+  int warnings = 0;
   int compared = 0;
   for (const RunMetrics& base_run : baseline) {
+    if (!metric_selected(run_filters, base_run.label)) {
+      continue;  // --runs: this run is not gated at all
+    }
+    bool any_selected = false;
+    for (const Metric& metric : base_run.metrics) {
+      if (metric_selected(metric_filters, metric.name)) {
+        any_selected = true;
+        break;
+      }
+    }
     const RunMetrics* head_run = find_run(head, base_run.label);
     if (head_run == nullptr) {
+      // A run with nothing gated may legitimately be absent from head (e.g.
+      // head was produced with --benchmark_filter to cover only the gated
+      // rows); only a run that would have been compared fails by absence.
+      if (!any_selected) {
+        continue;
+      }
       std::printf("  FAIL %s: run missing from head export\n", base_run.label.c_str());
       ++failures;
       continue;
     }
     bool printed_label = false;
     for (const Metric& base_metric : base_run.metrics) {
+      if (!metric_selected(metric_filters, base_metric.name)) {
+        continue;
+      }
       const Metric* head_metric = find_metric(*head_run, base_metric.name);
       ++compared;
       if (head_metric == nullptr) {
@@ -257,18 +353,23 @@ int diff_main(int argc, char** argv) {
         continue;
       }
       const double delta = symmetric_delta(base_metric.value, head_metric->value);
-      const bool fail = delta * 100.0 > threshold_pct;
+      const bool gated = direction_gates(direction, base_metric.value, head_metric->value);
+      const bool fail = gated && delta * 100.0 > threshold_pct;
+      const bool warn = gated && !fail && warn_pct >= 0 && delta * 100.0 > warn_pct;
       if (fail) {
         ++failures;
       }
-      if (fail || !quiet) {
+      if (warn) {
+        ++warnings;
+      }
+      if (fail || warn || !quiet) {
         if (!printed_label) {
           std::printf("  run %s\n", base_run.label.c_str());
           printed_label = true;
         }
         std::printf("    %-4s %-32s %14.3f -> %14.3f  (%+.1f%%)\n",
-                    fail ? "FAIL" : "ok", base_metric.name.c_str(), base_metric.value,
-                    head_metric->value,
+                    fail ? "FAIL" : (warn ? "WARN" : "ok"), base_metric.name.c_str(),
+                    base_metric.value, head_metric->value,
                     (base_metric.value == 0.0 && head_metric->value != 0.0)
                         ? delta * 100.0
                         : (head_metric->value - base_metric.value) /
@@ -284,8 +385,13 @@ int diff_main(int argc, char** argv) {
       std::printf("  note %s: new run, not in baseline\n", head_run.label.c_str());
     }
   }
-  std::printf("benchdiff: %d metric(s) compared, %d beyond threshold\n", compared,
-              failures);
+  if (warnings != 0) {
+    std::printf("benchdiff: %d metric(s) compared, %d beyond threshold, %d warning(s)\n",
+                compared, failures, warnings);
+  } else {
+    std::printf("benchdiff: %d metric(s) compared, %d beyond threshold\n", compared,
+                failures);
+  }
   return failures == 0 ? 0 : 1;
 }
 

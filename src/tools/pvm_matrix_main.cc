@@ -165,6 +165,7 @@ int main(int argc, char** argv) {
     result.ok = outcome.ok;
     result.error = outcome.error;
     result.bench_json = outcome.bench_json;
+    result.events = outcome.events;
     return result;
   };
 
@@ -186,9 +187,10 @@ int main(int argc, char** argv) {
   }
   // Wall clock always goes to stderr (whether or not --timing embedded it):
   // the document stays diffable, the operator still sees throughput.
-  std::fprintf(stderr, "pvm-matrix: %zu cell(s), jobs=%d, wall %.2fs (%.1f cells/s)\n",
+  std::fprintf(stderr,
+               "pvm-matrix: %zu cell(s), jobs=%d, wall %.2fs (%.1f cells/s, %.0f events/s)\n",
                cells.size(), sweep_timing.jobs, sweep_timing.wall_seconds,
-               sweep_timing.cells_per_second());
+               sweep_timing.cells_per_second(), sweep_timing.events_per_second());
 
   std::size_t failed = 0;
   for (const pvm::sweep::CellResult& cell : cells) {

@@ -4,13 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <coroutine>
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <queue>
 
 #include "src/arch/page_table.h"
 #include "src/arch/tlb.h"
 #include "src/hv/vmcs.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/random.h"
 #include "src/sim/resource.h"
 #include "src/guest/io_device.h"
@@ -133,6 +136,145 @@ TEST_P(PageTableFuzz, MatchesOracleUnderOpMix) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PageTableFuzz,
                          ::testing::ValuesIn(sharded_seeds({3, 17, 71, 313, 1409})));
+
+// --- Calendar queue vs binary-heap oracle, all tie policies ---
+//
+// The simulator's total event order is (when, tie, seq) with seq unique, so
+// any correct min-queue must pop the exact same sequence — that is the
+// invariant the byte-identity guarantee of the calendar-queue swap rests on.
+// The oracle here is the std::priority_queue the calendar queue replaced.
+// Both sides consume an identical interleaved push/pop stream under each tie
+// policy's tie-key shape and three adversarial timestamp distributions:
+// dense ties (floods one bucket into heap mode), sparse far-future gaps
+// (exercises day jumps and calendar resizes), and wraparound-scale deltas
+// (drives the day shift toward its clamp).
+
+struct OracleKey {
+  std::uint64_t when;
+  std::uint64_t tie;
+  std::uint64_t seq;
+};
+
+struct OracleLater {
+  bool operator()(const OracleKey& a, const OracleKey& b) const {
+    if (a.when != b.when) {
+      return a.when > b.when;
+    }
+    if (a.tie != b.tie) {
+      return a.tie > b.tie;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+std::uint64_t fuzz_mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+enum class TieShape { kFifo, kRandom, kLifo };
+enum class DeltaShape { kDenseTies, kSparseFarFuture, kWraparound };
+
+void differential_queue_round(std::uint64_t seed, TieShape tie_shape, DeltaShape delta_shape,
+                              int steps) {
+  Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(tie_shape) << 32) ^
+                 (static_cast<std::uint64_t>(delta_shape) << 40));
+  CalendarQueue queue;
+  std::priority_queue<OracleKey, std::vector<OracleKey>, OracleLater> oracle;
+  std::uint64_t now = 0;
+  std::uint64_t seq = 0;
+
+  const auto next_delta = [&]() -> std::uint64_t {
+    switch (delta_shape) {
+      case DeltaShape::kDenseTies:
+        // Mostly zero: hundreds of events land on identical timestamps,
+        // flooding single buckets past the heap-mode threshold.
+        return rng.next_bool(0.75) ? 0 : rng.next_below(3);
+      case DeltaShape::kSparseFarFuture:
+        // Near-term cluster plus far-future outliers: the calendar must jump
+        // over long empty runs and widen its day width.
+        return rng.next_bool(0.6) ? rng.next_below(512)
+                                  : (1ull << 34) + rng.next_below(1ull << 34);
+      case DeltaShape::kWraparound:
+        // Deltas up to 2^50: pushes the day shift toward its clamp while
+        // keeping cumulative time safely below uint64 overflow.
+        return rng.next() & ((1ull << 50) - 1);
+    }
+    return 0;
+  };
+  const auto tie_of = [&](std::uint64_t s) -> std::uint64_t {
+    switch (tie_shape) {
+      case TieShape::kFifo:
+        return s;
+      case TieShape::kLifo:
+        return ~s;
+      case TieShape::kRandom:
+        return fuzz_mix64(seed ^ (s * 0xd1342543de82ef95ull));
+    }
+    return s;
+  };
+  const auto pop_both_and_check = [&]() {
+    ASSERT_FALSE(queue.empty());
+    ASSERT_EQ(queue.min_when(), oracle.top().when);
+    const SimEvent popped = queue.pop();
+    const OracleKey expect = oracle.top();
+    oracle.pop();
+    ASSERT_EQ(popped.when, expect.when) << "seq=" << expect.seq;
+    ASSERT_EQ(popped.tie, expect.tie) << "seq=" << expect.seq;
+    ASSERT_EQ(popped.seq, expect.seq);
+    // Payload integrity: the gap-buffer memmoves must not scramble fields.
+    ASSERT_EQ(popped.root, static_cast<std::int64_t>(popped.seq));
+    now = popped.when;
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    const bool do_push = oracle.empty() || (oracle.size() < 4096 && rng.next_bool(0.55));
+    if (do_push) {
+      const std::uint64_t when = now + next_delta();
+      const std::uint64_t tie = tie_of(seq);
+      queue.push(SimEvent{when, tie, seq, static_cast<std::int64_t>(seq),
+                          std::noop_coroutine()});
+      oracle.push(OracleKey{when, tie, seq});
+      ++seq;
+    } else if (rng.next_bool(0.02)) {
+      // Burst drain: pop a run in one go so compaction and min-bucket
+      // re-location see long pop streaks, not just single pops.
+      const std::size_t burst = std::min<std::size_t>(oracle.size(), 64);
+      for (std::size_t i = 0; i < burst; ++i) {
+        ASSERT_NO_FATAL_FAILURE(pop_both_and_check());
+      }
+    } else {
+      ASSERT_EQ(queue.size(), oracle.size());
+      ASSERT_NO_FATAL_FAILURE(pop_both_and_check());
+    }
+  }
+  // Full drain: the remaining backlog must match one-for-one.
+  while (!oracle.empty()) {
+    ASSERT_NO_FATAL_FAILURE(pop_both_and_check());
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, PopsIdenticallyToBinaryHeapOracle) {
+  const int steps = fuzz_steps(3000);
+  for (const TieShape tie : {TieShape::kFifo, TieShape::kRandom, TieShape::kLifo}) {
+    for (const DeltaShape delta :
+         {DeltaShape::kDenseTies, DeltaShape::kSparseFarFuture, DeltaShape::kWraparound}) {
+      ASSERT_NO_FATAL_FAILURE(differential_queue_round(GetParam(), tie, delta, steps))
+          << "tie=" << static_cast<int>(tie) << " delta=" << static_cast<int>(delta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::ValuesIn(sharded_seeds({11, 137, 4099})));
 
 // --- TLB internal consistency under random ops ---
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -122,6 +123,139 @@ TEST(SimulationTest, RunUntilStopsAtDeadline) {
   sim.run();
   EXPECT_EQ(log.size(), 2u);
   EXPECT_TRUE(sim.all_tasks_done());
+}
+
+// ---- run_until boundary contract ----
+//
+// These tests pin the deadline semantics that were previously implicit in
+// the heap's pop order, so the calendar-queue engine is held to exactly the
+// same contract as the binary heap it replaced:
+//   1. events scheduled *exactly at* the deadline are processed (inclusive),
+//   2. including cascades: an event at the deadline that schedules further
+//      work at the same timestamp runs that work too,
+//   3. events strictly after the deadline stay queued,
+//   4. the clock lands exactly on the deadline even when the queue drains
+//      early or is empty,
+//   5. a deadline in the past is a no-op: no events run, the clock never
+//      moves backwards.
+
+TEST(RunUntilBoundaryTest, EventExactlyAtDeadlineRuns) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 100, log));
+  const std::uint64_t processed = sim.run_until(100);
+  EXPECT_EQ(log, (std::vector<SimTime>{100}));
+  EXPECT_GE(processed, 1u);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(RunUntilBoundaryTest, CascadeAtDeadlineRunsToCompletion) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.spawn([](Simulation& s, std::vector<int>& out) -> Task<void> {
+    co_await s.delay(50);
+    out.push_back(1);
+    co_await s.delay(0);  // re-scheduled at exactly the deadline
+    out.push_back(2);
+    co_await s.delay(0);
+    out.push_back(3);
+  }(sim, log));
+  sim.run_until(50);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(RunUntilBoundaryTest, EventJustAfterDeadlineStaysQueued) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 101, log));
+  sim.run_until(100);
+  EXPECT_EQ(log, (std::vector<SimTime>{100}));
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.pending_task_count(), 1u);
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 101}));
+}
+
+TEST(RunUntilBoundaryTest, DeadlineCascadeSpillsPastDeadlineStaysQueued) {
+  // An event at the deadline that schedules work *after* the deadline: the
+  // at-deadline part runs, the spill stays queued, and the clock does not
+  // advance past the deadline.
+  Simulation sim;
+  std::vector<int> log;
+  sim.spawn([](Simulation& s, std::vector<int>& out) -> Task<void> {
+    co_await s.delay(70);
+    out.push_back(1);
+    co_await s.delay(1);  // 71 > deadline 70
+    out.push_back(2);
+  }(sim, log));
+  sim.run_until(70);
+  EXPECT_EQ(log, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), 70u);
+  EXPECT_FALSE(sim.all_tasks_done());
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 71u);
+}
+
+TEST(RunUntilBoundaryTest, ClockLandsOnDeadlineWhenQueueDrainsEarly) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 10, log));
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+  EXPECT_TRUE(sim.all_tasks_done());
+}
+
+TEST(RunUntilBoundaryTest, ClockLandsOnDeadlineWithEmptyQueue) {
+  Simulation sim;
+  EXPECT_EQ(sim.run_until(250), 0u);
+  EXPECT_EQ(sim.now(), 250u);
+}
+
+TEST(RunUntilBoundaryTest, PastDeadlineIsNoOpAndClockNeverMovesBackwards) {
+  Simulation sim;
+  std::vector<SimTime> log;
+  sim.spawn(delay_then_record(sim, 100, log));
+  sim.spawn(delay_then_record(sim, 300, log));
+  sim.run_until(200);
+  EXPECT_EQ(sim.now(), 200u);
+  // Deadline earlier than now(): nothing runs, the clock stays put.
+  EXPECT_EQ(sim.run_until(50), 0u);
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_EQ(log, (std::vector<SimTime>{100}));
+  // Re-running at the *same* deadline is also a no-op.
+  EXPECT_EQ(sim.run_until(200), 0u);
+  EXPECT_EQ(sim.now(), 200u);
+  sim.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{100, 300}));
+}
+
+TEST(RunUntilBoundaryTest, SameContractUnderEveryTieBreakPolicy) {
+  // The inclusive-deadline rule is policy-independent: all three tie-break
+  // policies process exactly the at-deadline set, in their own order.
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFifo, SchedulePolicy::kRandom, SchedulePolicy::kLifo}) {
+    Simulation sim;
+    sim.set_schedule_policy(policy, 7);
+    std::vector<int> ran;
+    auto make = [&](int id) -> Task<void> {
+      co_await sim.delay(40);
+      ran.push_back(id);
+    };
+    sim.spawn(make(1));
+    sim.spawn(make(2));
+    sim.spawn(make(3));
+    sim.run_until(40);
+    std::vector<int> sorted = ran;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3})) << schedule_policy_name(policy);
+    EXPECT_EQ(sim.now(), 40u);
+    EXPECT_TRUE(sim.all_tasks_done());
+  }
 }
 
 TEST(SimulationTest, ExceptionInRootTaskPropagates) {
