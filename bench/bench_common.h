@@ -25,6 +25,7 @@
 #include "src/obs/metrics_json.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/span.h"
+#include "src/obs/ts.h"
 #include "src/workloads/runner.h"
 
 namespace pvm {
@@ -88,6 +89,18 @@ inline void print_header(const char* experiment, const char* paper_ref, const ch
 //                    slab live/high-water accounting, shadow-engine node
 //                    slabs) to each exported run; off by default so the
 //                    default --json output stays byte-identical
+//   --timeseries <path>  export a pvm.timeseries.v1 document: windowed
+//                    counters/gauges and mergeable latency histograms on
+//                    the virtual clock, one metric namespace per recorded
+//                    run ("<label>/<metric>"). Render with pvm-top.
+//   --ts-window <ns> tumbling-window width in virtual ns (default 1ms)
+//   --slo <spec>     evaluate an SLO against the timeseries export
+//                    ("<name>:<metric>:<quantile><=<threshold>[:window]",
+//                    e.g. "boot:boot_latency_ns:p99<=15ms"); repeatable.
+//                    Verdicts embed in the document; gate with
+//                    `benchdiff --slo-check`.
+//   --flight-capacity <n>  per-track flight-recorder ring capacity on every
+//                    observed platform (default 256)
 //
 // With none of the flags given, observe()/record_run() are no-ops and no
 // span recorder is attached to any platform, so simulations run exactly as
@@ -108,6 +121,21 @@ class BenchIo {
         fault_plan_ = argv[++i];
       } else if (arg == "--alloc-stats") {
         alloc_stats_ = true;
+      } else if (arg == "--timeseries" && i + 1 < argc) {
+        timeseries_path_ = argv[++i];
+      } else if (arg == "--ts-window" && i + 1 < argc) {
+        ts_window_ns_ = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--slo" && i + 1 < argc) {
+        ts::SloSpec spec;
+        std::string error;
+        if (!ts::parse_slo_spec(argv[++i], &spec, &error)) {
+          std::fprintf(stderr, "[bench] bad --slo spec '%s': %s\n", argv[i],
+                       error.c_str());
+          std::exit(2);
+        }
+        slo_specs_.push_back(std::move(spec));
+      } else if (arg == "--flight-capacity" && i + 1 < argc) {
+        flight_capacity_ = std::strtoull(argv[++i], nullptr, 10);
       }
     }
     instance_slot() = this;
@@ -131,7 +159,10 @@ class BenchIo {
     return *instance_slot();
   }
 
-  bool active() const { return !json_path_.empty() || !trace_path_.empty() || report_; }
+  bool active() const {
+    return !json_path_.empty() || !trace_path_.empty() || report_ ||
+           !timeseries_path_.empty();
+  }
 
   // A bench that models faults by default (fig12's boot storm) declares its
   // plan here; an explicit --faults (including "none") wins.
@@ -167,9 +198,23 @@ class BenchIo {
     recorder->set_enabled(true);
     sim.set_spans(recorder);
     by_sim_[&sim] = recorder;
+    if (!timeseries_path_.empty()) {
+      collectors_.push_back(std::make_unique<ts::Collector>());
+      ts::Collector* collector = collectors_.back().get();
+      if (ts_window_ns_ != 0) {
+        collector->set_window(ts_window_ns_);
+      }
+      sim.set_ts(collector);
+      collector_by_sim_[&sim] = collector;
+    }
   }
 
   void observe(VirtualPlatform& platform) {
+    // Ring capacity is orthogonal to the export flags: it reshapes the
+    // always-on recorder, so apply it before the active() early-out.
+    if (flight_capacity_ != 0) {
+      platform.flight().set_capacity(flight_capacity_);
+    }
     observe(platform.sim());
     if (active()) {
       // Remembered so runs recorded through the sim-level hooks can still
@@ -225,6 +270,19 @@ class BenchIo {
     if (!trace_path_.empty()) {
       std::printf("[bench] wrote Chrome trace to %s\n", trace_path_.c_str());
     }
+    if (!timeseries_path_.empty()) {
+      ts::evaluate_slos(&ts_doc_, slo_specs_);
+      write_file(timeseries_path_, ts::render_timeseries_json(ts_doc_));
+      std::size_t failed = 0;
+      for (const ts::SloResult& slo : ts_doc_.slos) {
+        if (!slo.pass) {
+          ++failed;
+        }
+      }
+      std::printf("[bench] wrote timeseries (%zu series, %zu hists, %zu SLO(s), %zu failed) to %s\n",
+                  ts_doc_.series.size(), ts_doc_.hists.size(), ts_doc_.slos.size(),
+                  failed, timeseries_path_.c_str());
+    }
   }
 
  private:
@@ -253,6 +311,18 @@ class BenchIo {
     }
     export_.add_run(label, sim, counters, recorder, std::move(values),
                     std::move(alloc_json));
+    if (const auto ts_it = collector_by_sim_.find(&sim);
+        ts_it != collector_by_sim_.end()) {
+      // Namespace this run's metrics under its label and fold them into the
+      // document, leaving the collector empty for the sim's next run.
+      std::string merge_error;
+      if (!ts::merge_timeseries(
+              &ts_doc_, ts::prefix_timeseries(ts_it->second->drain(), label + "/"),
+              &merge_error)) {
+        std::fprintf(stderr, "[bench] timeseries merge failed: %s\n",
+                     merge_error.c_str());
+      }
+    }
     if (!trace_path_.empty() && recorder != nullptr) {
       // Written per run while the simulation is alive; the last run wins.
       // The flight overlay marks injected faults / watchdog / OOM events.
@@ -283,12 +353,19 @@ class BenchIo {
   std::string json_path_;
   std::string trace_path_;
   std::string fault_plan_;
+  std::string timeseries_path_;
+  std::uint64_t ts_window_ns_ = 0;
+  std::uint64_t flight_capacity_ = 0;
+  std::vector<ts::SloSpec> slo_specs_;
+  ts::TsDoc ts_doc_;
   bool report_ = false;
   bool alloc_stats_ = false;
   bool finished_ = false;
   std::vector<std::unique_ptr<obs::SpanRecorder>> recorders_;
   std::map<const Simulation*, obs::SpanRecorder*> by_sim_;
   std::map<const Simulation*, VirtualPlatform*> platform_by_sim_;
+  std::vector<std::unique_ptr<ts::Collector>> collectors_;
+  std::map<const Simulation*, ts::Collector*> collector_by_sim_;
   std::vector<std::unique_ptr<fault::FaultInjector>> injectors_;
 };
 

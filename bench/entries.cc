@@ -9,6 +9,7 @@
 #include "src/fault/fault.h"
 #include "src/hv/host_hypervisor.h"
 #include "src/obs/metrics_json.h"
+#include "src/obs/ts.h"
 #include "src/workloads/lmbench.h"
 #include "src/workloads/memstress.h"
 #include "src/workloads/runner.h"
@@ -197,6 +198,10 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
   // it outlives any platform armed through them.
   obs::BenchExport cell_export("pvm-matrix/" + workload);
   fault::FaultInjector injector;
+  ts::Collector collector;
+  if (cell.timeseries && cell.ts_window_ns != 0) {
+    collector.set_window(cell.ts_window_ns);
+  }
   const bool want_faults = !cell.fault_plan.empty() && cell.fault_plan != "none";
 
   EntryHooks hooks;
@@ -208,10 +213,16 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
     outcome.events += sim.events_processed();
     cell_export.add_run(label, sim, counters, /*recorder=*/nullptr, std::move(values));
   };
-  hooks.on_sim = [&cell](Simulation& sim) {
+  hooks.on_sim = [&cell, &collector](Simulation& sim) {
     sim.set_schedule_policy(cell.policy, cell.schedule_seed);
+    if (cell.timeseries) {
+      sim.set_ts(&collector);
+    }
   };
   hooks.on_platform = [&](VirtualPlatform& platform) {
+    if (cell.timeseries) {
+      platform.sim().set_ts(&collector);
+    }
     if (want_faults) {
       injector.arm(fault::FaultPlan::parse(cell.fault_plan));
       platform.arm_faults(&injector);
@@ -247,6 +258,11 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
   }
   outcome.ok = true;
   outcome.bench_json = cell_export.to_json();
+  if (cell.timeseries) {
+    outcome.ts_json = ts::render_timeseries_json(ts::prefix_timeseries(
+        collector.drain(),
+        std::string(deploy_mode_token(cell.mode)) + "/" + workload + "/"));
+  }
   return outcome;
 }
 

@@ -76,12 +76,19 @@ struct CellConfig {
   SchedulePolicy policy = SchedulePolicy::kFifo;
   std::uint64_t schedule_seed = 1;
   std::string fault_plan = "none";  // fault::FaultPlan::parse spec, or "none"
+  // Collect a pvm.timeseries.v1 document for the cell. Metric names are
+  // prefixed "<mode>/<workload>/" — deliberately without the seed/policy
+  // coordinates, so documents from different seeds of the same (mode,
+  // workload) aggregate when merged.
+  bool timeseries = false;
+  std::uint64_t ts_window_ns = 0;  // 0: ts::kDefaultWindowNs
 };
 
 struct CellOutcome {
   bool ok = false;
   std::string error;       // set when !ok (exception text)
   std::string bench_json;  // pvm.bench.v1 document for this cell when ok
+  std::string ts_json;     // pvm.timeseries.v1 document (CellConfig::timeseries)
   // Simulation events processed across the cell's recorded runs — the sweep
   // engine's throughput denominator (events/sec in pvm-matrix --timing).
   std::uint64_t events = 0;

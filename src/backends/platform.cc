@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/obs/span.h"
+#include "src/obs/ts.h"
 
 #include "src/backends/ept_memory_backend.h"
 #include "src/backends/ept_on_ept_memory_backend.h"
@@ -40,6 +41,10 @@ Task<void> SecureContainer::boot(int init_pages) {
     // container never starts.
     boot_failed_ = true;
     boot_latency_ = sim_->now() - start;
+    if (ts::Collector* ts = sim_->ts()) {
+      ts->count("boot_failures");
+      ts->observe("boot_latency_ns", boot_latency_);
+    }
     co_return;
   }
   // Pull the container image / rootfs metadata: one I/O burst.
@@ -48,6 +53,10 @@ Task<void> SecureContainer::boot(int init_pages) {
     boot_failed_ = true;
   }
   boot_latency_ = sim_->now() - start;
+  if (ts::Collector* ts = sim_->ts()) {
+    ts->count(boot_failed_ ? "boot_failures" : "boot_completions");
+    ts->observe("boot_latency_ns", boot_latency_);
+  }
 }
 
 VirtualPlatform::VirtualPlatform(const PlatformConfig& config)

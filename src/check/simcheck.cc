@@ -58,6 +58,11 @@ std::string simcheck_reproduce_line(const SimcheckCase& c) {
   line << "simcheck --modes " << simcheck_mode_token(c.mode) << " --policies "
        << schedule_policy_name(c.policy) << " --seeds 1 --first-seed " << c.schedule_seed
        << (c.chaos ? "" : " --no-chaos") << (c.faults ? "" : " --no-faults");
+  if (c.flight_capacity != 0) {
+    // Only when overridden: the default spelling stays stable for the
+    // golden reproduce-line checks.
+    line << " --flight-capacity " << c.flight_capacity;
+  }
   return line.str();
 }
 
@@ -96,6 +101,10 @@ SimcheckResult run_simcheck_case(const SimcheckCase& c) {
     config.coherence_oracle = true;
 
     platform = std::make_unique<VirtualPlatform>(config);
+    if (c.flight_capacity != 0) {
+      // Before any track records: capacity binds at a track's first event.
+      platform->flight().set_capacity(c.flight_capacity);
+    }
     if (c.faults) {
       injector.arm(faultstorm_plan(c.fault_seed));
       platform->arm_faults(&injector);
@@ -240,6 +249,7 @@ SimcheckCase sweep_case(const SweepOptions& options, DeployMode mode, SchedulePo
   c.fault_seed = seed + 23;
   c.processes = options.processes;
   c.memstress_bytes = options.memstress_bytes;
+  c.flight_capacity = options.flight_capacity;
   c.debug_corrupt_from_seed = options.debug_corrupt_from_seed;
   return c;
 }

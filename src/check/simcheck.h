@@ -59,6 +59,12 @@ struct SimcheckCase {
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;  // per process
 
+  // Flight-recorder ring capacity per track; 0 keeps the recorder's default
+  // (256). Larger rings trade memory for longer postmortem timelines on
+  // failure — capacity binds at a track's first event, so it must be set
+  // before the case runs, not when it dies.
+  std::uint64_t flight_capacity = 0;
+
   // Test hook (sweep determinism tests): when nonzero and schedule_seed >=
   // this value, one shadow leaf is corrupted at the final quiescent point so
   // the oracle deterministically reports a violation. Lets tests prove that
@@ -101,6 +107,7 @@ struct SweepOptions {
   bool faults = true;
   int processes = 3;
   std::uint64_t memstress_bytes = 1ull << 20;
+  std::uint64_t flight_capacity = 0;  // per-track ring size; 0 = default
   bool verbose = false;
 
   // Worker threads for the sweep (pvm::sweep engine); 0 means one per

@@ -32,6 +32,9 @@ void usage(std::ostream& out) {
          "                        0 = one per hardware thread). Output is\n"
          "                        byte-identical to --jobs 1; timing goes to\n"
          "                        stderr so reports stay diffable\n"
+         "  --flight-capacity N   flight-recorder ring size per track for each\n"
+         "                        case (default: recorder default, 256); larger\n"
+         "                        rings give longer postmortem timelines\n"
          "  --no-chaos            disable fault-injection agents\n"
          "  --no-faults           disable the faultstorm fault plans\n"
          "  --postmortem-dir D    write failing cases' flight-recorder dumps\n"
@@ -113,6 +116,8 @@ int main(int argc, char** argv) {
       options.processes = std::atoi(next_value(i).c_str());
     } else if (arg == "--bytes") {
       options.memstress_bytes = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--flight-capacity") {
+      options.flight_capacity = std::strtoull(next_value(i).c_str(), nullptr, 10);
     } else if (arg == "--jobs") {
       options.jobs = std::atoi(next_value(i).c_str());
       if (options.jobs < 0) {

@@ -8,6 +8,7 @@
 #include "src/fault/fault.h"
 #include "src/obs/flight.h"
 #include "src/obs/span.h"
+#include "src/obs/ts.h"
 
 namespace pvm {
 
@@ -36,14 +37,26 @@ void PvmMemoryEngine::create_process(std::uint64_t pid, const PageTable* guest_p
   shadows_[pid] = std::move(shadow);
 }
 
+void PvmMemoryEngine::note_leaves(std::int64_t delta) {
+  if (delta == 0) {
+    return;
+  }
+  if (ts::Collector* ts = sim_->ts()) {
+    ts->gauge_add("live_shadow_leaves", delta);
+  }
+}
+
 void PvmMemoryEngine::erase_process_rmap_state(std::uint64_t pid) {
+  std::int64_t erased = 0;
   for (auto it = leaf_gfn_.begin(); it != leaf_gfn_.end();) {
     if (std::get<0>(it->first) == pid) {
       it = leaf_gfn_.erase(it);
+      ++erased;
     } else {
       ++it;
     }
   }
+  note_leaves(-erased);
   for (auto& [gfn, entries] : rmap_) {
     entries.erase_if([pid](const RmapEntry& e) { return e.pid == pid; }, rmap_slab_);
   }
@@ -197,11 +210,13 @@ std::optional<std::uint64_t> PvmMemoryEngine::reclaim_backing_frame(std::uint64_
 
   std::vector<std::uint64_t> recovered;
   std::uint64_t leaves_zapped = 0;
+  std::int64_t leaves_erased = 0;
   const auto evict = [&](std::uint64_t gfn, std::uint64_t frame) {
     if (const auto rit = rmap_.find(gfn); rit != rmap_.end()) {
       for (const RmapEntry& entry : rit->second) {
         spt(entry.pid, entry.kernel_ring).unmap(entry.gva);
-        leaf_gfn_.erase(LeafKey{entry.pid, entry.kernel_ring, entry.gva});
+        leaves_erased += static_cast<std::int64_t>(
+            leaf_gfn_.erase(LeafKey{entry.pid, entry.kernel_ring, entry.gva}));
         ++leaves_zapped;
       }
       rit->second.clear(rmap_slab_);
@@ -222,6 +237,7 @@ std::optional<std::uint64_t> PvmMemoryEngine::reclaim_backing_frame(std::uint64_
     }
     evict(gfn, frame);
   }
+  note_leaves(-leaves_erased);
   if (recovered.empty()) {
     return std::nullopt;
   }
@@ -339,6 +355,7 @@ Task<bool> PvmMemoryEngine::fill_spt(std::uint64_t pid, std::uint64_t gva, bool 
     if (bp == leaf_gfn_.end()) {
       fresh = true;
       leaf_gfn_.emplace(key, gfn);
+      note_leaves(+1);
       rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva},
                                                      rmap_slab_);
     }
@@ -470,6 +487,7 @@ Task<void> PvmMemoryEngine::zap_one_ring(std::uint64_t pid, std::uint64_t gva, b
       rit->second.erase(RmapEntry{pid, kernel_ring, gva}, rmap_slab_);
     }
     leaf_gfn_.erase(post);
+    note_leaves(-1);
     if (flight::FlightRecorder* flight = sim_->flight()) {
       flight->record(flight::EventKind::kZap, gva, pid);
     }

@@ -390,6 +390,11 @@ class PvmMemoryEngine {
   // teardown / process destruction; caller holds the structural lock).
   void erase_process_rmap_state(std::uint64_t pid);
 
+  // Feeds the live-shadow-leaves gauge when a time-series collector is
+  // attached; every leaf_gfn_ mutation reports its delta through here so the
+  // gauge tracks the backpointer map exactly.
+  void note_leaves(std::int64_t delta);
+
   // The synchronous reclaim sweep behind translate_or_allocate_gpa_checked.
   // Runs without suspending, so it is atomic w.r.t. every other task: the
   // only in-flight state it must respect is a fill/zap suspended while

@@ -21,6 +21,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/ts.h"
+
 namespace pvm {
 
 class Simulation;
@@ -119,10 +121,21 @@ class FlightRecorder {
   void set_capacity(std::size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
   std::size_t capacity() const { return capacity_; }
 
+  // Attaches (or detaches, with nullptr) a time-series collector. Every
+  // recorded event is forwarded before ring storage, so the collector sees
+  // the full stream regardless of ring wraparound. Normally wired through
+  // Simulation::set_ts rather than called directly.
+  void set_ts(ts::Collector* collector) { ts_ = collector; }
+  ts::Collector* ts() const { return ts_; }
+
   void record(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
               std::uint8_t code = 0) {
     if (!enabled_ || now_ == nullptr) {
       return;
+    }
+    if (ts_ != nullptr) {
+      ts_->on_flight_event(*now_, active_root_ != nullptr ? *active_root_ : -1,
+                           static_cast<std::uint8_t>(kind), a, b, code);
     }
     Event ev;
     ev.t = *now_;
@@ -192,6 +205,7 @@ class FlightRecorder {
  private:
   const std::uint64_t* now_ = nullptr;
   const std::int64_t* active_root_ = nullptr;
+  ts::Collector* ts_ = nullptr;
   bool enabled_ = true;
   std::size_t capacity_ = kDefaultCapacity;
   std::uint64_t next_seq_ = 0;

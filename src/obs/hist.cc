@@ -1,0 +1,112 @@
+#include "src/obs/hist.h"
+
+#include <bit>
+#include <cmath>
+
+namespace pvm::ts {
+
+namespace {
+
+constexpr std::uint64_t kSub = 1ull << MergeableHistogram::kSubBits;
+
+}  // namespace
+
+std::uint32_t MergeableHistogram::bucket_index(std::uint64_t v) {
+  if (v < kSub) {
+    return static_cast<std::uint32_t>(v);
+  }
+  // v in [2^e, 2^(e+1)): keep the top kSubBits+1 bits; the leading bit is
+  // implicit in the exponent, the rest select the sub-bucket.
+  const unsigned e = std::bit_width(v) - 1;
+  const unsigned shift = e - kSubBits;
+  return static_cast<std::uint32_t>(((e - kSubBits) << kSubBits) +
+                                    (v >> shift));
+}
+
+std::uint64_t MergeableHistogram::bucket_lower_bound(std::uint32_t index) {
+  if (index < kSub) {
+    return index;
+  }
+  const unsigned shift = index >> kSubBits;
+  // Reconstruct the top bits: implicit leading one plus sub-bucket offset.
+  const std::uint64_t top = kSub + (index & (kSub - 1));
+  return top << (shift - 1);
+}
+
+std::uint64_t MergeableHistogram::bucket_upper_bound(std::uint32_t index) {
+  if (index < kSub) {
+    return index;
+  }
+  const unsigned shift = index >> kSubBits;
+  const std::uint64_t top = kSub + (index & (kSub - 1));
+  return ((top + 1) << (shift - 1)) - 1;
+}
+
+void MergeableHistogram::record(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  buckets_[bucket_index(value)] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void MergeableHistogram::merge(const MergeableHistogram& other) {
+  for (const auto& [index, n] : other.buckets_) {
+    buckets_[index] += n;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+std::uint64_t MergeableHistogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0.0) {
+    return min();
+  }
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper_bound(index);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+MergeableHistogram MergeableHistogram::from_parts(
+    std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+    std::uint64_t max, std::map<std::uint32_t, std::uint64_t> buckets) {
+  MergeableHistogram h;
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = count == 0 ? std::numeric_limits<std::uint64_t>::max() : min;
+  h.max_ = max;
+  return h;
+}
+
+}  // namespace pvm::ts

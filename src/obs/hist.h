@@ -1,0 +1,73 @@
+// Mergeable log-bucketed latency histogram (HDR-style).
+//
+// Values land in fixed, data-independent buckets: exact below 2^kSubBits,
+// then 2^kSubBits sub-buckets per power of two. Fixed boundaries make
+// merge() element-wise addition — associative, commutative, and
+// byte-reproducible — so sharded sweeps can aggregate per-shard histograms
+// and get exactly the histogram a single-stream run would have produced.
+// No samples are stored; memory is O(buckets touched), and quantile() is
+// exact to one bucket width (relative error <= 2^-kSubBits = 12.5%).
+
+#ifndef PVM_SRC_OBS_HIST_H_
+#define PVM_SRC_OBS_HIST_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace pvm::ts {
+
+class MergeableHistogram {
+ public:
+  // Sub-bucket resolution: each power-of-two range splits into 2^kSubBits
+  // buckets, bounding quantile error to one part in 2^kSubBits.
+  static constexpr unsigned kSubBits = 3;
+
+  // Bucket index for value `v`. Total order preserving: v <= w implies
+  // bucket_index(v) <= bucket_index(w).
+  static std::uint32_t bucket_index(std::uint64_t v);
+
+  // Smallest / largest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower_bound(std::uint32_t index);
+  static std::uint64_t bucket_upper_bound(std::uint32_t index);
+
+  void record(std::uint64_t value, std::uint64_t weight = 1);
+
+  // Element-wise bucket addition plus count/sum/min/max combination.
+  void merge(const MergeableHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Value at quantile q in [0, 1]: upper bound of the bucket holding the
+  // rank-ceil(q*count) sample, clamped to the observed max so point
+  // distributions and q=1 report exactly. Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+
+  // Sparse (bucket index -> count) map, ascending by index.
+  const std::map<std::uint32_t, std::uint64_t>& buckets() const { return buckets_; }
+
+  bool empty() const { return count_ == 0; }
+
+  // Rebuilds a histogram from serialized parts (JSON import). min/max are
+  // carried explicitly because bucket bounds only bracket them.
+  static MergeableHistogram from_parts(std::uint64_t count, std::uint64_t sum,
+                                       std::uint64_t min, std::uint64_t max,
+                                       std::map<std::uint32_t, std::uint64_t> buckets);
+
+  bool operator==(const MergeableHistogram&) const = default;
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pvm::ts
+
+#endif  // PVM_SRC_OBS_HIST_H_

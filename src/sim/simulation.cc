@@ -6,6 +6,7 @@
 #include "src/fault/fault.h"
 #include "src/obs/flight.h"
 #include "src/obs/span.h"
+#include "src/obs/ts.h"
 #include "src/sim/resource.h"
 
 namespace pvm {
@@ -58,6 +59,18 @@ void Simulation::set_flight(flight::FlightRecorder* flight) {
   flight_ = flight;
   if (flight_ != nullptr) {
     flight_->bind(&now_, &active_root_);
+    flight_->set_ts(ts_);
+  }
+}
+
+void Simulation::set_ts(ts::Collector* collector) {
+  ts_ = collector;
+  if (ts_ != nullptr) {
+    ts_->bind(&now_);
+  }
+  // Wire the flight-event bridge regardless of attachment order.
+  if (flight_ != nullptr) {
+    flight_->set_ts(ts_);
   }
 }
 

@@ -38,6 +38,10 @@ namespace flight {
 class FlightRecorder;
 }  // namespace flight
 
+namespace ts {
+class Collector;
+}  // namespace ts
+
 // Virtual time in nanoseconds since simulation start.
 using SimTime = std::uint64_t;
 
@@ -141,6 +145,16 @@ class Simulation {
   // construction. Same lifetime contract as set_spans.
   void set_flight(flight::FlightRecorder* flight);
   flight::FlightRecorder* flight() const { return flight_; }
+
+  // Attaches (or detaches, with nullptr) a time-series collector, binding it
+  // to this simulation's virtual clock. If a flight recorder is attached
+  // (in either order), its event stream is forwarded into the collector, so
+  // every instrumented flight site feeds the time-series for free; direct
+  // sites (boot latency, shadow-page gauge) reach it via ts(). Same lifetime
+  // contract as set_spans; off by default — benches attach one only when
+  // --timeseries is requested, so default runs stay byte-identical.
+  void set_ts(ts::Collector* collector);
+  ts::Collector* ts() const { return ts_; }
 
   // Records a recovery-escalation diagnostic (e.g. from the watchdog);
   // appended to blocked_report() so a post-mortem shows what the recovery
@@ -272,6 +286,7 @@ class Simulation {
   obs::SpanRecorder* spans_ = nullptr;
   fault::FaultInjector* faults_ = nullptr;
   flight::FlightRecorder* flight_ = nullptr;
+  ts::Collector* ts_ = nullptr;
 };
 
 }  // namespace pvm

@@ -63,6 +63,11 @@ struct CellResult {
   bool ok = true;
   std::string error;
   std::string bench_json;  // pvm.bench.v1 document; empty when !ok
+  // Optional pvm.timeseries.v1 document for the cell (pvm-matrix
+  // --timeseries). Not part of the matrix document: the driver merges the
+  // cell documents in index order into one export, so the merged output is
+  // byte-identical between --jobs 1 and --jobs N.
+  std::string ts_json;
   // Simulation events the cell processed (deterministic; also present inside
   // bench_json). Summed into SweepTiming::events for events/sec reporting.
   std::uint64_t events = 0;

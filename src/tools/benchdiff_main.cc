@@ -1,5 +1,6 @@
-// benchdiff — compare two pvm.bench.v1 (or pvm.matrix.v1) exports and gate
-// on regressions.
+// benchdiff — compare two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1
+// exports and gate on regressions, or gate directly on a timeseries export's
+// embedded SLO verdicts (--slo-check).
 //
 // Matches runs by label and compares every gated metric (the run's headline
 // `values`, the `derived` ratios, the always-present `recovery` outcome
@@ -12,8 +13,16 @@
 // The exported quantities are virtual-clock values, deterministic per build,
 // so the threshold guards against modelling drift, not machine noise.
 //
-// Exit codes: 0 all metrics within threshold, 1 at least one beyond it (or a
-// baseline run/metric missing from head), 2 usage or parse error.
+// A metric that is zero in the baseline but nonzero in head has no defined
+// percent change; it is skipped with a note instead of gating on inf/nan.
+// Timeseries exports flatten to series/<name> totals, hist/<name> quantiles
+// and slo/<name> verdicts, so a checked-in timeseries baseline gates the
+// same way a bench export does.
+//
+// Exit codes: 0 all metrics within threshold (or all SLOs pass), 1 at least
+// one beyond it (or a baseline run/metric missing from head, or an SLO
+// failed), 2 usage or parse error — including, for --slo-check, a document
+// with zero SLO results, so a typo'd spec cannot silently pass CI.
 
 #include <cmath>
 #include <cstdint>
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "src/obs/json_parse.h"
+#include "src/obs/ts.h"
 
 namespace pvm {
 namespace {
@@ -139,6 +149,50 @@ bool collect_matrix_cells(const obs::JsonValue& doc, const std::string& path,
   return true;
 }
 
+// Flattens a pvm.timeseries.v1 document into comparable runs: one
+// "series/<name>" run per counter/gauge (its run total / final level), one
+// "hist/<name>" run per latency sketch (count + quantiles from the
+// cumulative histogram), one "slo/<name>" run per evaluated SLO (pass flag
+// and measured value). The per-window detail is deliberately not gated —
+// window counts shift with any model change and would make every diff
+// all-noise; the totals and quantiles are the stable contract.
+bool collect_timeseries(const std::string& text, const std::string& path,
+                        std::vector<RunMetrics>* out, std::string* error) {
+  ts::TsDoc doc;
+  if (!ts::parse_timeseries_json(text, &doc, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  for (const auto& [name, series] : doc.series) {
+    RunMetrics rm;
+    rm.label = "series/" + name;
+    rm.metrics.push_back({"total", static_cast<double>(series.total)});
+    out->push_back(std::move(rm));
+  }
+  for (const auto& [name, hist] : doc.hists) {
+    const ts::MergeableHistogram h = hist.cumulative();
+    if (h.count() == 0) {
+      continue;
+    }
+    RunMetrics rm;
+    rm.label = "hist/" + name;
+    rm.metrics.push_back({"count", static_cast<double>(h.count())});
+    rm.metrics.push_back({"p50", static_cast<double>(h.quantile(0.50))});
+    rm.metrics.push_back({"p99", static_cast<double>(h.quantile(0.99))});
+    rm.metrics.push_back({"p999", static_cast<double>(h.quantile(0.999))});
+    rm.metrics.push_back({"max", static_cast<double>(h.max())});
+    out->push_back(std::move(rm));
+  }
+  for (const ts::SloResult& slo : doc.slos) {
+    RunMetrics rm;
+    rm.label = "slo/" + slo.name;
+    rm.metrics.push_back({"pass", slo.pass ? 1.0 : 0.0});
+    rm.metrics.push_back({"value_ns", static_cast<double>(slo.value)});
+    out->push_back(std::move(rm));
+  }
+  return true;
+}
+
 bool load_export(const std::string& path, std::vector<RunMetrics>* out,
                  std::string* error) {
   std::string text;
@@ -162,8 +216,49 @@ bool load_export(const std::string& path, std::vector<RunMetrics>* out,
   if (schema->string == "pvm.matrix.v1") {
     return collect_matrix_cells(doc, path, out, error);
   }
-  *error = path + ": not a pvm.bench.v1 or pvm.matrix.v1 export";
+  if (schema->string == ts::kTimeseriesSchemaVersion) {
+    return collect_timeseries(text, path, out, error);
+  }
+  *error = path + ": not a pvm.bench.v1, pvm.matrix.v1 or pvm.timeseries.v1 export";
   return false;
+}
+
+// --slo-check: gate directly on the SLO verdicts a bench/matrix run already
+// evaluated into its timeseries export. Zero SLOs is a usage error (exit 2),
+// not a pass — otherwise a misspelled --slo spec upstream would turn the CI
+// gate into a no-op.
+int slo_check_main(const std::string& path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "benchdiff: %s: cannot read\n", path.c_str());
+    return 2;
+  }
+  ts::TsDoc doc;
+  std::string error;
+  if (!ts::parse_timeseries_json(text, &doc, &error)) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  if (doc.slos.empty()) {
+    std::fprintf(stderr,
+                 "benchdiff: %s: no SLO results in document (was the producing run "
+                 "given any --slo specs?)\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("benchdiff: SLO check %s (%zu SLO(s))\n", path.c_str(), doc.slos.size());
+  int failures = 0;
+  for (const ts::SloResult& slo : doc.slos) {
+    if (!slo.pass) {
+      ++failures;
+    }
+    std::printf("  %-4s %-24s %s %s=%lld <= %lld ns (%s)\n", slo.pass ? "PASS" : "FAIL",
+                slo.name.c_str(), slo.metric.c_str(), slo.quantile.c_str(),
+                static_cast<long long>(slo.value), static_cast<long long>(slo.threshold_ns),
+                slo.scope.c_str());
+  }
+  std::printf("benchdiff: %zu SLO(s), %d failed\n", doc.slos.size(), failures);
+  return failures == 0 ? 0 : 1;
 }
 
 const RunMetrics* find_run(const std::vector<RunMetrics>& runs, const std::string& label) {
@@ -199,7 +294,12 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <head.json> [--threshold-pct P] [--quiet]\n"
                "          [--metrics m1,m2,...] [--warn-pct P] [--direction both|down|up]\n"
-               "  compares two pvm.bench.v1 exports run-by-run, metric-by-metric\n"
+               "       %s --slo-check <timeseries.json>\n"
+               "  compares two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1\n"
+               "  exports run-by-run, metric-by-metric\n"
+               "  --slo-check      gate on the SLO verdicts embedded in a\n"
+               "                   pvm.timeseries.v1 export: exit 1 if any failed,\n"
+               "                   exit 2 if the document has none\n"
                "  --threshold-pct  symmetric relative threshold (default 10.0)\n"
                "  --quiet          print only metrics beyond the threshold\n"
                "  --metrics        gate only metrics whose name contains one of the\n"
@@ -212,8 +312,10 @@ int usage(const char* argv0) {
                "                   both (default, symmetric), down (head below base\n"
                "                   fails - throughput metrics), up (head above base\n"
                "                   fails - latency metrics)\n"
+               "  a baseline-zero metric that became nonzero is skipped with a note\n"
+               "  (no %% change is defined for it), never gated on inf/nan\n"
                "  exits 0 when every gated metric is within threshold, 1 otherwise\n",
-               argv0);
+               argv0, argv0);
   return 2;
 }
 
@@ -268,10 +370,13 @@ int diff_main(int argc, char** argv) {
   Direction direction = Direction::kBoth;
   std::vector<std::string> metric_filters;
   std::vector<std::string> run_filters;
+  std::string slo_check_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold-pct" && i + 1 < argc) {
+    if (arg == "--slo-check" && i + 1 < argc) {
+      slo_check_path = argv[++i];
+    } else if (arg == "--threshold-pct" && i + 1 < argc) {
       threshold_pct = std::atof(argv[++i]);
     } else if (arg == "--warn-pct" && i + 1 < argc) {
       warn_pct = std::atof(argv[++i]);
@@ -297,6 +402,12 @@ int diff_main(int argc, char** argv) {
     } else {
       paths.push_back(arg);
     }
+  }
+  if (!slo_check_path.empty()) {
+    if (!paths.empty()) {
+      return usage(argv[0]);
+    }
+    return slo_check_main(slo_check_path);
   }
   if (paths.size() != 2 || threshold_pct < 0 || warn_pct > threshold_pct) {
     return usage(argv[0]);
@@ -352,6 +463,21 @@ int diff_main(int argc, char** argv) {
         ++failures;
         continue;
       }
+      const double abs_delta = head_metric->value - base_metric.value;
+      if (base_metric.value == 0.0 && head_metric->value != 0.0) {
+        // Percent change from a zero baseline is undefined; gating on the
+        // symmetric delta instead would make every 0 -> anything transition
+        // a 100% FAIL. Surface it as a note and let the operator decide
+        // whether the baseline needs a refresh.
+        if (!printed_label) {
+          std::printf("  run %s\n", base_run.label.c_str());
+          printed_label = true;
+        }
+        std::printf("    note %-32s %14.3f -> %14.3f  (%+.3f, zero baseline - skipped)\n",
+                    base_metric.name.c_str(), base_metric.value, head_metric->value,
+                    abs_delta);
+        continue;
+      }
       const double delta = symmetric_delta(base_metric.value, head_metric->value);
       const bool gated = direction_gates(direction, base_metric.value, head_metric->value);
       const bool fail = gated && delta * 100.0 > threshold_pct;
@@ -367,14 +493,11 @@ int diff_main(int argc, char** argv) {
           std::printf("  run %s\n", base_run.label.c_str());
           printed_label = true;
         }
-        std::printf("    %-4s %-32s %14.3f -> %14.3f  (%+.1f%%)\n",
+        std::printf("    %-4s %-32s %14.3f -> %14.3f  (%+.3f, %+.1f%%)\n",
                     fail ? "FAIL" : (warn ? "WARN" : "ok"), base_metric.name.c_str(),
-                    base_metric.value, head_metric->value,
-                    (base_metric.value == 0.0 && head_metric->value != 0.0)
-                        ? delta * 100.0
-                        : (head_metric->value - base_metric.value) /
-                              (base_metric.value == 0.0 ? 1.0 : base_metric.value) *
-                              100.0);
+                    base_metric.value, head_metric->value, abs_delta,
+                    abs_delta / (base_metric.value == 0.0 ? 1.0 : base_metric.value) *
+                        100.0);
       }
     }
   }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/entries.h"
+#include "src/obs/ts.h"
 #include "src/sweep/matrix.h"
 #include "src/sweep/sweep.h"
 
@@ -41,7 +42,15 @@ void usage(std::ostream& out) {
          "                         to --jobs 1\n"
          "  --out PATH             write the document to PATH (default: stdout)\n"
          "  --timing               embed wall-clock stats (nondeterministic;\n"
-         "                         off by default so documents stay diffable)\n";
+         "                         off by default so documents stay diffable)\n"
+         "  --timeseries PATH      collect per-cell pvm.timeseries.v1 documents\n"
+         "                         and write their index-order merge to PATH\n"
+         "                         (byte-identical across --jobs; render with\n"
+         "                         pvm-top)\n"
+         "  --ts-window NS         timeseries window width in virtual ns\n"
+         "                         (default 1000000)\n"
+         "  --slo SPEC             evaluate an SLO against the merged timeseries\n"
+         "                         (\"name:metric:p99<=15ms[:window]\"); repeatable\n";
 }
 
 std::vector<std::string> split_csv(std::string_view list) {
@@ -75,6 +84,9 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool timing = false;
   std::string out_path;
+  std::string ts_path;
+  std::uint64_t ts_window_ns = 0;
+  std::vector<pvm::ts::SloSpec> slo_specs;
 
   const auto next_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -142,6 +154,18 @@ int main(int argc, char** argv) {
       out_path = next_value(i);
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--timeseries") {
+      ts_path = next_value(i);
+    } else if (arg == "--ts-window") {
+      ts_window_ns = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--slo") {
+      const std::string value = next_value(i);
+      pvm::ts::SloSpec spec;
+      std::string error;
+      if (!pvm::ts::parse_slo_spec(value, &spec, &error)) {
+        die("bad --slo spec '" + value + "': " + error);
+      }
+      slo_specs.push_back(std::move(spec));
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -153,18 +177,22 @@ int main(int argc, char** argv) {
     die("empty matrix (check --modes/--workloads/--faults/--policies/--seeds)");
   }
 
-  const auto runner = [](const pvm::sweep::MatrixCell& cell) {
+  const bool want_ts = !ts_path.empty();
+  const auto runner = [want_ts, ts_window_ns](const pvm::sweep::MatrixCell& cell) {
     pvm::bench::CellConfig config;
     config.mode = cell.mode;
     config.policy = cell.policy;
     config.schedule_seed = cell.seed;
     config.fault_plan = cell.fault_plan;
+    config.timeseries = want_ts;
+    config.ts_window_ns = ts_window_ns;
     const pvm::bench::CellOutcome outcome =
         pvm::bench::run_workload_cell(cell.workload, config);
     pvm::sweep::CellResult result;
     result.ok = outcome.ok;
     result.error = outcome.error;
     result.bench_json = outcome.bench_json;
+    result.ts_json = outcome.ts_json;
     result.events = outcome.events;
     return result;
   };
@@ -184,6 +212,32 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << document;
+  }
+
+  if (want_ts) {
+    // Cells merge in index order — the same discipline as the matrix
+    // document itself — so this export is byte-identical across --jobs.
+    pvm::ts::TsDoc merged;
+    for (const pvm::sweep::CellResult& cell : cells) {
+      if (cell.ts_json.empty()) {
+        continue;
+      }
+      pvm::ts::TsDoc doc;
+      std::string error;
+      if (!pvm::ts::parse_timeseries_json(cell.ts_json, &doc, &error) ||
+          !pvm::ts::merge_timeseries(&merged, doc, &error)) {
+        std::cerr << "pvm-matrix: timeseries merge failed: " << error << "\n";
+        return 2;
+      }
+    }
+    pvm::ts::evaluate_slos(&merged, slo_specs);
+    const std::string ts_document = pvm::ts::render_timeseries_json(merged);
+    std::ofstream out(ts_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pvm-matrix: cannot open " << ts_path << " for writing\n";
+      return 2;
+    }
+    out << ts_document;
   }
   // Wall clock always goes to stderr (whether or not --timing embedded it):
   // the document stays diffable, the operator still sees throughput.

@@ -32,12 +32,19 @@
 namespace pvm {
 namespace {
 
+// Row ordering. kvm_stat's default is weight (count); avg and p99 surface
+// the slow-but-rare rows instead. Ties always fall back to the deterministic
+// (class, reason) map order, so every sort is byte-reproducible.
+enum class SortKey { kCount, kAvg, kP99 };
+
 struct StatOptions {
   std::vector<DeployMode> modes;
   int processes = 2;
   std::uint64_t bytes_per_process = 4ull << 20;
   std::size_t ring_capacity = 1ull << 20;
+  SortKey sort = SortKey::kCount;
   bool json = false;
+  bool csv = false;
 };
 
 struct Row {
@@ -151,9 +158,18 @@ ModeStats run_mode(DeployMode mode, const StatOptions& options) {
     row.latency = hist;
     stats.rows.push_back(std::move(row));
   }
-  // kvm_stat orders by weight; ties fall back to the deterministic map order.
+  // kvm_stat orders by weight by default; ties fall back to the
+  // deterministic map order.
   std::stable_sort(stats.rows.begin(), stats.rows.end(),
-                   [](const Row& x, const Row& y) {
+                   [sort = options.sort](const Row& x, const Row& y) {
+                     switch (sort) {
+                       case SortKey::kAvg:
+                         return x.latency.mean() > y.latency.mean();
+                       case SortKey::kP99:
+                         return x.latency.quantile(0.99) > y.latency.quantile(0.99);
+                       case SortKey::kCount:
+                         break;
+                     }
                      return x.latency.count() > y.latency.count();
                    });
   return stats;
@@ -176,6 +192,21 @@ void print_text(const std::vector<ModeStats>& all, const StatOptions& options) {
                   row.latency.mean(), row.latency.quantile(0.99), row.latency.sum());
     }
     std::printf("\n");
+  }
+}
+
+// One flat CSV row per (mode, class, reason), header first — the shape
+// spreadsheet pivots and pandas.read_csv want. No quoting needed: every
+// field is a fixed token (mode tokens, class/reason labels) or a number.
+void print_csv(const std::vector<ModeStats>& all) {
+  std::printf("mode,class,reason,count,avg_ns,p99_ns,total_ns\n");
+  for (const ModeStats& stats : all) {
+    const std::string token(simcheck_mode_token(stats.mode));
+    for (const Row& row : stats.rows) {
+      std::printf("%s,%s,%s,%" PRIu64 ",%.1f,%" PRIu64 ",%" PRIu64 "\n", token.c_str(),
+                  row.cls.c_str(), row.reason.c_str(), row.latency.count(),
+                  row.latency.mean(), row.latency.quantile(0.99), row.latency.sum());
+    }
   }
 }
 
@@ -218,14 +249,17 @@ void print_json(const std::vector<ModeStats>& all, const StatOptions& options) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--modes all|tok1,tok2,...] [--processes N] [--kbytes N]\n"
-               "          [--capacity N] [--json]\n"
+               "          [--capacity N] [--sort count|avg|p99] [--json|--csv]\n"
                "  --modes      deployment modes to account (tokens as in simcheck:\n"
                "               ept-bm, kvm-spt, pvm-bm, ept, pvm, spt-on-ept,\n"
                "               pvm-direct); default all\n"
                "  --processes  memstress processes per mode (default 2)\n"
                "  --kbytes     KiB touched per process (default 4096)\n"
                "  --capacity   flight-ring capacity per track (default 1048576)\n"
-               "  --json       emit pvm.stat.v1 JSON on stdout instead of the table\n",
+               "  --sort       row order within each mode: count (default, the\n"
+               "               kvm_stat weight order), avg, or p99\n"
+               "  --json       emit pvm.stat.v1 JSON on stdout instead of the table\n"
+               "  --csv        emit one flat CSV row per (mode, class, reason)\n",
                argv0);
   return 2;
 }
@@ -243,14 +277,28 @@ int stat_main(int argc, char** argv) {
       options.bytes_per_process = std::strtoull(argv[++i], nullptr, 10) << 10;
     } else if (arg == "--capacity" && i + 1 < argc) {
       options.ring_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sort" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "count") {
+        options.sort = SortKey::kCount;
+      } else if (value == "avg") {
+        options.sort = SortKey::kAvg;
+      } else if (value == "p99") {
+        options.sort = SortKey::kP99;
+      } else {
+        std::fprintf(stderr, "unknown sort key: %s\n", value.c_str());
+        return usage(argv[0]);
+      }
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
     } else {
       return usage(argv[0]);
     }
   }
   if (options.processes < 1 || options.bytes_per_process == 0 ||
-      options.ring_capacity == 0) {
+      options.ring_capacity == 0 || (options.json && options.csv)) {
     return usage(argv[0]);
   }
 
@@ -284,6 +332,8 @@ int stat_main(int argc, char** argv) {
   }
   if (options.json) {
     print_json(all, options);
+  } else if (options.csv) {
+    print_csv(all);
   } else {
     print_text(all, options);
   }

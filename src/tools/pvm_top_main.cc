@@ -1,0 +1,88 @@
+// pvm-top — kvm_stat/top-style text dashboard over a pvm.timeseries.v1
+// export: per-window sparkline trend columns for every counter/gauge,
+// latency quantiles with per-window P99 trends, worst-window highlights,
+// and SLO verdicts. Makes time-evolving contrasts (the Fig. 12 bootstorm's
+// kvm-ept collapse vs pvm degradation) visible window by window.
+//
+//   fig12_highload --faults bootstorm --timeseries ts.json
+//   pvm-top ts.json --series 150c
+//
+// Output is deterministic for a given (document, options) — the CI golden
+// check depends on it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/ts.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: pvm-top <timeseries.json> [options]\n"
+         "  --series SUBSTR   only rows whose metric name contains SUBSTR\n"
+         "  --width N         sparkline column budget (default 48, min 8)\n";
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pvm-top: " << message << "\n";
+  usage(std::cerr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  pvm::ts::TopOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--series") {
+      if (i + 1 >= argc) {
+        die("--series needs a value");
+      }
+      options.filter = argv[++i];
+    } else if (arg == "--width") {
+      if (i + 1 >= argc) {
+        die("--width needs a value");
+      }
+      options.width = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option '" + std::string(arg) + "'");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      die("more than one input file");
+    }
+  }
+  if (path.empty()) {
+    die("missing timeseries.json argument");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "pvm-top: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  pvm::ts::TsDoc doc;
+  std::string error;
+  if (!pvm::ts::parse_timeseries_json(buffer.str(), &doc, &error)) {
+    std::cerr << "pvm-top: " << path << ": " << error << "\n";
+    return 2;
+  }
+
+  const std::string rendered = pvm::ts::render_top(doc, options);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return 0;
+}
