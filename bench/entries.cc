@@ -8,6 +8,7 @@
 #include "src/core/switcher.h"
 #include "src/fault/fault.h"
 #include "src/hv/host_hypervisor.h"
+#include "src/hv/migration.h"
 #include "src/obs/metrics_json.h"
 #include "src/obs/ts.h"
 #include "src/workloads/lmbench.h"
@@ -184,9 +185,70 @@ BootStormStats boot_storm(const std::string& label, const PlatformConfig& config
   return stats;
 }
 
+MigrationBenchStats migration_stats(const std::string& label, const PlatformConfig& config,
+                                    DirtyProtocol protocol, const EntryHooks& hooks) {
+  VirtualPlatform platform(config);
+  if (hooks.on_platform) {
+    hooks.on_platform(platform);
+  }
+  SecureContainer& c = platform.create_container("c0");
+  platform.sim().spawn(c.boot(16));
+  platform.sim().run();
+
+  // The migratable unit: the shared L1 instance in nested modes, the
+  // container's own L0 VM in bare-metal modes. pvm (BM) runs under the PVM
+  // hypervisor with no L0 VM at all — nothing for L0 to migrate.
+  HostHypervisor::Vm* vm = platform.l1_vm();
+  if (vm == nullptr) {
+    vm = c.host_vm();
+  }
+  MigrationBenchStats stats;
+  MigrationResult result;
+  if (vm != nullptr && !c.boot_failed()) {
+    // Keep the guest dirtying while the pre-copy rounds stream, so the
+    // tracker protocol earns its keep (and its costs).
+    MemStressParams params;
+    params.total_bytes = 8ull << 20;
+    MigrationEngine engine(platform.l0());
+    MigrationParams mparams;
+    mparams.protocol = protocol;
+    platform.sim().spawn(memstress_process(c, c.vcpu(0), *c.init_process(), params));
+    platform.sim().spawn([](MigrationEngine& e, HostHypervisor::Vm& v,
+                            const MigrationParams& p, MigrationResult* out) -> Task<void> {
+      *out = co_await e.migrate(v, p);
+    }(engine, *vm, mparams, &result));
+    platform.sim().run();
+  }
+
+  stats.succeeded = result.succeeded;
+  stats.fell_back_postcopy = result.fell_back_postcopy;
+  stats.rounds = static_cast<double>(result.rounds);
+  stats.pages_copied = static_cast<double>(result.pages_copied);
+  stats.pages_dirtied = static_cast<double>(result.pages_dirtied);
+  stats.wp_faults = static_cast<double>(result.wp_faults);
+  stats.pml_appends = static_cast<double>(result.pml_appends);
+  stats.pml_flushes = static_cast<double>(result.pml_flushes);
+  stats.remote_faults = static_cast<double>(result.remote_faults);
+  stats.downtime_us = static_cast<double>(result.downtime) / 1e3;
+  stats.total_ms = static_cast<double>(result.total_time) / 1e6;
+  call_record(hooks, label, platform.sim(), platform.counters(),
+              {{"succeeded", stats.succeeded ? 1.0 : 0.0},
+               {"fell_back_postcopy", stats.fell_back_postcopy ? 1.0 : 0.0},
+               {"rounds", stats.rounds},
+               {"pages_copied", stats.pages_copied},
+               {"pages_dirtied", stats.pages_dirtied},
+               {"wp_faults", stats.wp_faults},
+               {"pml_appends", stats.pml_appends},
+               {"pml_flushes", stats.pml_flushes},
+               {"remote_faults", stats.remote_faults},
+               {"downtime_us", stats.downtime_us},
+               {"total_ms", stats.total_ms}});
+  return stats;
+}
+
 const std::vector<std::string>& matrix_workloads() {
   static const std::vector<std::string> kWorkloads = {"switch", "syscall", "pagefault",
-                                                      "boot"};
+                                                      "boot", "migration"};
   return kWorkloads;
 }
 
@@ -248,6 +310,11 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
                              /*bytes_per_proc=*/4ull << 20, hooks);
     } else if (workload == "boot") {
       boot_storm("bootstorm", config, /*containers=*/8, hooks);
+    } else if (workload == "migration") {
+      // Both dirty-tracking protocols, so one matrix document carries the
+      // WP-vs-PML cost comparison per mode (and benchdiff can gate on it).
+      migration_stats("migration_wp", config, DirtyProtocol::kWriteProtect, hooks);
+      migration_stats("migration_pml", config, DirtyProtocol::kPml, hooks);
     } else {
       outcome.error = "unknown workload '" + workload + "'";
       return outcome;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/backends/config.h"
+#include "src/hv/dirty_tracker.h"
 
 namespace pvm {
 
@@ -66,6 +67,27 @@ struct BootStormStats {
 };
 BootStormStats boot_storm(const std::string& label, const PlatformConfig& config,
                           int containers, const EntryHooks& hooks = {});
+
+// ---- §2.3 live-migration management metrics ----
+// Boots one container, then migrates its hosting VM *while* a memstress
+// process keeps dirtying pages, so the dirty-tracking protocol (write-protect
+// or PML) does real work. Nested hardware modes (kvm-ept, spt-on-ept) refuse
+// — succeeded stays 0 with pages_copied 0, the §2.3 pinning claim in numbers.
+struct MigrationBenchStats {
+  bool succeeded = false;
+  bool fell_back_postcopy = false;
+  double rounds = 0;
+  double pages_copied = 0;
+  double pages_dirtied = 0;
+  double wp_faults = 0;
+  double pml_appends = 0;
+  double pml_flushes = 0;
+  double remote_faults = 0;
+  double downtime_us = 0;
+  double total_ms = 0;
+};
+MigrationBenchStats migration_stats(const std::string& label, const PlatformConfig& config,
+                                    DirtyProtocol protocol, const EntryHooks& hooks = {});
 
 // ---- Matrix cells ----
 

@@ -123,6 +123,16 @@ struct CostModel {
   std::uint64_t munmap_body = 1200;       // munmap() VMA bookkeeping
   std::uint64_t spt_bulk_zap_per_page = 60;  // PVM bulk teardown hypercall, per page
 
+  // --- Live-migration dirty tracking (ns) ---
+  // Write-protect protocol: clearing the write protection on first store
+  // (PTE update + local TLB invalidation), paid inside the fault handler.
+  std::uint64_t dirty_wp_unprotect = 200;
+  // PML-style logging: one hardware log append is nearly free; draining a
+  // full 512-entry buffer is a real exit-time cost (the *Out of Hypervisor*
+  // numbers put the drain in the low microseconds).
+  std::uint64_t pml_log_append = 2;
+  std::uint64_t pml_flush_drain = 1100;
+
   // --- Interrupts / IO (ns) ---
   std::uint64_t apic_virtualization = 450;
   // HLT exit: scheduler idle + IPI wakeup through root mode (KVM). PVM's

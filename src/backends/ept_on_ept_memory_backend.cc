@@ -14,6 +14,7 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
     }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
 
@@ -31,6 +32,7 @@ Task<void> EptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
         vcpu.tlb.insert(vpid_, pcid, page_number(gva),
                         Pte::make(walk.host_frame, walk.guest.pte.flags()));
         co_await sim_->delay(costs_->tlb_fill);
+        co_await dirty_note(vcpu, proc, gva, access);
         co_return;
       case TwoDimWalk::Outcome::kGuestNotPresent:
       case TwoDimWalk::Outcome::kGuestProtection: {

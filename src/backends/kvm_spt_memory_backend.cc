@@ -41,6 +41,7 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
     }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
 
@@ -52,6 +53,7 @@ Task<void> KvmSptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKern
       vcpu.tlb.insert(vpid_, pcid, page_number(gva),
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
 

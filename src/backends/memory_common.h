@@ -10,6 +10,7 @@
 #include "src/arch/cost_model.h"
 #include "src/guest/backend_iface.h"
 #include "src/guest/guest_kernel.h"
+#include "src/hv/dirty_tracker.h"
 #include "src/metrics/counters.h"
 #include "src/mmu/two_dim_walk.h"
 #include "src/sim/simulation.h"
@@ -29,6 +30,10 @@ class MemoryBackendBase : public MemoryBackend {
   // The VPID tagging this backend's TLB entries. Fault-injection harnesses
   // (src/check) need it to drive engine zaps from outside the backend.
   std::uint16_t vpid() const { return vpid_; }
+
+  // Attaches the VM's migration dirty tracker (platform wiring). Disarmed
+  // or detached, every access pays exactly one branch.
+  void set_dirty_tracker(DirtyTracker* tracker) { dirty_ = tracker; }
 
  protected:
   MemoryBackendBase(Simulation& sim, const CostModel& costs, CounterSet& counters,
@@ -87,12 +92,50 @@ class MemoryBackendBase : public MemoryBackend {
                            " did not converge (fault-handling bug)");
   }
 
+  // What a dirty-tracking write-protect fault (or PML flush exit) costs on
+  // this backend: one exit round trip through its own exit machinery. The
+  // VMX default fits the EPT-family and kvm-spt backends; PVM backends
+  // override with the (cheaper) switcher round trip — the same asymmetry
+  // the paper's Table 1 measures for every other exit.
+  virtual std::uint64_t dirty_exit_roundtrip_ns() const {
+    return costs_->vmx_roundtrip() + costs_->l0_exit_dispatch;
+  }
+
+  // Runs at every *successful* guest store (both the TLB-hit and the
+  // walk-OK exits of access()): records the page against the migration
+  // dirty tracker and charges whatever the active protocol makes the store
+  // cost. Reads and untracked writes fall through on the first branch.
+  Task<void> dirty_note(const Vcpu& vcpu, const GuestProcess& proc, std::uint64_t gva,
+                        AccessType access) {
+    if (dirty_ == nullptr || access != AccessType::kWrite || !dirty_->armed()) {
+      co_return;
+    }
+    switch (dirty_->note_store(vcpu.id, dirty_page_key(proc.pid(), gva))) {
+      case DirtyStoreOutcome::kClean:
+        co_return;
+      case DirtyStoreOutcome::kWpFault:
+        counters_->add(Counter::kDirtyWpFault);
+        co_await sim_->delay(dirty_exit_roundtrip_ns() + costs_->dirty_wp_unprotect);
+        co_return;
+      case DirtyStoreOutcome::kPmlAppend:
+        counters_->add(Counter::kDirtyPmlLog);
+        co_await sim_->delay(costs_->pml_log_append);
+        co_return;
+      case DirtyStoreOutcome::kPmlFlush:
+        counters_->add(Counter::kDirtyPmlLog);
+        counters_->add(Counter::kDirtyPmlFlush);
+        co_await sim_->delay(dirty_exit_roundtrip_ns() + costs_->pml_flush_drain);
+        co_return;
+    }
+  }
+
   Simulation* sim_;
   const CostModel* costs_;
   CounterSet* counters_;
   TraceLog* trace_;
   std::string label_;
   std::uint16_t vpid_;
+  DirtyTracker* dirty_ = nullptr;
 };
 
 }  // namespace pvm

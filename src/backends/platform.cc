@@ -182,6 +182,16 @@ SecureContainer& VirtualPlatform::create_container(const std::string& name) {
     }
   }
 
+  // Migration dirty tracking: each backend notes guest stores against the VM
+  // that L0 would migrate — the container VM in bare-metal modes, the
+  // hosting L1 instance when nested. pvm (BM) has no L0-visible VM at all.
+  if (HostHypervisor::Vm* tracked = c.vm_ != nullptr ? c.vm_ : placed_l1;
+      tracked != nullptr) {
+    if (auto* mem_base = dynamic_cast<MemoryBackendBase*>(c.mem_.get())) {
+      mem_base->set_dirty_tracker(&tracked->dirty_tracker());
+    }
+  }
+
   c.kernel_ = std::make_unique<GuestKernel>(sim_, costs_, counters_, *c.gpa_frames_, *c.mem_,
                                             *c.cpu_, config_.kpti);
   containers_.push_back(std::move(container));

@@ -76,6 +76,11 @@ class SecureContainer {
   // modes. simcheck uses it to run strict oracle checks at quiescent points.
   PvmMemoryEngine* shadow_engine();
 
+  // The L0 VM directly hosting this container in bare-metal modes (the one
+  // L0 would migrate); null in nested modes, where the migratable unit is
+  // the shared L1 instance (VirtualPlatform::l1_vm()).
+  HostHypervisor::Vm* host_vm() { return vm_; }
+
  private:
   friend class VirtualPlatform;
   SecureContainer() = default;

@@ -45,6 +45,7 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
     }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
 
@@ -59,6 +60,7 @@ Task<void> PvmDirectMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestK
       vcpu.tlb.insert(vpid_, pcid, page_number(gva),
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
     if (attempt == 0) {

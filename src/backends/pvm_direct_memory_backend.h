@@ -41,6 +41,12 @@ class PvmDirectMemoryBackend : public MemoryBackendBase {
                          bool mark_cow) override;
   Task<void> activate_process(Vcpu& vcpu, GuestProcess& proc, bool kernel_ring) override;
 
+ protected:
+  // Dirty-tracking faults resolve through the switcher, as on pvm-on-ept.
+  std::uint64_t dirty_exit_roundtrip_ns() const override {
+    return 2 * costs_->switcher_switch() + costs_->pvm_exit_dispatch;
+  }
+
  private:
   bool validated(const GuestProcess& proc) const { return validated_.count(proc.pid()) > 0; }
   // One mmu_update-style validation hypercall round trip.

@@ -45,6 +45,13 @@ class PvmMemoryBackend : public MemoryBackendBase {
 
   PvmMemoryEngine& engine() { return *engine_; }
 
+ protected:
+  // A dirty-tracking WP fault resolves through the switcher into the PVM
+  // hypervisor — the paper's ~7x-cheaper exit — not a VMX round trip.
+  std::uint64_t dirty_exit_roundtrip_ns() const override {
+    return 2 * costs_->switcher_switch() + costs_->pvm_exit_dispatch;
+  }
+
  private:
   bool shadowed(const GuestProcess& proc) const { return shadowed_.count(proc.pid()) > 0; }
   std::uint16_t tag_pcid(GuestProcess& proc, bool user_mode);

@@ -43,6 +43,7 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
     }
     if (tlb_try(vcpu, pcid, gva, access, user_mode)) {
       co_await sim_->delay(costs_->tlb_hit);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
 
@@ -55,6 +56,7 @@ Task<void> SptOnEptMemoryBackend::access(Vcpu& vcpu, GuestProcess& proc, GuestKe
       vcpu.tlb.insert(vpid_, pcid, page_number(gva),
                       Pte::make(walk.host_frame, walk.guest.pte.flags()));
       co_await sim_->delay(costs_->tlb_fill);
+      co_await dirty_note(vcpu, proc, gva, access);
       co_return;
     }
     if (attempt == 0) {

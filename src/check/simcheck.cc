@@ -4,13 +4,16 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/sweep/sweep.h"
+#include "src/wal/wal.h"
 
 #include "src/backends/platform.h"
 #include "src/guest/guest_kernel.h"
@@ -254,6 +257,65 @@ SimcheckCase sweep_case(const SweepOptions& options, DeployMode mode, SchedulePo
   return c;
 }
 
+// Everything that changes what a case computes, so a stale checkpoint from a
+// different sweep never splices wrong results into the report.
+std::string sweep_fingerprint(const SweepOptions& options) {
+  std::string fp = "pvm.simcheck.v1;modes=";
+  for (const DeployMode mode : options.modes) {
+    fp += deploy_mode_name(mode);
+    fp += ',';
+  }
+  fp += ";policies=";
+  for (const SchedulePolicy policy : options.policies) {
+    fp += schedule_policy_name(policy);
+    fp += ',';
+  }
+  fp += ";seeds=" + std::to_string(options.seeds);
+  fp += ";first_seed=" + std::to_string(options.first_seed);
+  fp += ";chaos=" + std::string(options.chaos ? "1" : "0");
+  fp += ";faults=" + std::string(options.faults ? "1" : "0");
+  fp += ";processes=" + std::to_string(options.processes);
+  fp += ";memstress=" + std::to_string(options.memstress_bytes);
+  fp += ";flight=" + std::to_string(options.flight_capacity);
+  fp += ";verbose=" + std::string(options.verbose ? "1" : "0");
+  fp += ";corrupt_from=" + std::to_string(options.debug_corrupt_from_seed);
+  return fp;
+}
+
+std::string encode_case_result(std::size_t index, const SimcheckResult& r) {
+  std::string payload;
+  wal::put_u64(payload, index);
+  wal::put_u32(payload, r.ok ? 1 : 0);
+  wal::put_string(payload, r.failure);
+  wal::put_string(payload, r.profile);
+  wal::put_string(payload, r.postmortem_text);
+  wal::put_string(payload, r.postmortem_json);
+  wal::put_u64(payload, r.events);
+  wal::put_u64(payload, r.fills);
+  wal::put_u64(payload, r.fill_races);
+  wal::put_u64(payload, r.shadow_frames);
+  return payload;
+}
+
+bool decode_case_result(std::string_view payload, std::size_t* index, SimcheckResult* r) {
+  std::size_t cursor = 0;
+  std::uint64_t idx = 0;
+  std::uint32_t ok = 0;
+  if (!wal::get_u64(payload, &cursor, &idx) || !wal::get_u32(payload, &cursor, &ok) ||
+      !wal::get_string(payload, &cursor, &r->failure) ||
+      !wal::get_string(payload, &cursor, &r->profile) ||
+      !wal::get_string(payload, &cursor, &r->postmortem_text) ||
+      !wal::get_string(payload, &cursor, &r->postmortem_json) ||
+      !wal::get_u64(payload, &cursor, &r->events) || !wal::get_u64(payload, &cursor, &r->fills) ||
+      !wal::get_u64(payload, &cursor, &r->fill_races) ||
+      !wal::get_u64(payload, &cursor, &r->shadow_frames)) {
+    return false;
+  }
+  *index = static_cast<std::size_t>(idx);
+  r->ok = ok != 0;
+  return true;
+}
+
 }  // namespace
 
 int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
@@ -280,10 +342,106 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
   // winner.
   std::vector<std::vector<std::optional<SimcheckResult>>> results(
       combos.size(), std::vector<std::optional<SimcheckResult>>(seeds));
+
+  // Checkpoint-resume: replay finished cases from the WAL into their slots
+  // (recovery truncates a torn tail — those cases rerun), then append each
+  // fresh case as it completes. Because cases are deterministic and the
+  // report merges by index, a resumed sweep prints byte-identically to an
+  // uninterrupted one.
+  const bool use_checkpoint = !options.checkpoint_path.empty();
+  const std::string fingerprint = sweep_fingerprint(options);
+  wal::Log checkpoint_log("wal:simcheck");
+  std::mutex checkpoint_mutex;
+  if (use_checkpoint) {
+    std::string bytes;
+    std::string error;
+    if (!wal::load_file(options.checkpoint_path, &bytes, &error)) {
+      std::cerr << "simcheck: cannot read checkpoint " << options.checkpoint_path << ": "
+                << error << "; starting fresh\n";
+      bytes.clear();
+    }
+    const wal::RecoveryResult recovered = wal::recover(bytes);
+    if (recovered.torn_tail) {
+      std::cerr << "simcheck: checkpoint tail truncated (" << recovered.detail
+                << "); rerunning the affected case(s)\n";
+    }
+    bool stale = false;
+    std::size_t replayed = 0;
+    for (const wal::Record& record : recovered.records) {
+      if (record.type == wal::RecordType::kHeader) {
+        std::size_t cursor = 0;
+        std::string stored;
+        if (!wal::get_string(record.payload, &cursor, &stored) || stored != fingerprint) {
+          stale = true;
+          break;
+        }
+      } else if (record.type == wal::RecordType::kCaseResult) {
+        std::size_t index = 0;
+        SimcheckResult r;
+        if (decode_case_result(record.payload, &index, &r) && seeds > 0 &&
+            index < combos.size() * seeds) {
+          results[index / seeds][index % seeds] = std::move(r);
+          ++replayed;
+        }
+      }
+    }
+    if (stale) {
+      std::cerr << "simcheck: checkpoint " << options.checkpoint_path
+                << " was written by a different sweep; ignoring it\n";
+      for (auto& row : results) {
+        for (auto& slot : row) {
+          slot.reset();
+        }
+      }
+      replayed = 0;
+    } else if (replayed > 0) {
+      std::cerr << "simcheck: replayed " << replayed << " case(s) from "
+                << options.checkpoint_path << "\n";
+    }
+    // Rebuild the log: header, then the surviving replayed cases in index
+    // order. Fresh cases append behind them.
+    checkpoint_log.clear();
+    std::string header;
+    wal::put_string(header, fingerprint);
+    checkpoint_log.append(wal::RecordType::kHeader, header);
+    for (std::size_t combo = 0; combo < combos.size(); ++combo) {
+      for (std::size_t i = 0; i < seeds; ++i) {
+        if (results[combo][i].has_value()) {
+          checkpoint_log.append(wal::RecordType::kCaseResult,
+                                encode_case_result(combo * seeds + i, *results[combo][i]));
+        }
+      }
+    }
+    if (!checkpoint_log.save(options.checkpoint_path, &error)) {
+      std::cerr << "simcheck: checkpoint save failed: " << error << "\n";
+    }
+  }
+  const auto record_case = [&](std::size_t index, const SimcheckResult& r) {
+    if (!use_checkpoint) {
+      return;
+    }
+    const std::scoped_lock lock(checkpoint_mutex);
+    checkpoint_log.append(wal::RecordType::kCaseResult, encode_case_result(index, r));
+    std::string error;
+    if (!checkpoint_log.save(options.checkpoint_path, &error)) {
+      std::cerr << "simcheck: checkpoint save failed: " << error << "\n";
+    }
+  };
+
   if (jobs > 1 && !combos.empty() && seeds > 0) {
     std::vector<std::atomic<std::size_t>> min_failed(combos.size());
     for (auto& m : min_failed) {
       m.store(seeds, std::memory_order_relaxed);
+    }
+    // Replayed checkpoint failures seed the early-stop cursor, so a resumed
+    // sweep skips the same doomed seeds the original would have.
+    for (std::size_t combo = 0; combo < combos.size(); ++combo) {
+      for (std::size_t i = 0; i < seeds; ++i) {
+        if (results[combo][i].has_value() && !results[combo][i]->ok) {
+          min_failed[combo].store(i, std::memory_order_relaxed);
+          break;
+        }
+      }
     }
     sweep::parallel_for(combos.size() * seeds, jobs, [&](std::size_t job) {
       const std::size_t combo = job / seeds;
@@ -291,9 +449,13 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
       if (min_failed[combo].load(std::memory_order_relaxed) < seed_index) {
         return;  // a smaller seed of this combination already failed
       }
+      if (results[combo][seed_index].has_value()) {
+        return;  // replayed from the checkpoint
+      }
       SimcheckResult r = run_simcheck_case(
           sweep_case(options, combos[combo].mode, combos[combo].policy,
                      static_cast<int>(seed_index)));
+      record_case(combo * seeds + seed_index, r);
       if (!r.ok) {
         std::size_t expected = min_failed[combo].load(std::memory_order_relaxed);
         while (seed_index < expected &&
@@ -319,6 +481,7 @@ int run_simcheck_sweep(const SweepOptions& options, std::ostream& out) {
       const SimcheckCase c = sweep_case(options, mode, policy, static_cast<int>(i));
       if (!results[combo][i].has_value()) {
         results[combo][i] = run_simcheck_case(c);
+        record_case(combo * seeds + i, *results[combo][i]);
       }
       const SimcheckResult& r = *results[combo][i];
       if (options.verbose) {

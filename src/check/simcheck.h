@@ -120,6 +120,14 @@ struct SweepOptions {
   // <dir>/postmortem-<mode>-<policy>-<seed>.{json,txt} (CI uploads these).
   std::string postmortem_dir;
 
+  // When non-empty, WAL-backed checkpoint-resume: finished cases append to
+  // this file as they complete, and a rerun with the same options replays
+  // them instead of recomputing — the report stays byte-identical to an
+  // uninterrupted sweep. A torn tail (the sweep died mid-append) is
+  // truncated on recovery and those cases rerun; a checkpoint written by a
+  // different option set is ignored with a warning on stderr.
+  std::string checkpoint_path;
+
   // Plumbed into every case's debug_corrupt_from_seed (test hook, above).
   std::uint64_t debug_corrupt_from_seed = 0;
 };

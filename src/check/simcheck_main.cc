@@ -39,6 +39,10 @@ void usage(std::ostream& out) {
          "  --no-faults           disable the faultstorm fault plans\n"
          "  --postmortem-dir D    write failing cases' flight-recorder dumps\n"
          "                        to D/postmortem-<mode>-<policy>-<seed>.{json,txt}\n"
+         "  --checkpoint PATH     WAL-backed resume: finished cases append to\n"
+         "                        PATH; a rerun with the same options replays\n"
+         "                        them and only computes the rest (report stays\n"
+         "                        byte-identical; torn tails rerun)\n"
          "  --verbose             print every case, not just failures\n";
 }
 
@@ -129,6 +133,8 @@ int main(int argc, char** argv) {
       options.debug_corrupt_from_seed = std::strtoull(next_value(i).c_str(), nullptr, 10);
     } else if (arg == "--postmortem-dir") {
       options.postmortem_dir = next_value(i);
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = next_value(i);
     } else if (arg == "--no-chaos") {
       options.chaos = false;
     } else if (arg == "--no-faults") {

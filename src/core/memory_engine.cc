@@ -788,4 +788,88 @@ bool PvmMemoryEngine::debug_install_kernel_leaf_in_user_spt(std::uint64_t pid,
   return true;
 }
 
+void PvmMemoryEngine::checkpoint_to_wal(wal::Log& log) const {
+  log.append(wal::RecordType::kSnapshotBegin, name_);
+  // gpa_map in ascending GPA order (for_each_leaf walks the radix tree in
+  // address order).
+  gpa_map_.for_each_leaf([&log](std::uint64_t va, const Pte& pte) {
+    std::string payload;
+    wal::put_u64(payload, va);
+    wal::put_u64(payload, pte.frame_number());
+    wal::put_u64(payload, pte.raw());
+    log.append(wal::RecordType::kGpaMapEntry, payload);
+  });
+  // Shadow leaves in (pid, ring, gva) backpointer order — the same
+  // deterministic order the oracle and reclaim sweeps use.
+  for (const auto& [key, gfn] : leaf_gfn_) {
+    const auto& [pid, kernel_ring, gva] = key;
+    const Pte* leaf = spt(pid, kernel_ring).find_pte(gva);
+    if (leaf == nullptr || !leaf->present()) {
+      continue;  // mid-zap backpointer; the refault after restore refills it
+    }
+    std::string payload;
+    wal::put_u64(payload, pid);
+    wal::put_u64(payload, kernel_ring ? 1 : 0);
+    wal::put_u64(payload, gva);
+    wal::put_u64(payload, leaf->frame_number());
+    wal::put_u64(payload, leaf->raw());
+    wal::put_u64(payload, gfn);
+    log.append(wal::RecordType::kShadowLeaf, payload);
+  }
+  log.append_checkpoint(name_);
+}
+
+bool PvmMemoryEngine::restore_from_records(const std::vector<wal::Record>& records,
+                                           std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+  for (const wal::Record& record : records) {
+    std::size_t cursor = 0;
+    switch (record.type) {
+      case wal::RecordType::kGpaMapEntry: {
+        std::uint64_t va = 0, frame = 0, raw = 0;
+        if (!wal::get_u64(record.payload, &cursor, &va) ||
+            !wal::get_u64(record.payload, &cursor, &frame) ||
+            !wal::get_u64(record.payload, &cursor, &raw)) {
+          return fail("short gpa-map record at seq " + std::to_string(record.seq));
+        }
+        gpa_map_.map(va, frame, Pte(raw).flags());
+        break;
+      }
+      case wal::RecordType::kShadowLeaf: {
+        std::uint64_t pid = 0, ring = 0, gva = 0, frame = 0, raw = 0, gfn = 0;
+        if (!wal::get_u64(record.payload, &cursor, &pid) ||
+            !wal::get_u64(record.payload, &cursor, &ring) ||
+            !wal::get_u64(record.payload, &cursor, &gva) ||
+            !wal::get_u64(record.payload, &cursor, &frame) ||
+            !wal::get_u64(record.payload, &cursor, &raw) ||
+            !wal::get_u64(record.payload, &cursor, &gfn)) {
+          return fail("short shadow-leaf record at seq " + std::to_string(record.seq));
+        }
+        if (!has_process(pid)) {
+          // The guest PT reference does not survive a crash; restored
+          // processes verify under the structural (non-strict) oracle.
+          create_process(pid);
+        }
+        const bool kernel_ring = ring != 0;
+        spt(pid, kernel_ring).map(gva, frame, Pte(raw).flags());
+        leaf_gfn_[LeafKey{pid, kernel_ring, gva}] = gfn;
+        rmap_.try_emplace(gfn).first->second.push_back(RmapEntry{pid, kernel_ring, gva},
+                                                       rmap_slab_);
+        note_leaves(+1);
+        break;
+      }
+      default:
+        // Snapshot framing, migration dirty-log records, and checkpoint
+        // markers interleave freely in the same stream; ignore them here.
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace pvm

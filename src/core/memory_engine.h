@@ -54,6 +54,7 @@
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 #include "src/trace/trace.h"
+#include "src/wal/wal.h"
 
 namespace pvm {
 
@@ -196,6 +197,24 @@ class PvmMemoryEngine {
   // nodes plus the node slabs of gpa_map and every live shadow table. Feeds
   // the opt-in `alloc` section of the bench export (--alloc-stats).
   SlabStats alloc_stats() const;
+
+  // ---- WAL checkpoint / restore (pvm::wal) ----
+
+  // Serializes the engine's durable structure — gpa_map translations and
+  // every installed shadow leaf with its gfn backpointer — as a record
+  // stream ending in a checkpoint record. Deterministic: gpa_map leaves in
+  // ascending GPA order, shadow leaves in leaf_gfn_ (pid, ring, gva) order.
+  void checkpoint_to_wal(wal::Log& log) const;
+
+  // Rebuilds gpa_map, shadow tables, backpointers, and the rmap from a
+  // recovered record stream (as produced by checkpoint_to_wal). Restore
+  // into a *fresh* engine: existing state is not cleared. Unknown record
+  // types are skipped (the stream may interleave migration dirty-log
+  // records). Returns false and sets `error` on a malformed payload; the
+  // caller should then discard the engine. On success the result is
+  // verify_coherence(strict=false)-clean by construction — the recovery
+  // tests assert exactly that against a torn-tail stream.
+  bool restore_from_records(const std::vector<wal::Record>& records, std::string* error);
 
   // ---- Coherence oracle ----
 

@@ -63,9 +63,26 @@ FaultPlan FaultPlan::preset(std::string_view name) {
     plan.specs.push_back(make_spec(FaultKind::kFramePressure, "", 0.05));
     return plan;
   }
-  if (name == "migration-stall") {
+  if (name == "migration-stall" || name == "migration_stall") {
+    // One preset, two historical spellings: the CLI always used the dashed
+    // form while the FaultKind label is underscored. Accept both, emit one.
+    plan.name = "migration-stall";
     plan.specs.push_back(
         make_spec(FaultKind::kMigrationStall, "", 0.25, 500 * kNsPerUs));
+    return plan;
+  }
+  if (name == "walcrash") {
+    // Crash-consistency torture: the first WAL append past 1 ms dies
+    // mid-payload, and a later one dies mid-header. Recovery must truncate
+    // the torn tail and replay the surviving prefix to a coherent state.
+    FaultSpec torn = make_spec(FaultKind::kWalTornWrite, "wal", 1.0);
+    torn.trigger.after_ns = 1 * kNsPerMs;
+    torn.trigger.at_op = 1;
+    plan.specs.push_back(torn);
+    FaultSpec partial = make_spec(FaultKind::kWalPartialAppend, "wal", 1.0);
+    partial.trigger.after_ns = 2 * kNsPerMs;
+    partial.trigger.at_op = 1;
+    plan.specs.push_back(partial);
     return plan;
   }
   throw std::invalid_argument("unknown fault plan preset: " + plan.name);
@@ -90,7 +107,7 @@ FaultPlan FaultPlan::parse(std::string_view text) {
 }
 
 std::vector<std::string_view> FaultPlan::preset_names() {
-  return {"none", "bootstorm", "latency", "allocpressure", "migration-stall"};
+  return {"none", "bootstorm", "latency", "allocpressure", "migration-stall", "walcrash"};
 }
 
 }  // namespace pvm::fault

@@ -35,6 +35,8 @@ enum class FaultKind {
   kMigrationStall,    // a pre-copy round stalls and makes no progress
   kLockHandoffDelay,  // extra ns between a lock release and the waiter running
   kSpuriousSptInval,  // shadow fill observes a concurrent (phantom) invalidation
+  kWalTornWrite,      // WAL append dies mid-payload; a torn tail survives
+  kWalPartialAppend,  // WAL append dies mid-header; not even the frame lands
   kCount,
 };
 
@@ -54,6 +56,10 @@ constexpr std::string_view fault_kind_name(FaultKind kind) {
       return "lock_handoff_delay";
     case FaultKind::kSpuriousSptInval:
       return "spurious_spt_inval";
+    case FaultKind::kWalTornWrite:
+      return "wal_torn_write";
+    case FaultKind::kWalPartialAppend:
+      return "wal_partial_append";
     case FaultKind::kCount:
       break;
   }
@@ -203,6 +209,26 @@ class FaultInjector {
       }
     }
     return false;
+  }
+
+  // wal::Log::append: returns how many tail bytes of the frame being
+  // appended are lost to a crash (0 = append lands intact). kWalTornWrite
+  // drops half the payload — the header survives, the checksum cannot —
+  // while kWalPartialAppend drops everything past the first half of the
+  // frame header, leaving a short frame. Both are deterministic functions
+  // of `record_size`, so a (plan, seed) pair tears byte-identically.
+  std::uint64_t wal_torn_bytes(const std::string& site, std::uint64_t record_size) {
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      const FaultKind kind = plan_.specs[i].kind;
+      if (kind == FaultKind::kWalTornWrite && fires(i, site)) {
+        const std::uint64_t keep = record_size / 2 + 1;
+        return record_size > keep ? record_size - keep : 1;
+      }
+      if (kind == FaultKind::kWalPartialAppend && fires(i, site)) {
+        return record_size > 14 ? record_size - 14 : record_size;
+      }
+    }
+    return 0;
   }
 
  private:

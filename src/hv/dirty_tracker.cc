@@ -1,0 +1,50 @@
+#include "src/hv/dirty_tracker.h"
+
+#include "src/wal/wal.h"
+
+namespace pvm {
+
+DirtyStoreOutcome DirtyTracker::note_store(int vcpu_id, std::uint64_t page_key) {
+  if (!armed_) {
+    return DirtyStoreOutcome::kClean;
+  }
+  if (!dirty_.insert(page_key).second) {
+    // Already dirty this round: the page is unprotected (WP) or its dirty
+    // bit is set (PML); the store proceeds at full speed.
+    return DirtyStoreOutcome::kClean;
+  }
+  if (wal_ != nullptr) {
+    std::string payload;
+    wal::put_u64(payload, page_key);
+    wal_->append(wal::RecordType::kDirtyPage, payload);
+  }
+  if (protocol_ == DirtyProtocol::kWriteProtect) {
+    ++wp_faults_;
+    return DirtyStoreOutcome::kWpFault;
+  }
+  ++pml_appends_;
+  std::size_t& buffered = pml_buffers_[vcpu_id];
+  if (++buffered >= kPmlBufferEntries) {
+    buffered = 0;
+    ++pml_flushes_;
+    return DirtyStoreOutcome::kPmlFlush;
+  }
+  return DirtyStoreOutcome::kPmlAppend;
+}
+
+std::vector<std::uint64_t> DirtyTracker::collect_round() {
+  // Partial PML buffers drain here for free: the hypervisor reads them
+  // while the vCPUs are already stopped at the round boundary.
+  pml_buffers_.clear();
+  std::vector<std::uint64_t> pages(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  ++round_;
+  if (wal_ != nullptr) {
+    std::string payload;
+    wal::put_u64(payload, round_);
+    wal_->append(wal::RecordType::kRoundBegin, payload);
+  }
+  return pages;
+}
+
+}  // namespace pvm

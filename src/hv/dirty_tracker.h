@@ -1,0 +1,136 @@
+// Dirty-page tracking for live migration (paper §2.3, ROADMAP item 3).
+//
+// Two real protocols replace the old analytic `dirty_fraction` model:
+//
+//  - kWriteProtect: every page starts write-protected each round; the first
+//    store faults (through the backend's existing shadow-paging/EPT fault
+//    path), the handler records the page dirty and unprotects it, so later
+//    stores in the same round are free. begin_round() re-protects the world.
+//    This is what a shadow-paging hypervisor (kvm-spt, PVM) does natively.
+//
+//  - kPml: Page-Modification-Logging style. The first store per page per
+//    round appends the page key to a per-vCPU log buffer (nearly free); when
+//    a buffer fills, the vCPU takes a flush exit and the hypervisor drains
+//    it. This is the hardware-assisted protocol *Out of Hypervisor* models
+//    for nested guests.
+//
+// The tracker is pure bookkeeping — it never advances virtual time. Backends
+// call note_store() on every write and charge the protocol's cost themselves
+// (a wp fault costs a full exit round trip; a PML append costs ~nothing; a
+// flush costs an exit plus the drain). Costs therefore flow through each
+// backend's own exit machinery, which is the point: the same store is cheap
+// on pvm (switcher exit) and expensive on ept-on-ept (nested exit).
+//
+// Every Vm owns one tracker by value, disarmed by default: the disarmed fast
+// path is a single branch in the backends, preserving byte-identical
+// behavior for every existing golden test.
+//
+// When a wal::Log is attached, the tracker streams kDirtyPage/kRoundBegin
+// records as dirtying happens — the migration WAL the recovery tests replay.
+
+#ifndef PVM_SRC_HV_DIRTY_TRACKER_H_
+#define PVM_SRC_HV_DIRTY_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pvm::wal {
+class Log;
+}  // namespace pvm::wal
+
+namespace pvm {
+
+enum class DirtyProtocol {
+  kWriteProtect,  // fault on first store, re-protect per round
+  kPml,           // per-vCPU log buffer, flush-on-full exits
+};
+
+constexpr const char* dirty_protocol_name(DirtyProtocol protocol) {
+  return protocol == DirtyProtocol::kWriteProtect ? "write-protect" : "pml";
+}
+
+// Stable identity of a guest page across rounds: process + page number.
+// pid fits 16 bits in practice; gva page numbers stay far below 2^48.
+constexpr std::uint64_t dirty_page_key(std::uint64_t pid, std::uint64_t gva) {
+  return (pid << 48) | ((gva >> 12) & 0xffff'ffff'ffffull);
+}
+
+// What one store cost the guest, protocol-wise. The backend maps this onto
+// its own exit costs.
+enum class DirtyStoreOutcome {
+  kClean,     // tracking disarmed, or page already dirty this round: free
+  kWpFault,   // write-protect fault: full exit round trip + unprotect
+  kPmlAppend, // PML log append: in-guest, nearly free
+  kPmlFlush,  // PML append filled the buffer: flush exit + drain
+};
+
+class DirtyTracker {
+ public:
+  static constexpr std::size_t kPmlBufferEntries = 512;
+
+  bool armed() const { return armed_; }
+  DirtyProtocol protocol() const { return protocol_; }
+
+  // Starts tracking. Clears all per-round state; round 0 begins implicitly.
+  void arm(DirtyProtocol protocol) {
+    protocol_ = protocol;
+    armed_ = true;
+    round_ = 0;
+    dirty_.clear();
+    pml_buffers_.clear();
+    wp_faults_ = pml_appends_ = pml_flushes_ = 0;
+  }
+
+  void disarm() {
+    armed_ = false;
+    dirty_.clear();
+    pml_buffers_.clear();
+  }
+
+  // Attaches the migration WAL; dirty pages and round markers stream into
+  // it as records. Null detaches.
+  void set_wal(wal::Log* log) { wal_ = log; }
+
+  // Records one guest store. Returns what the store cost, protocol-wise;
+  // the caller charges virtual time accordingly. Disarmed: kClean, one
+  // branch, no state touched.
+  DirtyStoreOutcome note_store(int vcpu_id, std::uint64_t page_key);
+
+  // Ends the current round: drains partial PML buffers, returns the round's
+  // dirty set in ascending page-key order (deterministic regardless of the
+  // schedule interleaving that produced it), re-protects every page (the
+  // next round starts clean), and appends a kRoundBegin WAL record for the
+  // new round.
+  std::vector<std::uint64_t> collect_round();
+
+  // The current round's dirty set so far, without ending the round. PML
+  // partial buffers are *included* (they are dirtiness the hypervisor could
+  // see by forcing a flush, and convergence control needs the true rate).
+  std::uint64_t dirty_count() const { return dirty_.size(); }
+
+  std::uint64_t round() const { return round_; }
+  std::uint64_t wp_faults() const { return wp_faults_; }
+  std::uint64_t pml_appends() const { return pml_appends_; }
+  std::uint64_t pml_flushes() const { return pml_flushes_; }
+
+ private:
+  bool armed_ = false;
+  DirtyProtocol protocol_ = DirtyProtocol::kWriteProtect;
+  std::uint64_t round_ = 0;
+  // std::set: collect_round() drains in key order, so the dirty stream is
+  // deterministic no matter which vCPU touched what first.
+  std::set<std::uint64_t> dirty_;
+  // Per-vCPU PML buffers; entries already appear in dirty_ (the buffer
+  // models the *exit cost structure*, not a second source of truth).
+  std::map<int, std::size_t> pml_buffers_;  // vcpu id -> entries buffered
+  std::uint64_t wp_faults_ = 0;
+  std::uint64_t pml_appends_ = 0;
+  std::uint64_t pml_flushes_ = 0;
+  wal::Log* wal_ = nullptr;
+};
+
+}  // namespace pvm
+
+#endif  // PVM_SRC_HV_DIRTY_TRACKER_H_

@@ -21,6 +21,7 @@
 #include "src/arch/cost_model.h"
 #include "src/arch/page_table.h"
 #include "src/arch/physical_memory.h"
+#include "src/hv/dirty_tracker.h"
 #include "src/hv/vmcs.h"
 #include "src/metrics/counters.h"
 #include "src/sim/resource.h"
@@ -81,6 +82,10 @@ class HostHypervisor {
     bool nested_vmx_active() const { return nested_vmx_active_; }
     void set_nested_vmx_active(bool active) { nested_vmx_active_ = active; }
 
+    // Migration dirty tracking. Owned by value so backend pointers into it
+    // stay valid for the VM's lifetime; disarmed (free) outside migrations.
+    DirtyTracker& dirty_tracker() { return dirty_tracker_; }
+
    private:
     std::string name_;
     std::uint16_t vpid_;
@@ -89,6 +94,7 @@ class HostHypervisor {
     Resource mmu_lock_;
     bool warm_ = false;
     bool nested_vmx_active_ = false;
+    DirtyTracker dirty_tracker_;
   };
 
   HostHypervisor(Simulation& sim, const CostModel& costs, CounterSet& counters, TraceLog& trace,

@@ -5,9 +5,17 @@
 // significantly impacting the cluster management." PVM's L1 looks like an
 // ordinary VM to L0 (no nested VMX state at L0), so it stays migratable.
 //
-// The engine implements standard pre-copy: iterative dirty-page rounds over
-// the VM's resident set, then a stop-and-copy of the remainder; it refuses
-// VMs with active nested-VMX state, as production KVM does.
+// v2: dirtying is no longer an analytic fraction — the engine arms the VM's
+// DirtyTracker and each pre-copy round copies exactly the pages the guest
+// actually dirtied while the previous round streamed (write-protect or PML
+// protocol, chosen in MigrationParams; the per-store costs land on the
+// guest through the memory backends). Convergence control watches the dirty
+// rate: when it stops shrinking for `divergence_rounds` rounds, or the
+// projected stop-and-copy pause blows the downtime cap, the engine degrades
+// gracefully to post-copy — ship minimal state, resume remotely, fetch the
+// hot working set on demand at remote-fault latency — instead of spinning.
+// The dirty-page stream appends to a pvm::wal log when one is attached, so
+// a crash mid-migration recovers to the last round boundary.
 
 #ifndef PVM_SRC_HV_MIGRATION_H_
 #define PVM_SRC_HV_MIGRATION_H_
@@ -15,28 +23,49 @@
 #include <cstdint>
 #include <string>
 
+#include "src/hv/dirty_tracker.h"
 #include "src/hv/host_hypervisor.h"
 
+namespace pvm::wal {
+class Log;
+}  // namespace pvm::wal
+
 namespace pvm {
+
+enum class MigrationMode {
+  kPreCopy,   // iterative pre-copy only; abort when it cannot converge
+  kPostCopy,  // resume on the destination immediately, fetch on demand
+  kAuto,      // pre-copy, degrading to post-copy under divergence/cap
+};
 
 struct MigrationParams {
   // Wire bandwidth in bytes per virtual second (25 Gbit/s default).
   double bandwidth_bytes_per_sec = 25.0e9 / 8.0;
-  // Fraction of the previous round's pages dirtied again while it copied.
-  double dirty_fraction = 0.12;
+  // How dirtied pages are discovered (drives the VM's DirtyTracker).
+  DirtyProtocol protocol = DirtyProtocol::kWriteProtect;
+  MigrationMode mode = MigrationMode::kAuto;
   // Stop-and-copy threshold: remaining pages at which the VM is paused.
   std::uint64_t stop_copy_pages = 1024;
   int max_rounds = 16;
+  // Convergence control: after this many consecutive rounds in which the
+  // dirty set failed to shrink below what was just copied, pre-copy is
+  // declared divergent (the guest dirties faster than the wire drains).
+  int divergence_rounds = 3;
 
   // Downtime cap: refuse to stop-and-copy when the projected pause would
-  // exceed this, and retry the whole pre-copy pass instead (0 = uncapped,
-  // the historical behavior).
+  // exceed this (0 = uncapped). kAuto degrades to post-copy; kPreCopy
+  // retries the pre-copy pass with exponential backoff instead.
   SimTime max_downtime_ns = 0;
-  // Bounded retry with exponential backoff: after a capped attempt, wait
-  // retry_backoff_ns << attempt before re-running pre-copy; give up after
-  // max_retries additional attempts.
   int max_retries = 3;
   SimTime retry_backoff_ns = 2 * kNsPerMs;
+
+  // Post-copy: servicing one faulted page across the wire (network RTT +
+  // source lookup), paid per hot page before the background stream wins.
+  SimTime remote_fault_latency_ns = 80 * kNsPerUs;
+
+  // Optional dirty-log WAL: rounds and dirty pages stream into it, with a
+  // checkpoint record at every round boundary and at stop-and-copy.
+  wal::Log* wal = nullptr;
 };
 
 struct MigrationResult {
@@ -45,24 +74,35 @@ struct MigrationResult {
   int rounds = 0;       // pre-copy + stop-and-copy rounds, across all attempts
   int retries = 0;      // attempts abandoned at the downtime-cap check
   bool capped = false;  // the final attempt was abandoned (succeeded == false)
+  bool fell_back_postcopy = false;  // pre-copy degraded to post-copy
   std::uint64_t pages_copied = 0;
+  std::uint64_t pages_dirtied = 0;  // pages the tracker saw dirtied, total
+  // Protocol cost evidence (mirrors the tracker's counters).
+  std::uint64_t wp_faults = 0;
+  std::uint64_t pml_appends = 0;
+  std::uint64_t pml_flushes = 0;
+  std::uint64_t remote_faults = 0;  // post-copy demand fetches
   SimTime total_time = 0;
-  SimTime downtime = 0;  // the stop-and-copy pause
+  SimTime downtime = 0;  // the stop-and-copy (or state-ship) pause
 };
 
 class MigrationEngine {
  public:
   explicit MigrationEngine(HostHypervisor& l0) : l0_(&l0) {}
 
-  // Attempts a pre-copy live migration of `vm`. Fails immediately (as KVM
-  // does) when the VM has live nested-VMX state.
+  // Attempts a live migration of `vm`. Fails immediately (as KVM does) when
+  // the VM has live nested-VMX state.
   Task<MigrationResult> migrate(HostHypervisor::Vm& vm, const MigrationParams& params = {});
 
+  // Transfer time for `pages` at the params' bandwidth: ceiling, floored at
+  // 1 ns for any nonzero transfer (a sub-ns cast-truncation here used to
+  // make tiny stop-and-copy phases report zero downtime).
+  static SimTime copy_time(std::uint64_t pages, const MigrationParams& params);
+
  private:
-  SimTime copy_time(std::uint64_t pages, const MigrationParams& params) const {
-    const double bytes = static_cast<double>(pages) * kPageSize;
-    return static_cast<SimTime>(bytes / params.bandwidth_bytes_per_sec * 1e9);
-  }
+  Task<MigrationResult> post_copy(HostHypervisor::Vm& vm, const MigrationParams& params,
+                                  MigrationResult result, std::uint64_t remaining,
+                                  std::uint64_t hot_pages, SimTime start);
 
   HostHypervisor* l0_;
 };

@@ -72,6 +72,13 @@ enum class Counter : std::size_t {
   kBackingFail,          // backing allocations that failed with no recovery path
   kMigrationRetry,       // migration attempts retried after stall/overrun
   kVmresumeRetry,        // VMRESUME launches retried after transient failure
+
+  // Live-migration dirty tracking (pvm::wal-backed protocols).
+  kDirtyWpFault,         // write-protect protocol: first store to a clean page
+  kDirtyPmlLog,          // PML protocol: one entry appended to a vCPU's log
+  kDirtyPmlFlush,        // PML protocol: flush-on-full VM exits
+  kMigrationFallback,    // pre-copy degraded to post-copy
+  kMigrationRemoteFault, // post-copy: faulted page fetched from the source
   kWatchdogKick,         // watchdog stage 1: re-inject / nudge a stalled vCPU
   kWatchdogReset,        // watchdog stage 2: vCPU reset (TLB + state)
   kWatchdogKill,         // watchdog stage 3: container killed

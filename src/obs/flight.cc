@@ -83,6 +83,12 @@ std::string_view event_kind_name(EventKind kind) {
       return "watchdog";
     case EventKind::kOomKill:
       return "oom-kill";
+    case EventKind::kMigrationRound:
+      return "migration-round";
+    case EventKind::kMigrationStopCopy:
+      return "migration-stop-copy";
+    case EventKind::kMigrationFallback:
+      return "migration-fallback";
     case EventKind::kCount:
       break;
   }
@@ -141,6 +147,13 @@ std::string event_detail(const FlightRecorder& recorder, const Event& event) {
              " vcpu=" + dec(event.a);
     case EventKind::kOomKill:
       return "pid=" + dec(event.a) + " frames=" + dec(event.b);
+    case EventKind::kMigrationRound:
+      return "copied=" + dec(event.a) + " dirtied=" + dec(event.b) +
+             " round=" + dec(event.code);
+    case EventKind::kMigrationStopCopy:
+      return "pages=" + dec(event.a) + " downtime=" + dec(event.b) + "ns";
+    case EventKind::kMigrationFallback:
+      return "remaining=" + dec(event.a);
     case EventKind::kCount:
       break;
   }

@@ -48,6 +48,9 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,  // a = interned site name; code = fault::FaultKind
   kWatchdog,       // a = vcpu index; code = 0 kick, 1 reset, 2 kill
   kOomKill,        // guest OOM kill; a = pid, b = data frames freed
+  kMigrationRound,     // pre-copy round done; a = pages copied, b = dirtied
+  kMigrationStopCopy,  // stop-and-copy pause; a = pages, b = downtime ns
+  kMigrationFallback,  // pre-copy degraded to post-copy; a = pages left
   kCount,
 };
 

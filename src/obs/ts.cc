@@ -188,6 +188,18 @@ void Collector::on_flight_event(std::uint64_t t, std::int64_t track,
     case EventKind::kOomKill:
       count_at("oom_kills", t);
       break;
+    case EventKind::kMigrationRound:
+      count_at("migration_rounds", t);
+      count_at("migration_pages_copied", t, static_cast<std::int64_t>(a));
+      count_at("migration_pages_dirtied", t, static_cast<std::int64_t>(b));
+      break;
+    case EventKind::kMigrationStopCopy:
+      count_at("migration_stop_copies", t);
+      observe_at("migration_downtime_ns", t, b);
+      break;
+    case EventKind::kMigrationFallback:
+      count_at("migration_fallbacks", t);
+      break;
     default:
       break;
   }

@@ -10,10 +10,12 @@
 // nondeterministic section — and is therefore off by default.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "src/obs/ts.h"
 #include "src/sweep/matrix.h"
 #include "src/sweep/sweep.h"
+#include "src/wal/wal.h"
 
 namespace {
 
@@ -50,7 +53,16 @@ void usage(std::ostream& out) {
          "  --ts-window NS         timeseries window width in virtual ns\n"
          "                         (default 1000000)\n"
          "  --slo SPEC             evaluate an SLO against the merged timeseries\n"
-         "                         (\"name:metric:p99<=15ms[:window]\"); repeatable\n";
+         "                         (\"name:metric:p99<=15ms[:window]\"); repeatable\n"
+         "  --checkpoint PATH      WAL-backed resume: completed cells append to\n"
+         "                         PATH as they finish; a rerun with the same\n"
+         "                         spec replays them instead of recomputing, so\n"
+         "                         the final document is byte-identical to an\n"
+         "                         uninterrupted run (torn tails are truncated\n"
+         "                         and those cells rerun)\n"
+         "  --checkpoint-stop-after N\n"
+         "                         stop after N freshly computed cells (exit 3,\n"
+         "                         no document) — crash-resume testing hook\n";
 }
 
 std::vector<std::string> split_csv(std::string_view list) {
@@ -72,6 +84,68 @@ std::vector<std::string> split_csv(std::string_view list) {
   std::exit(2);
 }
 
+// Identity of the matrix a checkpoint belongs to: every coordinate that
+// changes what a cell computes. A resume against a different spec would
+// splice wrong results into the document, so the header record pins this.
+std::string spec_fingerprint(const pvm::sweep::MatrixSpec& spec, bool want_ts,
+                             std::uint64_t ts_window_ns) {
+  std::string fp = "pvm.matrix.v1;modes=";
+  for (const pvm::DeployMode mode : spec.modes) {
+    fp += pvm::deploy_mode_name(mode);
+    fp += ',';
+  }
+  fp += ";workloads=";
+  for (const std::string& workload : spec.workloads) {
+    fp += workload;
+    fp += ',';
+  }
+  fp += ";faults=";
+  for (const std::string& plan : spec.fault_plans) {
+    fp += plan;
+    fp += ',';
+  }
+  fp += ";policies=";
+  for (const pvm::SchedulePolicy policy : spec.policies) {
+    fp += pvm::schedule_policy_name(policy);
+    fp += ',';
+  }
+  fp += ";seeds=" + std::to_string(spec.seeds);
+  fp += ";first_seed=" + std::to_string(spec.first_seed);
+  fp += ";ts=" + std::string(want_ts ? "1" : "0");
+  fp += ";ts_window=" + std::to_string(ts_window_ns);
+  return fp;
+}
+
+std::string encode_cell_result(std::size_t index, const pvm::sweep::CellResult& cell) {
+  std::string payload;
+  pvm::wal::put_u64(payload, index);
+  pvm::wal::put_u32(payload, cell.ok ? 1 : 0);
+  pvm::wal::put_string(payload, cell.error);
+  pvm::wal::put_string(payload, cell.bench_json);
+  pvm::wal::put_string(payload, cell.ts_json);
+  pvm::wal::put_u64(payload, cell.events);
+  return payload;
+}
+
+bool decode_cell_result(std::string_view payload, std::size_t* index,
+                        pvm::sweep::CellResult* cell) {
+  std::size_t cursor = 0;
+  std::uint64_t idx = 0, events = 0;
+  std::uint32_t ok = 0;
+  if (!pvm::wal::get_u64(payload, &cursor, &idx) ||
+      !pvm::wal::get_u32(payload, &cursor, &ok) ||
+      !pvm::wal::get_string(payload, &cursor, &cell->error) ||
+      !pvm::wal::get_string(payload, &cursor, &cell->bench_json) ||
+      !pvm::wal::get_string(payload, &cursor, &cell->ts_json) ||
+      !pvm::wal::get_u64(payload, &cursor, &events)) {
+    return false;
+  }
+  *index = static_cast<std::size_t>(idx);
+  cell->ok = ok != 0;
+  cell->events = events;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +161,8 @@ int main(int argc, char** argv) {
   std::string ts_path;
   std::uint64_t ts_window_ns = 0;
   std::vector<pvm::ts::SloSpec> slo_specs;
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_stop_after = 0;
 
   const auto next_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -166,6 +242,13 @@ int main(int argc, char** argv) {
         die("bad --slo spec '" + value + "': " + error);
       }
       slo_specs.push_back(std::move(spec));
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next_value(i);
+    } else if (arg == "--checkpoint-stop-after") {
+      checkpoint_stop_after = std::strtoull(next_value(i).c_str(), nullptr, 10);
+      if (checkpoint_stop_after == 0) {
+        die("--checkpoint-stop-after must be >= 1");
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -176,9 +259,75 @@ int main(int argc, char** argv) {
   if (spec.cell_count() == 0) {
     die("empty matrix (check --modes/--workloads/--faults/--policies/--seeds)");
   }
+  if (checkpoint_stop_after != 0 && checkpoint_path.empty()) {
+    die("--checkpoint-stop-after needs --checkpoint");
+  }
 
   const bool want_ts = !ts_path.empty();
-  const auto runner = [want_ts, ts_window_ns](const pvm::sweep::MatrixCell& cell) {
+
+  // Checkpoint-resume: replay completed cells from the WAL (a torn tail —
+  // the process died mid-append — is truncated by recovery, so those cells
+  // simply rerun), then append each freshly computed cell and save. The
+  // final document is byte-identical to an uninterrupted run because cells
+  // are deterministic and merge by index, never by completion order.
+  const bool use_checkpoint = !checkpoint_path.empty();
+  const std::string fingerprint = spec_fingerprint(spec, want_ts, ts_window_ns);
+  std::vector<pvm::sweep::CellResult> cached(spec.cell_count());
+  std::vector<char> have(spec.cell_count(), 0);
+  pvm::wal::Log checkpoint_log("wal:matrix");
+  std::mutex checkpoint_mutex;
+  if (use_checkpoint) {
+    std::string bytes;
+    std::string error;
+    if (!pvm::wal::load_file(checkpoint_path, &bytes, &error)) {
+      die("cannot read checkpoint " + checkpoint_path + ": " + error);
+    }
+    const pvm::wal::RecoveryResult recovered = pvm::wal::recover(bytes);
+    if (recovered.torn_tail) {
+      std::cerr << "pvm-matrix: checkpoint tail truncated (" << recovered.detail
+                << "); rerunning the affected cell(s)\n";
+    }
+    std::size_t replayed = 0;
+    for (const pvm::wal::Record& record : recovered.records) {
+      if (record.type == pvm::wal::RecordType::kHeader) {
+        std::size_t cursor = 0;
+        std::string stored;
+        if (!pvm::wal::get_string(record.payload, &cursor, &stored) ||
+            stored != fingerprint) {
+          die("checkpoint " + checkpoint_path +
+              " was written for a different matrix spec; delete it or rerun "
+              "with the original --modes/--workloads/--faults/--policies/"
+              "--seeds/--timeseries options");
+        }
+      } else if (record.type == pvm::wal::RecordType::kCellResult) {
+        std::size_t index = 0;
+        pvm::sweep::CellResult cell;
+        if (decode_cell_result(record.payload, &index, &cell) && index < cached.size()) {
+          cached[index] = std::move(cell);
+          have[index] = 1;
+          ++replayed;
+        }
+      }
+    }
+    if (replayed > 0) {
+      std::fprintf(stderr, "pvm-matrix: replayed %zu of %zu cell(s) from %s\n", replayed,
+                   spec.cell_count(), checkpoint_path.c_str());
+    }
+    // Rebuild the log from scratch: header, then the replayed cells. Fresh
+    // cells append behind them as they complete.
+    checkpoint_log.clear();
+    std::string header;
+    pvm::wal::put_string(header, fingerprint);
+    checkpoint_log.append(pvm::wal::RecordType::kHeader, header);
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      if (have[i] != 0) {
+        checkpoint_log.append(pvm::wal::RecordType::kCellResult,
+                              encode_cell_result(i, cached[i]));
+      }
+    }
+  }
+
+  const auto run_cell = [want_ts, ts_window_ns](const pvm::sweep::MatrixCell& cell) {
     pvm::bench::CellConfig config;
     config.mode = cell.mode;
     config.policy = cell.policy;
@@ -197,9 +346,74 @@ int main(int argc, char** argv) {
     return result;
   };
 
+  std::atomic<std::uint64_t> fresh_cells{0};
+  std::atomic<bool> stopped{false};
+  const auto runner = [&](const pvm::sweep::MatrixCell& cell) -> pvm::sweep::CellResult {
+    if (use_checkpoint && have[cell.index] != 0) {
+      return cached[cell.index];
+    }
+    if (checkpoint_stop_after != 0 &&
+        fresh_cells.fetch_add(1, std::memory_order_relaxed) >= checkpoint_stop_after) {
+      stopped.store(true, std::memory_order_relaxed);
+      pvm::sweep::CellResult skipped;
+      skipped.ok = false;
+      skipped.error = "not run: --checkpoint-stop-after";
+      return skipped;
+    }
+    pvm::sweep::CellResult result = run_cell(cell);
+    if (use_checkpoint) {
+      const std::scoped_lock lock(checkpoint_mutex);
+      checkpoint_log.append(pvm::wal::RecordType::kCellResult,
+                            encode_cell_result(cell.index, result));
+      std::string error;
+      if (!checkpoint_log.save(checkpoint_path, &error)) {
+        std::cerr << "pvm-matrix: checkpoint save failed: " << error << "\n";
+      }
+    }
+    return result;
+  };
+
   pvm::sweep::SweepTiming sweep_timing;
   const std::vector<pvm::sweep::CellResult> cells =
       pvm::sweep::run_matrix(spec, jobs, runner, &sweep_timing);
+
+  if (stopped.load(std::memory_order_relaxed)) {
+    // Deliberate mid-run stop: the checkpoint holds everything computed so
+    // far; no document is written (it would embed the skipped cells).
+    std::size_t done = 0;
+    for (const char h : have) {
+      done += h != 0 ? 1 : 0;
+    }
+    done += checkpoint_stop_after;
+    if (done > cells.size()) {
+      done = cells.size();
+    }
+    std::fprintf(stderr,
+                 "pvm-matrix: stopped after %llu fresh cell(s) (%zu/%zu checkpointed); "
+                 "resume with --checkpoint %s\n",
+                 static_cast<unsigned long long>(checkpoint_stop_after), done, cells.size(),
+                 checkpoint_path.c_str());
+    return 3;
+  }
+  if (use_checkpoint) {
+    // Rewrite the completed checkpoint deterministically — header, cells in
+    // index order, terminal checkpoint record — so the file itself is
+    // byte-identical regardless of --jobs or how many resumes it took.
+    checkpoint_log.clear();
+    std::string header;
+    pvm::wal::put_string(header, fingerprint);
+    checkpoint_log.append(pvm::wal::RecordType::kHeader, header);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      checkpoint_log.append(pvm::wal::RecordType::kCellResult,
+                            encode_cell_result(i, cells[i]));
+    }
+    checkpoint_log.append_checkpoint(fingerprint);
+    std::string error;
+    if (!checkpoint_log.save(checkpoint_path, &error)) {
+      std::cerr << "pvm-matrix: checkpoint save failed: " << error << "\n";
+    }
+  }
+
   const std::string document =
       pvm::sweep::render_matrix_json(spec, cells, timing ? &sweep_timing : nullptr);
 

@@ -1,0 +1,164 @@
+// pvm::wal — append-only, versioned, checksummed record log.
+//
+// The write-ahead log behind live migration's dirty-page stream, the
+// shadow-engine checkpoint/restore path, and the sweep drivers'
+// checkpoint-resume (pvm-matrix / simcheck). One byte format serves all of
+// them: a sequence of framed records, each carrying a 16-bit type, a 16-bit
+// format version, a monotonically increasing sequence number, and a CRC-64
+// over header and payload. Checkpoint records (kCheckpoint) mark consistent
+// prefixes; recovery replays records up to the torn tail and reports the
+// last checkpoint so a consumer can fall back to the newest consistent
+// state.
+//
+// Crash consistency is the point: recover() accepts arbitrary byte prefixes
+// (a process can die mid-append) and truncates at the first record whose
+// frame is short, whose magic is wrong, or whose checksum mismatches — the
+// classic truncate-at-first-bad-checksum rule. pvm::fault can inject torn
+// writes at append time (FaultKind::kWalTornWrite / kWalPartialAppend),
+// modelling the death deterministically: the log keeps the partial bytes,
+// refuses further appends, and recovery must cope.
+//
+// Everything is deterministic: no wall clock, no randomness, little-endian
+// integer encoding, so the same append sequence produces identical bytes on
+// every run — the property the checkpoint-resume byte-identity tests pin.
+
+#ifndef PVM_SRC_WAL_WAL_H_
+#define PVM_SRC_WAL_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pvm::fault {
+class FaultInjector;
+}  // namespace pvm::fault
+
+namespace pvm::wal {
+
+// Frame magic ("WALR") — guards against replaying a file that is not a WAL
+// and detects mid-stream corruption (a record boundary that does not start
+// a record).
+inline constexpr std::uint32_t kRecordMagic = 0x52'4c'41'57;  // "WALR" LE
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+// Fixed frame: magic(4) type(2) version(2) seq(8) payload_len(4) crc(8).
+inline constexpr std::size_t kRecordHeaderBytes = 28;
+
+enum class RecordType : std::uint16_t {
+  kData = 1,        // opaque consumer payload
+  kCheckpoint = 2,  // consistency marker; payload = consumer state digest
+  kHeader = 3,      // stream identity (spec fingerprint); first record
+  // Live migration dirty-log stream.
+  kDirtyPage = 16,   // payload: u64 page key
+  kRoundBegin = 17,  // payload: u64 round number
+  // Shadow-engine snapshot stream.
+  kSnapshotBegin = 32,  // payload: engine name
+  kGpaMapEntry = 33,    // payload: u64 gpa_page, u64 l1_frame, u64 flags
+  kShadowLeaf = 34,     // payload: u64 pid, u64 ring, u64 gva, u64 frame,
+                        //          u64 flags, u64 gfn
+  // Sweep checkpoint-resume streams.
+  kCellResult = 48,  // payload: u64 cell index + serialized CellResult
+  kCaseResult = 49,  // payload: u64 case index + serialized SimcheckResult
+};
+
+struct Record {
+  RecordType type = RecordType::kData;
+  std::uint16_t version = kFormatVersion;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+// CRC-64/XZ (ECMA-182 polynomial, reflected). Table built on first use;
+// deterministic and dependency-free.
+std::uint64_t crc64(std::string_view bytes, std::uint64_t seed = 0);
+
+// ---- Little-endian payload encoding helpers ----
+
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+// Length-prefixed (u32) string.
+void put_string(std::string& out, std::string_view s);
+
+// Cursor-based readers; return false on underrun (cursor is left unchanged
+// so the caller can report the malformed offset).
+bool get_u32(std::string_view bytes, std::size_t* cursor, std::uint32_t* v);
+bool get_u64(std::string_view bytes, std::size_t* cursor, std::uint64_t* v);
+bool get_string(std::string_view bytes, std::size_t* cursor, std::string* s);
+
+// An append-only log over an in-memory byte buffer, with explicit file
+// save/append. The buffer IS the durable representation: save() writes it
+// verbatim, recover() parses it verbatim, and the fault injector tears it
+// byte-exactly.
+class Log {
+ public:
+  // `site` names this log at fault-injection hooks ("wal:migration:vm0",
+  // "wal:matrix", ...), so plans can target one log among several.
+  explicit Log(std::string site = "wal") : site_(std::move(site)) {}
+
+  // Binds the torn-write fault hooks. Null detaches (the default): appends
+  // are then always intact.
+  void set_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
+  const std::string& site() const { return site_; }
+
+  // Appends one framed record; returns its sequence number. After a torn
+  // append (injected crash) the log is dead: further appends are dropped —
+  // the process that owned it would no longer be running.
+  std::uint64_t append(RecordType type, std::string_view payload);
+  std::uint64_t append_checkpoint(std::string_view payload = {});
+
+  // True once an injected torn write has killed the log.
+  bool torn() const { return torn_; }
+
+  std::uint64_t record_count() const { return next_seq_; }
+  const std::string& bytes() const { return buf_; }
+
+  void clear() {
+    buf_.clear();
+    next_seq_ = 0;
+    torn_ = false;
+  }
+
+  // Writes the full buffer to `path` (truncating). Returns false and sets
+  // `error` on I/O failure.
+  bool save(const std::string& path, std::string* error) const;
+
+ private:
+  std::string site_;
+  std::string buf_;
+  std::uint64_t next_seq_ = 0;
+  bool torn_ = false;
+  fault::FaultInjector* faults_ = nullptr;
+};
+
+// What recovery found in a byte stream.
+struct RecoveryResult {
+  std::vector<Record> records;  // the valid prefix, in append order
+  std::size_t bytes_consumed = 0;
+  std::size_t bytes_truncated = 0;  // torn/corrupt tail dropped
+  bool torn_tail = false;
+  std::string detail;  // human-readable reason for the truncation
+  // Index into `records` of the last kCheckpoint, if any: the newest
+  // consistent prefix a checkpoint-consistency consumer may use.
+  std::optional<std::size_t> last_checkpoint;
+
+  // Records up to and including the last checkpoint (empty when no
+  // checkpoint survived) — the replay set for checkpoint-consistent state.
+  std::vector<Record> checkpointed_prefix() const;
+};
+
+// Parses `bytes`, truncating at the first short frame, bad magic, version
+// mismatch, sequence discontinuity, or checksum failure. Never throws: a
+// torn or corrupt tail is an expected crash artifact, not an error.
+RecoveryResult recover(std::string_view bytes);
+
+// Reads a file fully; a missing file yields an empty stream (fresh log) and
+// returns true. Returns false + `error` only on a real I/O failure.
+bool load_file(const std::string& path, std::string* bytes, std::string* error);
+
+}  // namespace pvm::wal
+
+#endif  // PVM_SRC_WAL_WAL_H_

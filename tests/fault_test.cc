@@ -47,6 +47,24 @@ TEST(FaultPlanTest, PresetsParseAndCarrySeeds) {
   }
 }
 
+TEST(FaultPlanTest, MigrationStallSpellingsRoundTripToCanonicalForm) {
+  // Historical drift: the preset was documented "migration-stall" but the
+  // kind name prints "migration_stall", and callers used both. Both must
+  // parse, and both must normalize to the one canonical plan.
+  const fault::FaultPlan dash = fault::FaultPlan::parse("migration-stall");
+  const fault::FaultPlan underscore = fault::FaultPlan::parse("migration_stall");
+  EXPECT_EQ(dash.name, "migration-stall");
+  EXPECT_EQ(underscore.name, "migration-stall");
+  EXPECT_EQ(plan_signature(dash), plan_signature(underscore));
+  ASSERT_FALSE(dash.specs.empty());
+  EXPECT_EQ(dash.specs.front().kind, fault::FaultKind::kMigrationStall);
+  // Round trip: the canonical name reparses to itself, seed and all.
+  const fault::FaultPlan again = fault::FaultPlan::parse(dash.name + ":seed=9");
+  EXPECT_EQ(again.name, "migration-stall");
+  EXPECT_EQ(again.seed, 9u);
+  EXPECT_EQ(plan_signature(again), plan_signature(dash));
+}
+
 TEST(FaultPlanTest, FaultstormPlansAreDeterministicPerSeed) {
   const fault::FaultPlan a = faultstorm_plan(5);
   const fault::FaultPlan b = faultstorm_plan(5);
@@ -127,12 +145,27 @@ struct MigrationFixture {
   }
 };
 
-TEST(MigrationFaultTest, StalledPreCopyRetriesWithBackoffAndConverges) {
+// Dirties `pages` distinct guest pages once per `period` for `bursts`
+// periods, through the VM's DirtyTracker — the scripted guest the stall
+// tests need to keep pre-copy honest.
+Task<void> dirtier(Simulation& sim, HostHypervisor::Vm& vm, std::uint64_t pages, int bursts,
+                   SimTime period) {
+  for (int burst = 0; burst < bursts; ++burst) {
+    co_await sim.delay(period);
+    for (std::uint64_t page = 0; page < pages; ++page) {
+      vm.dirty_tracker().note_store(0, dirty_page_key(1, page << kPageShift));
+    }
+  }
+}
+
+TEST(MigrationFaultTest, StalledDivergentPreCopyFallsBackToPostCopy) {
   MigrationFixture fx(/*resident_pages=*/8192);
-  // Every pre-copy round stalls (making no progress) until t=30ms, then the
-  // storm passes. With only 2 rounds per attempt the first attempt ends
-  // still holding the full resident set, trips the downtime cap, and backs
-  // off; the retry lands partly after the storm window and converges.
+  // The guest re-dirties the same 2000 pages every millisecond — exactly
+  // what each round just copied — while every round also eats an injected
+  // 1 ms stall. The dirty set never shrinks, convergence control trips
+  // after two flat rounds, and kAuto degrades to post-copy: the 2000-page
+  // live dirty set becomes remote demand fetches.
+  fx.sim.spawn(dirtier(fx.sim, *fx.vm, 2000, /*bursts=*/40, /*period=*/kNsPerMs));
   fault::FaultInjector injector;
   fault::FaultPlan plan;
   fault::FaultSpec stall;
@@ -144,18 +177,37 @@ TEST(MigrationFaultTest, StalledPreCopyRetriesWithBackoffAndConverges) {
   fx.sim.set_faults(&injector);
 
   MigrationParams params;
-  params.max_rounds = 2;
-  params.max_downtime_ns = 2 * kNsPerMs;
+  params.divergence_rounds = 2;
+  const MigrationResult result = fx.migrate(params);
+
+  EXPECT_TRUE(result.succeeded) << result.failure_reason;
+  EXPECT_TRUE(result.fell_back_postcopy);
+  EXPECT_EQ(result.remote_faults, 2000u);
+  EXPECT_EQ(result.downtime, 200 * kNsPerUs);
+  EXPECT_EQ(fx.counters.get(Counter::kMigrationFallback), 1u);
+  EXPECT_GT(fx.counters.get(Counter::kFaultInjected), 0u);
+}
+
+TEST(MigrationFaultTest, CappedConvergentPreCopyRetriesWithBackoff) {
+  MigrationFixture fx(/*resident_pages=*/8192);
+  // A dirtying burst (800 pages/ms for 12 ms) small enough to converge
+  // every attempt, but big enough that shipping it would blow the 1 ms
+  // downtime cap. In kPreCopy mode the engine must back off and retry
+  // until the burst has passed, then stop-and-copy inside the cap.
+  fx.sim.spawn(dirtier(fx.sim, *fx.vm, 800, /*bursts=*/12, /*period=*/kNsPerMs));
+  MigrationParams params;
+  params.mode = MigrationMode::kPreCopy;
+  params.max_downtime_ns = kNsPerMs;
   params.retry_backoff_ns = 2 * kNsPerMs;
   params.max_retries = 3;
   const MigrationResult result = fx.migrate(params);
 
   EXPECT_TRUE(result.succeeded) << result.failure_reason;
   EXPECT_FALSE(result.capped);
+  EXPECT_FALSE(result.fell_back_postcopy);
   EXPECT_GE(result.retries, 1);
   EXPECT_EQ(fx.counters.get(Counter::kMigrationRetry),
             static_cast<std::uint64_t>(result.retries));
-  EXPECT_GT(fx.counters.get(Counter::kFaultInjected), 0u);
   EXPECT_LE(result.downtime, params.max_downtime_ns);
 }
 
@@ -163,8 +215,10 @@ TEST(MigrationFaultTest, DowntimeCapAbortsAfterBoundedRetries) {
   MigrationFixture fx(/*resident_pages=*/8192);
   // Cap below the fixed state-ship pause: no attempt can ever fit, so the
   // engine must burn its bounded retries and abort rather than loop forever
-  // (or pause the VM past its budget).
+  // (or pause the VM past its budget). kPreCopy — under kAuto a blown cap
+  // degrades to post-copy instead of failing (tested elsewhere).
   MigrationParams params;
+  params.mode = MigrationMode::kPreCopy;
   params.max_downtime_ns = 100 * kNsPerUs;
   params.retry_backoff_ns = kNsPerMs;
   params.max_retries = 2;

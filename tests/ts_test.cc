@@ -292,6 +292,33 @@ TEST(CollectorTest, FlightBridgeCountsDiscreteKinds) {
   EXPECT_EQ(doc.series.count("lock_uncontended"), 0u);
 }
 
+TEST(CollectorTest, FlightBridgeBuildsMigrationWindowSeries) {
+  std::uint64_t now = 0;
+  std::int64_t track = 1;
+  flight::FlightRecorder recorder;
+  recorder.bind(&now, &track);
+  Collector collector;
+  collector.bind(&now);
+  recorder.set_ts(&collector);
+
+  // Two pre-copy rounds, a fallback, and the stop-copy pause — the shape a
+  // diverging kAuto migration emits.
+  recorder.record(flight::EventKind::kMigrationRound, /*a=*/8192, /*b=*/2000);
+  now = 11 * kNsPerMs;
+  recorder.record(flight::EventKind::kMigrationRound, /*a=*/2000, /*b=*/2000);
+  now = 14 * kNsPerMs;
+  recorder.record(flight::EventKind::kMigrationFallback, /*a=*/2000, 0);
+  recorder.record(flight::EventKind::kMigrationStopCopy, /*a=*/0, /*b=*/200'000);
+
+  const TsDoc doc = collector.drain();
+  EXPECT_EQ(doc.series.at("migration_rounds").total, 2);
+  EXPECT_EQ(doc.series.at("migration_pages_copied").total, 8192 + 2000);
+  EXPECT_EQ(doc.series.at("migration_pages_dirtied").total, 4000);
+  EXPECT_EQ(doc.series.at("migration_fallbacks").total, 1);
+  EXPECT_EQ(doc.series.at("migration_stop_copies").total, 1);
+  EXPECT_EQ(doc.hists.at("migration_downtime_ns").cumulative().sum(), 200'000u);
+}
+
 // --- JSON round trip and merge discipline -------------------------------
 
 TsDoc sample_doc() {
