@@ -24,6 +24,7 @@
 #include "src/obs/chrome_trace.h"
 #include "src/obs/metrics_json.h"
 #include "src/obs/obs_report.h"
+#include "src/obs/prof.h"
 #include "src/obs/span.h"
 #include "src/obs/ts.h"
 #include "src/workloads/runner.h"
@@ -101,6 +102,11 @@ inline void print_header(const char* experiment, const char* paper_ref, const ch
 //                    `benchdiff --slo-check`.
 //   --flight-capacity <n>  per-track flight-recorder ring capacity on every
 //                    observed platform (default 256)
+//   --profile <path> export a pvm.profile.v1 document: the critical-path
+//                    fold of every recorded run's span tree (per-op phase
+//                    paths with exclusive virtual ns, tail cohort at the
+//                    fold-time p99, worst-instance anchors), one namespace
+//                    per run ("<label>/<op>"). Render with pvm-profile.
 //
 // With none of the flags given, observe()/record_run() are no-ops and no
 // span recorder is attached to any platform, so simulations run exactly as
@@ -136,6 +142,8 @@ class BenchIo {
         slo_specs_.push_back(std::move(spec));
       } else if (arg == "--flight-capacity" && i + 1 < argc) {
         flight_capacity_ = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--profile" && i + 1 < argc) {
+        profile_path_ = argv[++i];
       }
     }
     instance_slot() = this;
@@ -161,7 +169,7 @@ class BenchIo {
 
   bool active() const {
     return !json_path_.empty() || !trace_path_.empty() || report_ ||
-           !timeseries_path_.empty();
+           !timeseries_path_.empty() || !profile_path_.empty();
   }
 
   // A bench that models faults by default (fig12's boot storm) declares its
@@ -283,6 +291,11 @@ class BenchIo {
                   ts_doc_.series.size(), ts_doc_.hists.size(), ts_doc_.slos.size(),
                   failed, timeseries_path_.c_str());
     }
+    if (!profile_path_.empty()) {
+      write_file(profile_path_, prof::render_profile_json(prof_doc_));
+      std::printf("[bench] wrote profile (%zu op(s)) to %s\n", prof_doc_.ops.size(),
+                  profile_path_.c_str());
+    }
   }
 
  private:
@@ -323,6 +336,18 @@ class BenchIo {
                      merge_error.c_str());
       }
     }
+    if (!profile_path_.empty() && recorder != nullptr) {
+      // Fold only this run's increment of the recorder's raw-span stream (a
+      // sim recorded more than once must not double-count earlier runs).
+      FoldCursor& cursor = fold_cursor_[recorder];
+      prof::ProfDoc run_doc = prof::fold_profile(*recorder, cursor.spans);
+      run_doc.dropped_spans = recorder->dropped_spans() - cursor.dropped;
+      cursor.spans = recorder->spans().size();
+      cursor.dropped = recorder->dropped_spans();
+      std::string merge_error;
+      prof::merge_profile(&prof_doc_, prof::prefix_profile(run_doc, label + "/"),
+                          &merge_error);
+    }
     if (!trace_path_.empty() && recorder != nullptr) {
       // Written per run while the simulation is alive; the last run wins.
       // The flight overlay marks injected faults / watchdog / OOM events.
@@ -358,6 +383,14 @@ class BenchIo {
   std::uint64_t flight_capacity_ = 0;
   std::vector<ts::SloSpec> slo_specs_;
   ts::TsDoc ts_doc_;
+  std::string profile_path_;
+  prof::ProfDoc prof_doc_;
+  // Per-recorder fold position: raw spans and dropped count already folded.
+  struct FoldCursor {
+    std::size_t spans = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::map<const obs::SpanRecorder*, FoldCursor> fold_cursor_;
   bool report_ = false;
   bool alloc_stats_ = false;
   bool finished_ = false;

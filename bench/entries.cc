@@ -1,6 +1,7 @@
 #include "bench/entries.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -10,6 +11,8 @@
 #include "src/hv/host_hypervisor.h"
 #include "src/hv/migration.h"
 #include "src/obs/metrics_json.h"
+#include "src/obs/prof.h"
+#include "src/obs/span.h"
 #include "src/obs/ts.h"
 #include "src/workloads/lmbench.h"
 #include "src/workloads/memstress.h"
@@ -266,25 +269,46 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
   }
   const bool want_faults = !cell.fault_plan.empty() && cell.fault_plan != "none";
 
+  // Per-sim span recorders for --profile, all cell-local. The recorders must
+  // outlive the workload body (sims fold at record time, while alive).
+  prof::ProfDoc cell_profile;
+  std::vector<std::unique_ptr<obs::SpanRecorder>> recorders;
+  std::map<const Simulation*, obs::SpanRecorder*> recorder_by_sim;
+  const auto attach_profile = [&](Simulation& sim) {
+    if (!cell.profile) {
+      return;
+    }
+    recorders.push_back(std::make_unique<obs::SpanRecorder>());
+    recorders.back()->set_enabled(true);
+    sim.set_spans(recorders.back().get());
+    recorder_by_sim[&sim] = recorders.back().get();
+  };
+
   EntryHooks hooks;
-  hooks.record = [&cell_export, &outcome](const std::string& label, Simulation& sim,
-                                          CounterSet& counters,
-                                          std::vector<std::pair<std::string, double>> values) {
+  hooks.record = [&](const std::string& label, Simulation& sim, CounterSet& counters,
+                     std::vector<std::pair<std::string, double>> values) {
     // Every current workload records each simulation exactly once, so the
     // sum over record calls is the cell's total event count.
     outcome.events += sim.events_processed();
     cell_export.add_run(label, sim, counters, /*recorder=*/nullptr, std::move(values));
+    if (const auto it = recorder_by_sim.find(&sim); it != recorder_by_sim.end()) {
+      prof::merge_profile(&cell_profile,
+                          prof::prefix_profile(prof::fold_profile(*it->second), label + "/"),
+                          nullptr);
+    }
   };
-  hooks.on_sim = [&cell, &collector](Simulation& sim) {
+  hooks.on_sim = [&](Simulation& sim) {
     sim.set_schedule_policy(cell.policy, cell.schedule_seed);
     if (cell.timeseries) {
       sim.set_ts(&collector);
     }
+    attach_profile(sim);
   };
   hooks.on_platform = [&](VirtualPlatform& platform) {
     if (cell.timeseries) {
       platform.sim().set_ts(&collector);
     }
+    attach_profile(platform.sim());
     if (want_faults) {
       injector.arm(fault::FaultPlan::parse(cell.fault_plan));
       platform.arm_faults(&injector);
@@ -329,6 +353,10 @@ CellOutcome run_workload_cell(const std::string& workload, const CellConfig& cel
     outcome.ts_json = ts::render_timeseries_json(ts::prefix_timeseries(
         collector.drain(),
         std::string(deploy_mode_token(cell.mode)) + "/" + workload + "/"));
+  }
+  if (cell.profile) {
+    outcome.profile_json = prof::render_profile_json(prof::prefix_profile(
+        cell_profile, std::string(deploy_mode_token(cell.mode)) + "/" + workload + "/"));
   }
   return outcome;
 }

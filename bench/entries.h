@@ -104,6 +104,11 @@ struct CellConfig {
   // workload) aggregate when merged.
   bool timeseries = false;
   std::uint64_t ts_window_ns = 0;  // 0: ts::kDefaultWindowNs
+  // Collect a pvm.profile.v1 document for the cell (critical-path fold of
+  // every run's span tree). Op keys are prefixed
+  // "<mode>/<workload>/<label>/" — the run label stays in the key so e.g.
+  // the migration workload's WP and PML runs profile separately.
+  bool profile = false;
 };
 
 struct CellOutcome {
@@ -111,6 +116,7 @@ struct CellOutcome {
   std::string error;       // set when !ok (exception text)
   std::string bench_json;  // pvm.bench.v1 document for this cell when ok
   std::string ts_json;     // pvm.timeseries.v1 document (CellConfig::timeseries)
+  std::string profile_json;  // pvm.profile.v1 document (CellConfig::profile)
   // Simulation events processed across the cell's recorded runs — the sweep
   // engine's throughput denominator (events/sec in pvm-matrix --timing).
   std::uint64_t events = 0;

@@ -13,6 +13,7 @@
 #include "src/hv/dirty_tracker.h"
 #include "src/metrics/counters.h"
 #include "src/mmu/two_dim_walk.h"
+#include "src/obs/span.h"
 #include "src/sim/simulation.h"
 #include "src/trace/trace.h"
 
@@ -113,19 +114,25 @@ class MemoryBackendBase : public MemoryBackend {
     switch (dirty_->note_store(vcpu.id, dirty_page_key(proc.pid(), gva))) {
       case DirtyStoreOutcome::kClean:
         co_return;
-      case DirtyStoreOutcome::kWpFault:
+      case DirtyStoreOutcome::kWpFault: {
         counters_->add(Counter::kDirtyWpFault);
+        obs::SpanScope span(sim_->spans(), obs::Phase::kDirtyTrack, gva);
         co_await sim_->delay(dirty_exit_roundtrip_ns() + costs_->dirty_wp_unprotect);
         co_return;
-      case DirtyStoreOutcome::kPmlAppend:
+      }
+      case DirtyStoreOutcome::kPmlAppend: {
         counters_->add(Counter::kDirtyPmlLog);
+        obs::SpanScope span(sim_->spans(), obs::Phase::kDirtyTrack, gva);
         co_await sim_->delay(costs_->pml_log_append);
         co_return;
-      case DirtyStoreOutcome::kPmlFlush:
+      }
+      case DirtyStoreOutcome::kPmlFlush: {
         counters_->add(Counter::kDirtyPmlLog);
         counters_->add(Counter::kDirtyPmlFlush);
+        obs::SpanScope span(sim_->spans(), obs::Phase::kDirtyTrack, gva);
         co_await sim_->delay(dirty_exit_roundtrip_ns() + costs_->pml_flush_drain);
         co_return;
+      }
     }
   }
 

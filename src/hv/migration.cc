@@ -4,6 +4,7 @@
 
 #include "src/fault/fault.h"
 #include "src/obs/flight.h"
+#include "src/obs/span.h"
 #include "src/wal/wal.h"
 
 namespace pvm {
@@ -45,6 +46,11 @@ Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
     co_return result;
   }
 
+  // One op.migration span covers the whole call — pre-copy rounds, retries,
+  // and any post-copy continuation — so the profiler sees each migrate() as
+  // one operation instance (and dirty-tracking spans on vCPU tracks that
+  // overlap it fold into this op's critical path).
+  obs::SpanScope op_span(l0_->sim().spans(), obs::Phase::kOpMigration);
   const SimTime start = l0_->sim().now();
   DirtyTracker& tracker = vm.dirty_tracker();
   tracker.arm(params.protocol);
@@ -93,7 +99,10 @@ Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
           stalled = true;
         }
       }
-      co_await l0_->sim().delay(round_time);
+      {
+        obs::SpanScope copy_span(l0_->sim().spans(), obs::Phase::kMigrationCopy, to_copy);
+        co_await l0_->sim().delay(round_time);
+      }
       result.pages_copied += to_copy;
 
       const std::vector<std::uint64_t> dirty = tracker.collect_round();
@@ -160,7 +169,10 @@ Task<MigrationResult> MigrationEngine::migrate(HostHypervisor::Vm& vm,
 
     // Stop-and-copy: pause the VM, ship the rest + vCPU/device state.
     const SimTime pause_start = l0_->sim().now();
-    co_await l0_->sim().delay(projected);
+    {
+      obs::SpanScope copy_span(l0_->sim().spans(), obs::Phase::kMigrationCopy, to_copy);
+      co_await l0_->sim().delay(projected);
+    }
     result.pages_copied += to_copy;
     result.downtime = l0_->sim().now() - pause_start;
     record_flight(l0_->sim(), flight::EventKind::kMigrationStopCopy, to_copy,
@@ -185,7 +197,10 @@ Task<MigrationResult> MigrationEngine::post_copy(HostHypervisor::Vm& vm,
   // Pause only long enough to ship vCPU/device state; the VM resumes on the
   // destination immediately.
   const SimTime pause_start = l0_->sim().now();
-  co_await l0_->sim().delay(kStateShipNs);
+  {
+    obs::SpanScope copy_span(l0_->sim().spans(), obs::Phase::kMigrationCopy, 1);
+    co_await l0_->sim().delay(kStateShipNs);
+  }
   result.downtime = l0_->sim().now() - pause_start;
   record_flight(l0_->sim(), flight::EventKind::kMigrationStopCopy, 0, result.downtime);
 
@@ -198,7 +213,11 @@ Task<MigrationResult> MigrationEngine::post_copy(HostHypervisor::Vm& vm,
     l0_->counters().add(Counter::kMigrationRemoteFault, fetched);
     co_await l0_->sim().delay(static_cast<SimTime>(fetched) * params.remote_fault_latency_ns);
   }
-  co_await l0_->sim().delay(copy_time(remaining - fetched, params));
+  {
+    obs::SpanScope copy_span(l0_->sim().spans(), obs::Phase::kMigrationCopy,
+                             remaining - fetched);
+    co_await l0_->sim().delay(copy_time(remaining - fetched, params));
+  }
   result.pages_copied += remaining;
   ++result.rounds;
   if (params.wal != nullptr) {

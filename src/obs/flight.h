@@ -136,13 +136,16 @@ class FlightRecorder {
     if (!enabled_ || now_ == nullptr) {
       return;
     }
+    // The seq is assigned before the ts bridge runs so histogram exemplars
+    // carry the exact seq this event lands in the rings with.
+    const std::uint64_t seq = next_seq_++;
     if (ts_ != nullptr) {
       ts_->on_flight_event(*now_, active_root_ != nullptr ? *active_root_ : -1,
-                           static_cast<std::uint8_t>(kind), a, b, code);
+                           static_cast<std::uint8_t>(kind), a, b, code, seq);
     }
     Event ev;
     ev.t = *now_;
-    ev.seq = next_seq_++;
+    ev.seq = seq;
     ev.a = a;
     ev.b = b;
     ev.track = active_root_ != nullptr ? *active_root_ : -1;

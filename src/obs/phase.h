@@ -52,6 +52,13 @@ enum class Phase : std::uint8_t {
   kCompute,         // guest compute timeslices on the host CPU pool
   kReclaim,         // frame-pressure reclaim (zap cold shadow state via rmap)
 
+  // Live-migration phases (appended after the original taxonomy so existing
+  // numeric values — and every golden export built on them — stay stable).
+  kDirtyTrack,      // dirty-tracking cost charged to a guest store (WP fault,
+                    // PML append/flush) while a migration has the tracker armed
+  kMigrationCopy,   // one pre-copy/stop-copy/post-copy transfer leg on the wire
+  kOpMigration,     // operation root: one MigrationEngine::migrate() call
+
   kCount,
 };
 
@@ -105,6 +112,12 @@ constexpr std::string_view phase_name(Phase phase) {
       return "compute";
     case Phase::kReclaim:
       return "reclaim";
+    case Phase::kDirtyTrack:
+      return "dirty_track";
+    case Phase::kMigrationCopy:
+      return "migration_copy";
+    case Phase::kOpMigration:
+      return "op.migration";
     case Phase::kCount:
       break;
   }
@@ -119,6 +132,7 @@ constexpr bool phase_is_op(Phase phase) {
     case Phase::kOpSyscall:
     case Phase::kOpGptStore:
     case Phase::kOpBoot:
+    case Phase::kOpMigration:
       return true;
     default:
       return false;

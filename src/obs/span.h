@@ -145,6 +145,25 @@ class SpanRecorder {
   // itself iterates in name order, which exporters rely on for determinism.
   const std::map<std::string, std::int64_t>& lock_tracks() const { return lock_tracks_; }
 
+  // The currently-open span stack of `root`'s lane, rendered as a
+  // semicolon-joined phase path ("op.page_fault;spt_fill;lock_wait").
+  // Empty when nothing is open — the tail-exemplar hook (pvm::ts) calls this
+  // at observation time to link a histogram sample back to its span context.
+  std::string open_path(std::int64_t root) const {
+    const auto lane = static_cast<std::size_t>(root < 0 ? 0 : root + 1);
+    if (lane >= lanes_.size()) {
+      return {};
+    }
+    std::string path;
+    for (const Open& open : lanes_[lane]) {
+      if (!path.empty()) {
+        path.push_back(';');
+      }
+      path.append(phase_name(open.phase));
+    }
+    return path;
+  }
+
   void clear() {
     lanes_.clear();
     spans_.clear();

@@ -8,6 +8,7 @@
 #include "src/obs/flight.h"
 #include "src/obs/json.h"
 #include "src/obs/json_parse.h"
+#include "src/obs/span.h"
 
 namespace pvm::ts {
 
@@ -72,6 +73,19 @@ std::int64_t as_i64(const obs::JsonValue& v) {
 
 }  // namespace
 
+bool exemplar_worse(const TsExemplar& a, const TsExemplar& b) {
+  if (a.value != b.value) {
+    return a.value > b.value;
+  }
+  if (a.seq != b.seq) {
+    return a.seq < b.seq;
+  }
+  if (a.source != b.source) {
+    return a.source < b.source;
+  }
+  return a.path < b.path;
+}
+
 MergeableHistogram TsHist::cumulative() const {
   MergeableHistogram all;
   for (const auto& [w, h] : windows) {
@@ -109,12 +123,30 @@ void Collector::observe_at(std::string_view name, std::uint64_t t,
   if (it == doc_.hists.end()) {
     it = doc_.hists.emplace(std::string(name), TsHist{}).first;
   }
-  it->second.windows[t / doc_.window_ns].record(value);
+  TsHist& hist = it->second;
+  hist.windows[t / doc_.window_ns].record(value);
+  // Tail exemplar: remember the worst sample per touched bucket, stamped
+  // with the flight seq and the span path open at observation time.
+  TsExemplar exemplar;
+  exemplar.value = value;
+  exemplar.seq = last_seq_;
+  if (spans_ != nullptr && active_root_ != nullptr) {
+    exemplar.path = spans_->open_path(*active_root_);
+  }
+  const std::uint32_t bucket = MergeableHistogram::bucket_index(value);
+  auto ex = hist.exemplars.find(bucket);
+  if (ex == hist.exemplars.end()) {
+    hist.exemplars.emplace(bucket, std::move(exemplar));
+  } else if (exemplar_worse(exemplar, ex->second)) {
+    ex->second = std::move(exemplar);
+  }
 }
 
 void Collector::on_flight_event(std::uint64_t t, std::int64_t track,
                                 std::uint8_t kind, std::uint64_t a,
-                                std::uint64_t b, std::uint8_t code) {
+                                std::uint64_t b, std::uint8_t code,
+                                std::uint64_t seq) {
+  last_seq_ = seq;
   using flight::EventKind;
   switch (static_cast<EventKind>(kind)) {
     case EventKind::kSwitcherExit:
@@ -252,6 +284,14 @@ bool merge_timeseries(TsDoc* into, const TsDoc& from, std::string* error) {
         it->second.merge(wh);
       }
     }
+    for (const auto& [bucket, exemplar] : h.exemplars) {
+      auto it = dst.exemplars.find(bucket);
+      if (it == dst.exemplars.end()) {
+        dst.exemplars.emplace(bucket, exemplar);
+      } else if (exemplar_worse(exemplar, it->second)) {
+        it->second = exemplar;
+      }
+    }
   }
   return true;
 }
@@ -263,7 +303,13 @@ TsDoc prefix_timeseries(const TsDoc& doc, std::string_view prefix) {
     out.series.emplace(std::string(prefix) + name, s);
   }
   for (const auto& [name, h] : doc.hists) {
-    out.hists.emplace(std::string(prefix) + name, h);
+    TsHist prefixed = h;
+    // Exemplars accumulate the sweep coordinate: every prefix level prepends
+    // itself, so a twice-prefixed exemplar reads "<mode>/<workload>/<label>/".
+    for (auto& [bucket, exemplar] : prefixed.exemplars) {
+      exemplar.source = std::string(prefix) + exemplar.source;
+    }
+    out.hists.emplace(std::string(prefix) + name, std::move(prefixed));
   }
   out.slos = doc.slos;
   return out;
@@ -439,6 +485,17 @@ std::string render_timeseries_json(const TsDoc& doc) {
     w.key("p50").value(all.quantile(0.50));
     w.key("p99").value(all.quantile(0.99));
     w.key("p999").value(all.quantile(0.999));
+    w.key("exemplars").begin_array();
+    for (const auto& [bucket, exemplar] : h.exemplars) {
+      w.begin_object();
+      w.key("bucket").value(static_cast<std::uint64_t>(bucket));
+      w.key("value").value(exemplar.value);
+      w.key("seq").value(exemplar.seq);
+      w.key("source").value(exemplar.source);
+      w.key("path").value(exemplar.path);
+      w.end_object();
+    }
+    w.end_array();
     w.key("windows").begin_array();
     for (const auto& [window, wh] : h.windows) {
       w.begin_object();
@@ -535,6 +592,21 @@ bool parse_timeseries_json(std::string_view text, TsDoc* out, std::string* error
         return fail("malformed hist entry");
       }
       TsHist h;
+      if (const obs::JsonValue* exemplars = entry.find("exemplars");
+          exemplars != nullptr) {
+        for (const obs::JsonValue& eentry : exemplars->array) {
+          const obs::JsonValue* bucket = eentry.find("bucket");
+          if (bucket == nullptr) {
+            return fail("malformed hist exemplar");
+          }
+          TsExemplar exemplar;
+          if (const obs::JsonValue* v = eentry.find("value")) exemplar.value = as_u64(*v);
+          if (const obs::JsonValue* v = eentry.find("seq")) exemplar.seq = as_u64(*v);
+          if (const obs::JsonValue* v = eentry.find("source")) exemplar.source = v->string;
+          if (const obs::JsonValue* v = eentry.find("path")) exemplar.path = v->string;
+          h.exemplars[static_cast<std::uint32_t>(as_u64(*bucket))] = std::move(exemplar);
+        }
+      }
       for (const obs::JsonValue& wentry : windows->array) {
         const obs::JsonValue* w = wentry.find("w");
         const obs::JsonValue* count = wentry.find("count");
@@ -744,6 +816,15 @@ std::string render_top(const TsDoc& doc, const TopOptions& options) {
             width, sparkline(p99s, w_lo, w_hi, width).c_str(),
             static_cast<unsigned long long>(worst_window),
             format_ns(worst).c_str());
+    if (const TsExemplar* tail = h.tail_exemplar(); tail != nullptr) {
+      // Direct append (not appendf): sweep-coordinate sources and span paths
+      // can outgrow appendf's fixed buffer, and truncation here would cut the
+      // very link the exemplar exists to provide.
+      out += "  tail exemplar: seq=" + std::to_string(tail->seq) +
+             " value=" + format_ns(tail->value) +
+             " source=" + (tail->source.empty() ? "-" : tail->source) +
+             " path=" + (tail->path.empty() ? "-" : tail->path) + "\n";
+    }
   }
 
   if (!doc.slos.empty()) {

@@ -27,6 +27,10 @@
 
 #include "src/obs/hist.h"
 
+namespace pvm::obs {
+class SpanRecorder;
+}  // namespace pvm::obs
+
 namespace pvm::ts {
 
 inline constexpr std::string_view kTimeseriesSchemaVersion = "pvm.timeseries.v1";
@@ -47,11 +51,41 @@ struct TsSeries {
   bool operator==(const TsSeries&) const = default;
 };
 
-// One named latency metric: a mergeable histogram per touched window.
+// Tail exemplar: the worst observation that landed in one histogram bucket,
+// linked back to its flight-recorder seq and the span path that was open when
+// it was recorded — a P99 regression in a merged sweep document resolves to
+// one replayable (cell, seq) trace position. `seq` is the flight event's own
+// seq when the observation came through the flight bridge, or the seq of the
+// nearest preceding flight event for direct observe() sites. `source` is
+// stamped by prefix_timeseries with the sweep coordinate ("<mode>/<workload>/"
+// or "<label>/"), accumulating outer prefixes on each merge level.
+struct TsExemplar {
+  std::uint64_t value = 0;
+  std::uint64_t seq = 0;
+  std::string source;
+  std::string path;
+
+  bool operator==(const TsExemplar&) const = default;
+};
+
+// Strict-weak "worse than" total order used to pick the surviving exemplar on
+// merge: larger value wins; ties prefer the earlier seq, then the
+// lexicographically smaller source and path. A total order makes the merge
+// associative and commutative, so sharded sweeps keep byte-identical docs.
+bool exemplar_worse(const TsExemplar& a, const TsExemplar& b);
+
+// One named latency metric: a mergeable histogram per touched window, plus
+// one exemplar per touched bucket (cumulative across windows).
 struct TsHist {
   std::map<std::uint64_t, MergeableHistogram> windows;
+  std::map<std::uint32_t, TsExemplar> exemplars;
 
   MergeableHistogram cumulative() const;
+
+  // The exemplar of the highest touched bucket — the run's worst sample.
+  const TsExemplar* tail_exemplar() const {
+    return exemplars.empty() ? nullptr : &exemplars.rbegin()->second;
+  }
 
   bool operator==(const TsHist&) const = default;
 };
@@ -108,6 +142,14 @@ class Collector {
   // pointee must outlive the attachment.
   void bind(const std::uint64_t* now) { now_ = now; }
 
+  // Binds the scheduler's active-root pointer and (optionally) the attached
+  // span recorder, so exemplars can capture the open span path at observation
+  // time. Wired by Simulation::set_ts/set_spans; both may be null.
+  void bind_context(const std::int64_t* active_root, const obs::SpanRecorder* spans) {
+    active_root_ = active_root;
+    spans_ = spans;
+  }
+
   // Sets the tumbling-window width. Call before recording; changing the
   // width mid-stream would re-key past windows.
   void set_window(std::uint64_t window_ns) {
@@ -133,9 +175,12 @@ class Collector {
 
   // Bridge from FlightRecorder::record. `kind` is flight::EventKind cast to
   // its underlying type (kept untyped here to avoid a header cycle);
-  // translation to metric names lives in ts.cc.
+  // translation to metric names lives in ts.cc. `seq` is the flight seq the
+  // event is stamped with — histogram exemplars carry it so tail buckets
+  // resolve back into the flight-recorder rings.
   void on_flight_event(std::uint64_t t, std::int64_t track, std::uint8_t kind,
-                       std::uint64_t a, std::uint64_t b, std::uint8_t code);
+                       std::uint64_t a, std::uint64_t b, std::uint8_t code,
+                       std::uint64_t seq = 0);
 
   // Moves the accumulated document out and resets the collector (window
   // width is kept; gauge levels and open event pairs are cleared).
@@ -147,6 +192,11 @@ class Collector {
   TsSeries& series_slot(std::string_view name);
 
   const std::uint64_t* now_ = nullptr;
+  const std::int64_t* active_root_ = nullptr;
+  const obs::SpanRecorder* spans_ = nullptr;
+  // The seq of the last flight event seen — the exemplar link for direct
+  // observe() sites that do not come through the bridge.
+  std::uint64_t last_seq_ = 0;
   TsDoc doc_;
   // Open exit->entry pairs per root task, for round-trip latencies.
   std::map<std::int64_t, std::uint64_t> open_switch_;

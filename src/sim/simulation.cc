@@ -46,6 +46,10 @@ void Simulation::set_spans(obs::SpanRecorder* spans) {
   if (spans_ != nullptr) {
     spans_->bind(&now_, &active_root_);
   }
+  // Exemplar context for the collector, regardless of attachment order.
+  if (ts_ != nullptr) {
+    ts_->bind_context(&active_root_, spans_);
+  }
 }
 
 void Simulation::set_faults(fault::FaultInjector* faults) {
@@ -67,6 +71,7 @@ void Simulation::set_ts(ts::Collector* collector) {
   ts_ = collector;
   if (ts_ != nullptr) {
     ts_->bind(&now_);
+    ts_->bind_context(&active_root_, spans_);
   }
   // Wire the flight-event bridge regardless of attachment order.
   if (flight_ != nullptr) {

@@ -68,6 +68,9 @@ struct CellResult {
   // cell documents in index order into one export, so the merged output is
   // byte-identical between --jobs 1 and --jobs N.
   std::string ts_json;
+  // Optional pvm.profile.v1 document for the cell (pvm-matrix --profile),
+  // merged by the driver under the same index-order discipline as ts_json.
+  std::string profile_json;
   // Simulation events the cell processed (deterministic; also present inside
   // bench_json). Summed into SweepTiming::events for events/sec reporting.
   std::uint64_t events = 0;

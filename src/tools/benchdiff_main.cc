@@ -1,6 +1,6 @@
-// benchdiff — compare two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1
-// exports and gate on regressions, or gate directly on a timeseries export's
-// embedded SLO verdicts (--slo-check).
+// benchdiff — compare two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1 /
+// pvm.profile.v1 exports and gate on regressions, or gate directly on a
+// timeseries export's embedded SLO verdicts (--slo-check).
 //
 // Matches runs by label and compares every gated metric (the run's headline
 // `values`, the `derived` ratios, the always-present `recovery` outcome
@@ -17,7 +17,15 @@
 // percent change; it is skipped with a note instead of gating on inf/nan.
 // Timeseries exports flatten to series/<name> totals, hist/<name> quantiles
 // and slo/<name> verdicts, so a checked-in timeseries baseline gates the
-// same way a bench export does.
+// same way a bench export does. Profile exports flatten to op/<name> latency
+// quantiles plus a share_pct.<path> metric per critical-path phase path, so
+// a baseline profile gates on critical-path *composition* drift — a phase
+// whose share grows past the threshold fails even when total latency holds.
+//
+// Optional sections ("recovery", "timeseries") missing wholesale from one
+// side — a baseline produced by an older exporter, say — are reported as one
+// added/removed note per run instead of a FAIL per metric; a single metric
+// missing from a present section still fails.
 //
 // Exit codes: 0 all metrics within threshold (or all SLOs pass), 1 at least
 // one beyond it (or a baseline run/metric missing from head, or an SLO
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "src/obs/json_parse.h"
+#include "src/obs/prof.h"
 #include "src/obs/ts.h"
 
 namespace pvm {
@@ -193,6 +202,43 @@ bool collect_timeseries(const std::string& text, const std::string& path,
   return true;
 }
 
+// Flattens a pvm.profile.v1 document: one "op/<name>" run per operation kind
+// with its latency quantiles, the total exclusive ns across its phase paths,
+// and one "share_pct.<path>" metric per path (the path's percentage of the
+// op's total exclusive time). Shares are ratios, so the gate catches
+// critical-path composition drift — mmu_lock wait growing from 20% to 45% of
+// a fault's critical path — independent of absolute-latency noise.
+bool collect_profile(const std::string& text, const std::string& path,
+                     std::vector<RunMetrics>* out, std::string* error) {
+  prof::ProfDoc doc;
+  if (!prof::parse_profile_json(text, &doc, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  for (const auto& [name, op] : doc.ops) {
+    RunMetrics rm;
+    rm.label = "op/" + name;
+    rm.metrics.push_back({"count", static_cast<double>(op.latency.count())});
+    rm.metrics.push_back({"p50_ns", static_cast<double>(op.latency.quantile(0.50))});
+    rm.metrics.push_back({"p99_ns", static_cast<double>(op.latency.quantile(0.99))});
+    rm.metrics.push_back({"max_ns", static_cast<double>(op.latency.max())});
+    std::uint64_t total = 0;
+    for (const auto& [p, stat] : op.paths) {
+      total += stat.exclusive_ns;
+    }
+    rm.metrics.push_back({"total_excl_ns", static_cast<double>(total)});
+    for (const auto& [p, stat] : op.paths) {
+      rm.metrics.push_back(
+          {"share_pct." + p,
+           total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(stat.exclusive_ns) /
+                            static_cast<double>(total)});
+    }
+    out->push_back(std::move(rm));
+  }
+  return true;
+}
+
 bool load_export(const std::string& path, std::vector<RunMetrics>* out,
                  std::string* error) {
   std::string text;
@@ -219,7 +265,12 @@ bool load_export(const std::string& path, std::vector<RunMetrics>* out,
   if (schema->string == ts::kTimeseriesSchemaVersion) {
     return collect_timeseries(text, path, out, error);
   }
-  *error = path + ": not a pvm.bench.v1, pvm.matrix.v1 or pvm.timeseries.v1 export";
+  if (schema->string == prof::kProfileSchemaVersion) {
+    return collect_profile(text, path, out, error);
+  }
+  *error = path +
+           ": not a pvm.bench.v1, pvm.matrix.v1, pvm.timeseries.v1 or "
+           "pvm.profile.v1 export";
   return false;
 }
 
@@ -279,6 +330,30 @@ const Metric* find_metric(const RunMetrics& run, const std::string& name) {
   return nullptr;
 }
 
+// The dotted section a metric name belongs to ("recovery.oom_kill" ->
+// "recovery"); empty for bare metrics like sim_ns.
+std::string metric_group(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? std::string() : name.substr(0, dot);
+}
+
+// Sections an exporter may legitimately not emit (older producer, feature
+// flag off). Missing wholesale from one side, they diff as one added/removed
+// note; everything else stays strict.
+bool optional_group(const std::string& group) {
+  return group == "recovery" || group == "timeseries";
+}
+
+bool group_present(const RunMetrics& run, const std::string& group) {
+  const std::string prefix = group + ".";
+  for (const Metric& metric : run.metrics) {
+    if (metric.name.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // Symmetric relative delta in [0, 1]; values within epsilon of each other
 // (and of zero) compare equal so 1e-12 float dust cannot trip the gate.
 double symmetric_delta(double base, double head) {
@@ -295,8 +370,8 @@ int usage(const char* argv0) {
                "usage: %s <baseline.json> <head.json> [--threshold-pct P] [--quiet]\n"
                "          [--metrics m1,m2,...] [--warn-pct P] [--direction both|down|up]\n"
                "       %s --slo-check <timeseries.json>\n"
-               "  compares two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1\n"
-               "  exports run-by-run, metric-by-metric\n"
+               "  compares two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1 /\n"
+               "  pvm.profile.v1 exports run-by-run, metric-by-metric\n"
                "  --slo-check      gate on the SLO verdicts embedded in a\n"
                "                   pvm.timeseries.v1 export: exit 1 if any failed,\n"
                "                   exit 2 if the document has none\n"
@@ -451,6 +526,17 @@ int diff_main(int argc, char** argv) {
       continue;
     }
     bool printed_label = false;
+    std::vector<std::string> noted_groups;
+    const auto note_group_once = [&](const std::string& group, const char* what) {
+      for (const std::string& seen : noted_groups) {
+        if (seen == group) {
+          return;
+        }
+      }
+      noted_groups.push_back(group);
+      std::printf("  note %s: %s object %s, not gated\n", base_run.label.c_str(),
+                  group.c_str(), what);
+    };
     for (const Metric& base_metric : base_run.metrics) {
       if (!metric_selected(metric_filters, base_metric.name)) {
         continue;
@@ -458,6 +544,14 @@ int diff_main(int argc, char** argv) {
       const Metric* head_metric = find_metric(*head_run, base_metric.name);
       ++compared;
       if (head_metric == nullptr) {
+        // An optional section absent from head *in its entirety* is an
+        // exporter-version difference, not a regression: one note, no FAIL.
+        // A single metric missing from a present section still fails.
+        const std::string group = metric_group(base_metric.name);
+        if (optional_group(group) && !group_present(*head_run, group)) {
+          note_group_once(group, "missing from head (removed)");
+          continue;
+        }
         std::printf("  FAIL %s/%s: metric missing from head export\n",
                     base_run.label.c_str(), base_metric.name.c_str());
         ++failures;
@@ -498,6 +592,13 @@ int diff_main(int argc, char** argv) {
                     base_metric.value, head_metric->value, abs_delta,
                     abs_delta / (base_metric.value == 0.0 ? 1.0 : base_metric.value) *
                         100.0);
+      }
+    }
+    // The reverse direction: an optional section head has but baseline lacks.
+    for (const Metric& head_metric : head_run->metrics) {
+      const std::string group = metric_group(head_metric.name);
+      if (optional_group(group) && !group_present(base_run, group)) {
+        note_group_once(group, "added in head (not in baseline)");
       }
     }
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/entries.h"
+#include "src/obs/prof.h"
 #include "src/obs/ts.h"
 #include "src/sweep/matrix.h"
 #include "src/sweep/sweep.h"
@@ -52,6 +53,11 @@ void usage(std::ostream& out) {
          "                         pvm-top)\n"
          "  --ts-window NS         timeseries window width in virtual ns\n"
          "                         (default 1000000)\n"
+         "  --profile PATH         collect per-cell pvm.profile.v1 documents\n"
+         "                         (critical-path fold of every run's span\n"
+         "                         tree) and write their index-order merge to\n"
+         "                         PATH (byte-identical across --jobs; render\n"
+         "                         with pvm-profile)\n"
          "  --slo SPEC             evaluate an SLO against the merged timeseries\n"
          "                         (\"name:metric:p99<=15ms[:window]\"); repeatable\n"
          "  --checkpoint PATH      WAL-backed resume: completed cells append to\n"
@@ -88,7 +94,7 @@ std::vector<std::string> split_csv(std::string_view list) {
 // changes what a cell computes. A resume against a different spec would
 // splice wrong results into the document, so the header record pins this.
 std::string spec_fingerprint(const pvm::sweep::MatrixSpec& spec, bool want_ts,
-                             std::uint64_t ts_window_ns) {
+                             std::uint64_t ts_window_ns, bool want_profile) {
   std::string fp = "pvm.matrix.v1;modes=";
   for (const pvm::DeployMode mode : spec.modes) {
     fp += pvm::deploy_mode_name(mode);
@@ -113,6 +119,7 @@ std::string spec_fingerprint(const pvm::sweep::MatrixSpec& spec, bool want_ts,
   fp += ";first_seed=" + std::to_string(spec.first_seed);
   fp += ";ts=" + std::string(want_ts ? "1" : "0");
   fp += ";ts_window=" + std::to_string(ts_window_ns);
+  fp += ";profile=" + std::string(want_profile ? "1" : "0");
   return fp;
 }
 
@@ -123,6 +130,7 @@ std::string encode_cell_result(std::size_t index, const pvm::sweep::CellResult& 
   pvm::wal::put_string(payload, cell.error);
   pvm::wal::put_string(payload, cell.bench_json);
   pvm::wal::put_string(payload, cell.ts_json);
+  pvm::wal::put_string(payload, cell.profile_json);
   pvm::wal::put_u64(payload, cell.events);
   return payload;
 }
@@ -137,6 +145,7 @@ bool decode_cell_result(std::string_view payload, std::size_t* index,
       !pvm::wal::get_string(payload, &cursor, &cell->error) ||
       !pvm::wal::get_string(payload, &cursor, &cell->bench_json) ||
       !pvm::wal::get_string(payload, &cursor, &cell->ts_json) ||
+      !pvm::wal::get_string(payload, &cursor, &cell->profile_json) ||
       !pvm::wal::get_u64(payload, &cursor, &events)) {
     return false;
   }
@@ -159,6 +168,7 @@ int main(int argc, char** argv) {
   bool timing = false;
   std::string out_path;
   std::string ts_path;
+  std::string profile_path;
   std::uint64_t ts_window_ns = 0;
   std::vector<pvm::ts::SloSpec> slo_specs;
   std::string checkpoint_path;
@@ -234,6 +244,8 @@ int main(int argc, char** argv) {
       ts_path = next_value(i);
     } else if (arg == "--ts-window") {
       ts_window_ns = std::strtoull(next_value(i).c_str(), nullptr, 10);
+    } else if (arg == "--profile") {
+      profile_path = next_value(i);
     } else if (arg == "--slo") {
       const std::string value = next_value(i);
       pvm::ts::SloSpec spec;
@@ -264,6 +276,7 @@ int main(int argc, char** argv) {
   }
 
   const bool want_ts = !ts_path.empty();
+  const bool want_profile = !profile_path.empty();
 
   // Checkpoint-resume: replay completed cells from the WAL (a torn tail —
   // the process died mid-append — is truncated by recovery, so those cells
@@ -271,7 +284,7 @@ int main(int argc, char** argv) {
   // final document is byte-identical to an uninterrupted run because cells
   // are deterministic and merge by index, never by completion order.
   const bool use_checkpoint = !checkpoint_path.empty();
-  const std::string fingerprint = spec_fingerprint(spec, want_ts, ts_window_ns);
+  const std::string fingerprint = spec_fingerprint(spec, want_ts, ts_window_ns, want_profile);
   std::vector<pvm::sweep::CellResult> cached(spec.cell_count());
   std::vector<char> have(spec.cell_count(), 0);
   pvm::wal::Log checkpoint_log("wal:matrix");
@@ -327,7 +340,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto run_cell = [want_ts, ts_window_ns](const pvm::sweep::MatrixCell& cell) {
+  const auto run_cell = [want_ts, ts_window_ns,
+                         want_profile](const pvm::sweep::MatrixCell& cell) {
     pvm::bench::CellConfig config;
     config.mode = cell.mode;
     config.policy = cell.policy;
@@ -335,6 +349,7 @@ int main(int argc, char** argv) {
     config.fault_plan = cell.fault_plan;
     config.timeseries = want_ts;
     config.ts_window_ns = ts_window_ns;
+    config.profile = want_profile;
     const pvm::bench::CellOutcome outcome =
         pvm::bench::run_workload_cell(cell.workload, config);
     pvm::sweep::CellResult result;
@@ -342,6 +357,7 @@ int main(int argc, char** argv) {
     result.error = outcome.error;
     result.bench_json = outcome.bench_json;
     result.ts_json = outcome.ts_json;
+    result.profile_json = outcome.profile_json;
     result.events = outcome.events;
     return result;
   };
@@ -452,6 +468,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << ts_document;
+  }
+
+  if (want_profile) {
+    // Same index-order merge discipline: byte-identical across --jobs.
+    pvm::prof::ProfDoc merged;
+    for (const pvm::sweep::CellResult& cell : cells) {
+      if (cell.profile_json.empty()) {
+        continue;
+      }
+      pvm::prof::ProfDoc doc;
+      std::string error;
+      if (!pvm::prof::parse_profile_json(cell.profile_json, &doc, &error) ||
+          !pvm::prof::merge_profile(&merged, doc, &error)) {
+        std::cerr << "pvm-matrix: profile merge failed: " << error << "\n";
+        return 2;
+      }
+    }
+    const std::string profile_document = pvm::prof::render_profile_json(merged);
+    std::ofstream out(profile_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pvm-matrix: cannot open " << profile_path << " for writing\n";
+      return 2;
+    }
+    out << profile_document;
   }
   // Wall clock always goes to stderr (whether or not --timing embedded it):
   // the document stays diffable, the operator still sees throughput.

@@ -1,0 +1,100 @@
+// pvm-profile — render a pvm.profile.v1 export (the deterministic
+// critical-path fold of a run's span trees) as a blame table or as
+// collapsed-stack flamegraph input.
+//
+//   table0_switch_cost --profile prof.json
+//   pvm-profile prof.json                       # blame table (default)
+//   pvm-profile prof.json --collapsed > stacks  # flamegraph.pl stacks
+//   pvm-profile prof.json --op op.page_fault --top 5
+//
+// The blame table names, per operation kind, the phase paths that bounded
+// its latency — over all instances and over the tail cohort (instances at or
+// above the fold-time p99) — plus the single worst instance's virtual-clock
+// anchor. Output is deterministic for a given (document, options).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/prof.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: pvm-profile <profile.json> [options]\n"
+         "  --collapsed       emit collapsed stacks (flamegraph input) instead\n"
+         "                    of the blame table\n"
+         "  --op SUBSTR       only operations whose key contains SUBSTR\n"
+         "  --top N           paths shown per table section (default 10)\n";
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "pvm-profile: " << message << "\n";
+  usage(std::cerr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool collapsed = false;
+  pvm::prof::BlameOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--collapsed") {
+      collapsed = true;
+    } else if (arg == "--op") {
+      if (i + 1 >= argc) {
+        die("--op needs a value");
+      }
+      options.filter = argv[++i];
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        die("--top needs a value");
+      }
+      const int top = std::atoi(argv[++i]);
+      if (top < 1) {
+        die("--top must be >= 1");
+      }
+      options.top_k = static_cast<std::size_t>(top);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option '" + std::string(arg) + "'");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      die("more than one input file");
+    }
+  }
+  if (path.empty()) {
+    die("missing profile.json argument");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "pvm-profile: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  pvm::prof::ProfDoc doc;
+  std::string error;
+  if (!pvm::prof::parse_profile_json(buffer.str(), &doc, &error)) {
+    std::cerr << "pvm-profile: " << path << ": " << error << "\n";
+    return 2;
+  }
+
+  const std::string rendered = collapsed ? pvm::prof::render_collapsed_stacks(doc)
+                                         : pvm::prof::render_blame(doc, options);
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return 0;
+}

@@ -195,17 +195,37 @@ void print_text(const std::vector<ModeStats>& all, const StatOptions& options) {
   }
 }
 
+// RFC 4180 field quoting: wrap in double quotes (doubling inner quotes) only
+// when the field contains a comma, quote, or line break. Today's mode/class/
+// reason labels are fixed tokens, so this is byte-identical for them — but a
+// future label derived from a user-named resource must not be able to smuggle
+// extra columns or rows into the CSV.
+std::string csv_field(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 // One flat CSV row per (mode, class, reason), header first — the shape
-// spreadsheet pivots and pandas.read_csv want. No quoting needed: every
-// field is a fixed token (mode tokens, class/reason labels) or a number.
+// spreadsheet pivots and pandas.read_csv want.
 void print_csv(const std::vector<ModeStats>& all) {
   std::printf("mode,class,reason,count,avg_ns,p99_ns,total_ns\n");
   for (const ModeStats& stats : all) {
     const std::string token(simcheck_mode_token(stats.mode));
     for (const Row& row : stats.rows) {
-      std::printf("%s,%s,%s,%" PRIu64 ",%.1f,%" PRIu64 ",%" PRIu64 "\n", token.c_str(),
-                  row.cls.c_str(), row.reason.c_str(), row.latency.count(),
-                  row.latency.mean(), row.latency.quantile(0.99), row.latency.sum());
+      std::printf("%s,%s,%s,%" PRIu64 ",%.1f,%" PRIu64 ",%" PRIu64 "\n",
+                  csv_field(token).c_str(), csv_field(row.cls).c_str(),
+                  csv_field(row.reason).c_str(), row.latency.count(), row.latency.mean(),
+                  row.latency.quantile(0.99), row.latency.sum());
     }
   }
 }

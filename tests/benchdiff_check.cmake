@@ -1,0 +1,96 @@
+# Behavioral checks for the benchdiff gate, run as ctest script entries:
+#
+#   cmake -DCASE=<optional|profile> -DBENCHDIFF=<binary> -DWORK_DIR=<scratch>
+#         -P benchdiff_check.cmake
+#
+# Cases:
+#   optional  a `recovery` object missing wholesale from one side of a diff
+#             is an exporter-version difference: one note line, exit 0, in
+#             both directions — while a genuine metric regression in the same
+#             pair still fails, and a single metric missing from a *present*
+#             recovery object still fails.
+#   profile   two pvm.profile.v1 documents diff per-op: a critical-path
+#             share drift beyond the threshold trips the gate (exit 1),
+#             identical documents pass (exit 0).
+
+if(NOT DEFINED CASE OR NOT DEFINED BENCHDIFF OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "benchdiff_check.cmake needs -DCASE -DBENCHDIFF -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Runs benchdiff, asserts the exit code, and returns stdout in `out_var`.
+function(run_diff expect_rc out_var)
+  execute_process(COMMAND "${BENCHDIFF}" ${ARGN}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "benchdiff ${ARGN}: expected exit ${expect_rc}, got ${rc}\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_contains haystack needle what)
+  string(FIND "${haystack}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${what}: output lacks \"${needle}\":\n${haystack}")
+  endif()
+  message(STATUS "ok: ${what}")
+endfunction()
+
+if(CASE STREQUAL "optional")
+  file(WRITE "${WORK_DIR}/base.json" [=[
+{"schema":"pvm.bench.v1","runs":[{"label":"r","sim_ns":1000,"values":{"seconds":1.0},"recovery":{"oom_kill":0,"watchdog_fire":0}}]}
+]=])
+  file(WRITE "${WORK_DIR}/head_no_recovery.json" [=[
+{"schema":"pvm.bench.v1","runs":[{"label":"r","sim_ns":1000,"values":{"seconds":1.0}}]}
+]=])
+  file(WRITE "${WORK_DIR}/head_regressed.json" [=[
+{"schema":"pvm.bench.v1","runs":[{"label":"r","sim_ns":1000,"values":{"seconds":2.0}}]}
+]=])
+  file(WRITE "${WORK_DIR}/head_partial_recovery.json" [=[
+{"schema":"pvm.bench.v1","runs":[{"label":"r","sim_ns":1000,"values":{"seconds":1.0},"recovery":{"oom_kill":0}}]}
+]=])
+
+  run_diff(0 out "${WORK_DIR}/base.json" "${WORK_DIR}/head_no_recovery.json")
+  expect_contains("${out}" "note r: recovery object missing from head (removed), not gated"
+                  "missing recovery object is a note, not a FAIL")
+
+  run_diff(0 out "${WORK_DIR}/head_no_recovery.json" "${WORK_DIR}/base.json")
+  expect_contains("${out}" "note r: recovery object added in head (not in baseline), not gated"
+                  "recovery object added in head is a note, not a FAIL")
+
+  # The tolerance must not neuter the gate: a genuine regression in the same
+  # pair (values.seconds +100%, recovery also absent) still fails.
+  run_diff(1 out "${WORK_DIR}/base.json" "${WORK_DIR}/head_regressed.json")
+  expect_contains("${out}" "FAIL" "real regression still trips the gate")
+
+  # A single metric missing from a recovery object that IS present is a
+  # schema mismatch inside the section, not a version difference: FAIL.
+  run_diff(1 out "${WORK_DIR}/base.json" "${WORK_DIR}/head_partial_recovery.json")
+  expect_contains("${out}" "FAIL r/recovery.watchdog_fire: metric missing from head export"
+                  "partial recovery object still fails per-metric")
+
+elseif(CASE STREQUAL "profile")
+  file(WRITE "${WORK_DIR}/base.json" [=[
+{"schema":"pvm.profile.v1","dropped_spans":0,"ops":[{"name":"pvm/32p/op.page_fault","count":10,"sum_ns":1000,"min_ns":80,"max_ns":200,"buckets":[[42,10]],"tail_threshold_ns":150,"worst_ns":200,"worst_begin_ns":7,"worst_track":0,"paths":[{"path":"op.page_fault","excl_ns":600,"count":10},{"path":"op.page_fault;spt_fill;lock_wait:c0.mmu_lock","excl_ns":400,"count":10}],"tail_paths":[]}]}
+]=])
+  file(WRITE "${WORK_DIR}/head_drift.json" [=[
+{"schema":"pvm.profile.v1","dropped_spans":0,"ops":[{"name":"pvm/32p/op.page_fault","count":10,"sum_ns":1000,"min_ns":80,"max_ns":200,"buckets":[[42,10]],"tail_threshold_ns":150,"worst_ns":200,"worst_begin_ns":7,"worst_track":0,"paths":[{"path":"op.page_fault","excl_ns":200,"count":10},{"path":"op.page_fault;spt_fill;lock_wait:c0.mmu_lock","excl_ns":800,"count":10}],"tail_paths":[]}]}
+]=])
+
+  # Same document twice: every share identical, gate passes.
+  run_diff(0 out "${WORK_DIR}/base.json" "${WORK_DIR}/base.json")
+  expect_contains("${out}" "0 beyond threshold" "identical profiles pass")
+
+  # The lock-wait share moved 40% -> 80% of the op's critical path: the
+  # share_pct metric drifts far past the default 10% threshold.
+  run_diff(1 out "${WORK_DIR}/base.json" "${WORK_DIR}/head_drift.json")
+  expect_contains("${out}" "share_pct.op.page_fault;spt_fill;lock_wait:c0.mmu_lock"
+                  "share drift names the drifting path")
+  expect_contains("${out}" "FAIL" "share drift trips the gate")
+
+else()
+  message(FATAL_ERROR "unknown CASE '${CASE}'")
+endif()

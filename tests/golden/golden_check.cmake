@@ -13,6 +13,9 @@
 #         -P golden_check.cmake
 #
 # Cases:
+#   pvmtop    pvm-top over the checked-in pvm.timeseries.v1 fixture, vs
+#             pvm_top_fixture.txt (dashboard rendering is part of the
+#             deterministic surface)
 #   table0    table0_switch_cost --json, vs table0_switch_cost.json
 #   fig10     PVM_BENCH_SCALE=0.01 fig10_pagefault_scaling --json, vs the
 #             tarball's fig10_pagefault_scaling_scale001.json
@@ -59,7 +62,23 @@ function(extract_tarball)
   endif()
 endfunction()
 
-if(CASE STREQUAL "table0")
+if(CASE STREQUAL "pvmtop")
+  # Regenerate both files after an intentional rendering change:
+  #   build/src/tools/pvm-matrix --modes pvm,kvm-spt --workloads \
+  #       syscall,pagefault --timeseries \
+  #       tests/golden/pvm_top_fixture.timeseries.json --out /tmp/m.json
+  #   build/src/tools/pvm-top tests/golden/pvm_top_fixture.timeseries.json \
+  #       > tests/golden/pvm_top_fixture.txt
+  execute_process(COMMAND "${BIN}" "${GOLDEN_DIR}/pvm_top_fixture.timeseries.json"
+                  OUTPUT_FILE "${WORK_DIR}/pvm_top.txt"
+                  RESULT_VARIABLE rc ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pvm-top failed (exit ${rc})")
+  endif()
+  compare_or_die("${WORK_DIR}/pvm_top.txt" "${GOLDEN_DIR}/pvm_top_fixture.txt"
+                 "pvm-top dashboard rendering")
+
+elseif(CASE STREQUAL "table0")
   execute_process(COMMAND "${BIN}" --json "${WORK_DIR}/table0.json"
                   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
   if(NOT rc EQUAL 0)

@@ -19,8 +19,11 @@
 #include "src/backends/platform.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/contention.h"
+#include "src/obs/json_parse.h"
 #include "src/obs/metrics_json.h"
+#include "src/obs/prof.h"
 #include "src/obs/span.h"
+#include "src/sim/resource.h"
 #include "src/workloads/memstress.h"
 #include "src/workloads/runner.h"
 
@@ -122,6 +125,63 @@ std::vector<obs::ResourceStats> run_fig10_contention(bool fine_grained_locks) {
                                return memstress_process(container, vcpu, proc, params);
                              });
   return obs::collect_resource_stats(platform.sim());
+}
+
+// A resource name is user/config-controlled text that flows into every
+// export: chrome-trace track metadata, the bench JSON contention table, and
+// pvm.profile.v1 lock-wait paths. A hostile name (quotes, commas, control
+// characters, backslashes) must come out escaped — parseable JSON that
+// round-trips the exact original bytes.
+TEST(ObsExportTest, HostileResourceNameSurvivesEveryExport) {
+  const std::string evil = "mmu \"lock\",v2\\<\t>\nend";
+  obs::SpanRecorder recorder;
+  recorder.set_enabled(true);
+  Simulation sim;
+  sim.set_spans(&recorder);
+  Resource lock(sim, evil);
+  // Holder keeps the lock long enough that the second task records a
+  // lock-wait span (inside an op root so the profiler attributes it).
+  sim.spawn([](Simulation& s, Resource& r) -> Task<void> {
+    ScopedResource guard = co_await r.scoped();
+    co_await s.delay(100);
+  }(sim, lock));
+  sim.spawn([](Simulation& s, Resource& r, obs::SpanRecorder& spans) -> Task<void> {
+    co_await s.delay(1);
+    obs::SpanScope op(&spans, obs::Phase::kOpSyscall);
+    ScopedResource guard = co_await r.scoped();
+    co_await s.delay(10);
+  }(sim, lock, recorder));
+  sim.run();
+  ASSERT_TRUE(recorder.lock_tracks().contains(evil));
+
+  std::string error;
+
+  // Chrome trace: parseable, and no raw control bytes inside it — every
+  // newline in the document is structural, never part of a string.
+  const std::string trace = obs::export_chrome_trace(recorder, sim);
+  obs::JsonValue parsed_trace;
+  ASSERT_TRUE(obs::json_parse(trace, &parsed_trace, &error)) << error;
+  EXPECT_EQ(trace.find('\t'), std::string::npos);
+  EXPECT_NE(trace.find("\\\"lock\\\""), std::string::npos);
+
+  // Bench JSON: the contention table carries the name, escaped.
+  obs::BenchExport bench("hostile");
+  CounterSet counters;
+  bench.add_run("run", sim, counters, &recorder, {{"seconds", 1.0}});
+  const std::string bench_json = bench.to_json();
+  obs::JsonValue parsed_bench;
+  ASSERT_TRUE(obs::json_parse(bench_json, &parsed_bench, &error)) << error;
+  EXPECT_EQ(bench_json.find('\t'), std::string::npos);
+
+  // Profile: the lock-wait path embeds the name and the document round-trips
+  // to the exact original bytes.
+  const prof::ProfDoc doc = prof::fold_profile(recorder);
+  const prof::OpProfile& op = doc.ops.at("op.syscall");
+  ASSERT_TRUE(op.paths.contains("op.syscall;lock_wait:" + evil));
+  const std::string profile_json = prof::render_profile_json(doc);
+  prof::ProfDoc reparsed;
+  ASSERT_TRUE(prof::parse_profile_json(profile_json, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed, doc);
 }
 
 TEST(ObsContentionTest, CoarseMmuLockWaitExceedsFineGrainedTrio) {

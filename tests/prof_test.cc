@@ -1,0 +1,282 @@
+// pvm::prof unit tests: the critical-path fold over hand-built recorder
+// streams, lock-wait naming, cross-track migration attribution, the tail
+// cohort, merge order-independence, and render/parse round-trip identity.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/prof.h"
+#include "src/obs/span.h"
+
+namespace pvm {
+namespace {
+
+using obs::Phase;
+using obs::SpanRecorder;
+
+// Drives a SpanRecorder with a hand-cranked virtual clock and active root —
+// the same binding Simulation::set_spans performs, minus the simulator.
+struct Rig {
+  std::uint64_t now = 0;
+  std::int64_t root = 0;
+  SpanRecorder rec;
+
+  Rig() {
+    rec.bind(&now, &root);
+    rec.set_enabled(true);
+  }
+
+  SpanRecorder::Token begin(Phase phase) { return rec.begin(phase); }
+  void end(SpanRecorder::Token token) { rec.end(token); }
+};
+
+const prof::OpProfile& only_op(const prof::ProfDoc& doc, const std::string& key) {
+  const auto it = doc.ops.find(key);
+  EXPECT_NE(it, doc.ops.end()) << "missing op " << key;
+  static const prof::OpProfile empty;
+  return it == doc.ops.end() ? empty : it->second;
+}
+
+TEST(ProfFold, DecomposesExclusiveTimePerPath) {
+  Rig rig;
+  // op.page_fault [0, 100): spt_fill [10, 70) with lock_wait [20, 50) inside.
+  auto op = rig.begin(Phase::kOpPageFault);
+  rig.now = 10;
+  auto fill = rig.begin(Phase::kSptFill);
+  rig.now = 20;
+  auto wait = rig.begin(Phase::kLockWait);
+  rig.now = 50;
+  rig.rec.end_lock_wait(wait, "mmu_lock");
+  rig.now = 70;
+  rig.end(fill);
+  rig.now = 100;
+  rig.end(op);
+
+  const prof::ProfDoc doc = prof::fold_profile(rig.rec);
+  ASSERT_EQ(doc.ops.size(), 1u);
+  const prof::OpProfile& pf = only_op(doc, "op.page_fault");
+  EXPECT_EQ(pf.latency.count(), 1u);
+  EXPECT_EQ(pf.latency.sum(), 100u);
+  // Exclusive decomposition: 100 total = 40 root + 30 fill + 30 lock wait.
+  EXPECT_EQ(pf.paths.at("op.page_fault").exclusive_ns, 40u);
+  EXPECT_EQ(pf.paths.at("op.page_fault;spt_fill").exclusive_ns, 30u);
+  EXPECT_EQ(pf.paths.at("op.page_fault;spt_fill;lock_wait:mmu_lock").exclusive_ns, 30u);
+  std::uint64_t total = 0;
+  for (const auto& [path, stat] : pf.paths) {
+    total += stat.exclusive_ns;
+  }
+  EXPECT_EQ(total, 100u);  // no nanosecond lost or double-counted
+  EXPECT_EQ(pf.worst_ns, 100u);
+  EXPECT_EQ(pf.worst_begin_ns, 0u);
+  EXPECT_EQ(pf.worst_track, 0);
+}
+
+TEST(ProfFold, NamesLockWaitsViaMirrorRecords) {
+  Rig rig;
+  auto op = rig.begin(Phase::kOpSyscall);
+  rig.now = 5;
+  auto wait_a = rig.begin(Phase::kLockWait);
+  rig.now = 15;
+  rig.rec.end_lock_wait(wait_a, "pt_lock");
+  rig.now = 20;
+  auto wait_b = rig.begin(Phase::kLockWait);
+  rig.now = 21;
+  rig.end(wait_b);  // anonymous wait: no mirror, keeps the bare phase name
+  rig.now = 30;
+  rig.end(op);
+
+  const prof::ProfDoc doc = prof::fold_profile(rig.rec);
+  const prof::OpProfile& pf = only_op(doc, "op.syscall");
+  EXPECT_TRUE(pf.paths.contains("op.syscall;lock_wait:pt_lock"));
+  EXPECT_TRUE(pf.paths.contains("op.syscall;lock_wait"));
+  EXPECT_EQ(pf.paths.at("op.syscall;lock_wait:pt_lock").exclusive_ns, 10u);
+}
+
+TEST(ProfFold, RedirectsDirtyTrackingIntoOverlappingMigration) {
+  Rig rig;
+  // Track 0: op.migration [0, 1000). Track 1: one dirty_track span inside the
+  // migration window and one after it; only the first is redirected.
+  auto mig = rig.begin(Phase::kOpMigration);
+
+  rig.root = 1;
+  rig.now = 100;
+  auto op = rig.begin(Phase::kOpPageFault);
+  rig.now = 150;
+  auto dirty = rig.begin(Phase::kDirtyTrack);
+  rig.now = 170;
+  rig.end(dirty);
+  rig.now = 200;
+  rig.end(op);
+
+  rig.root = 0;
+  rig.now = 1000;
+  rig.end(mig);
+
+  rig.root = 1;
+  rig.now = 1100;
+  auto late_op = rig.begin(Phase::kOpPageFault);
+  rig.now = 1150;
+  auto late_dirty = rig.begin(Phase::kDirtyTrack);
+  rig.now = 1180;
+  rig.end(late_dirty);
+  rig.now = 1200;
+  rig.end(late_op);
+
+  const prof::ProfDoc doc = prof::fold_profile(rig.rec);
+  const prof::OpProfile& mig_pf = only_op(doc, "op.migration");
+  const prof::OpProfile& fault_pf = only_op(doc, "op.page_fault");
+
+  // The in-window dirty span (20 ns) moved to the migration op's profile...
+  ASSERT_TRUE(mig_pf.paths.contains("op.migration;dirty_track"));
+  EXPECT_EQ(mig_pf.paths.at("op.migration;dirty_track").exclusive_ns, 20u);
+  // ...as paths only: the migration's latency histogram stays one instance.
+  EXPECT_EQ(mig_pf.latency.count(), 1u);
+  // The in-window fault no longer carries the dirty_track path; only the
+  // out-of-window span's 30 ns remain under op.page_fault. Both instances'
+  // latencies are untouched (100 ns each).
+  ASSERT_TRUE(fault_pf.paths.contains("op.page_fault;dirty_track"));
+  EXPECT_EQ(fault_pf.paths.at("op.page_fault;dirty_track").exclusive_ns, 30u);
+  EXPECT_EQ(fault_pf.paths.at("op.page_fault;dirty_track").count, 1u);
+  EXPECT_EQ(fault_pf.latency.count(), 2u);
+  // The out-of-window dirty span stays charged to its own op.
+  std::uint64_t fault_excl = 0;
+  for (const auto& [path, stat] : fault_pf.paths) {
+    fault_excl += stat.exclusive_ns;
+  }
+  // 2 faults x 100 ns, minus the 20 ns redirected to the migration.
+  EXPECT_EQ(fault_excl, 180u);
+}
+
+TEST(ProfFold, TailCohortIsolatesSlowInstances) {
+  Rig rig;
+  // 100 fast ops (16 ns, pure root) and one slow op (1000 ns, all lock wait).
+  // 16 ns lands in histogram bucket [16, 17], so the fold-time p99 threshold
+  // (the bucket's upper bound, 17) strictly exceeds the fast latency — the
+  // tail cohort is exactly the slow instance.
+  for (int i = 0; i < 100; ++i) {
+    auto op = rig.begin(Phase::kOpGptStore);
+    rig.now += 16;
+    rig.end(op);
+  }
+  auto slow = rig.begin(Phase::kOpGptStore);
+  auto wait = rig.begin(Phase::kLockWait);
+  rig.now += 1000;
+  rig.rec.end_lock_wait(wait, "mmu_lock");
+  rig.end(slow);
+
+  const prof::ProfDoc doc = prof::fold_profile(rig.rec);
+  const prof::OpProfile& pf = only_op(doc, "op.gpt_store");
+  EXPECT_EQ(pf.latency.count(), 101u);
+  EXPECT_GT(pf.tail_threshold_ns, 16u);
+  // The tail cohort is the slow instance alone: all lock wait, no fast roots.
+  ASSERT_TRUE(pf.tail_paths.contains("op.gpt_store;lock_wait:mmu_lock"));
+  EXPECT_EQ(pf.tail_paths.at("op.gpt_store;lock_wait:mmu_lock").exclusive_ns, 1000u);
+  const auto root_tail = pf.tail_paths.find("op.gpt_store");
+  if (root_tail != pf.tail_paths.end()) {
+    EXPECT_EQ(root_tail->second.exclusive_ns, 0u);
+  }
+  EXPECT_EQ(pf.worst_ns, 1000u);
+}
+
+TEST(ProfFold, FirstSpanOffsetFoldsOnlyTheIncrement) {
+  Rig rig;
+  auto op1 = rig.begin(Phase::kOpSyscall);
+  rig.now = 10;
+  rig.end(op1);
+  const std::size_t cut = rig.rec.spans().size();
+
+  rig.now = 20;
+  auto op2 = rig.begin(Phase::kOpSyscall);
+  rig.now = 50;
+  rig.end(op2);
+
+  const prof::ProfDoc inc_doc = prof::fold_profile(rig.rec, cut);
+  const prof::OpProfile& inc = only_op(inc_doc, "op.syscall");
+  EXPECT_EQ(inc.latency.count(), 1u);
+  EXPECT_EQ(inc.latency.sum(), 30u);
+
+  const prof::ProfDoc full_doc = prof::fold_profile(rig.rec);
+  const prof::OpProfile& full = only_op(full_doc, "op.syscall");
+  EXPECT_EQ(full.latency.count(), 2u);
+}
+
+prof::ProfDoc sample_doc(std::uint64_t scale) {
+  Rig rig;
+  auto op = rig.begin(Phase::kOpPageFault);
+  rig.now = 10 * scale;
+  auto fill = rig.begin(Phase::kEptFill);
+  rig.now = 40 * scale;
+  rig.end(fill);
+  rig.now = 100 * scale;
+  rig.end(op);
+  return prof::fold_profile(rig.rec);
+}
+
+TEST(ProfDoc, MergeIsOrderIndependent) {
+  const prof::ProfDoc a = sample_doc(1);
+  const prof::ProfDoc b = sample_doc(7);
+
+  prof::ProfDoc ab;
+  ASSERT_TRUE(prof::merge_profile(&ab, a, nullptr));
+  ASSERT_TRUE(prof::merge_profile(&ab, b, nullptr));
+  prof::ProfDoc ba;
+  ASSERT_TRUE(prof::merge_profile(&ba, b, nullptr));
+  ASSERT_TRUE(prof::merge_profile(&ba, a, nullptr));
+
+  EXPECT_EQ(prof::render_profile_json(ab), prof::render_profile_json(ba));
+  const prof::OpProfile& pf = only_op(ab, "op.page_fault");
+  EXPECT_EQ(pf.latency.count(), 2u);
+  EXPECT_EQ(pf.worst_ns, 700u);
+}
+
+TEST(ProfDoc, PrefixNamespacesOpKeys) {
+  const prof::ProfDoc doc = prof::prefix_profile(sample_doc(1), "pvm/32p/");
+  EXPECT_EQ(doc.ops.size(), 1u);
+  EXPECT_TRUE(doc.ops.contains("pvm/32p/op.page_fault"));
+  // Paths inside the op keep their raw phase names — the op key carries the
+  // coordinate, so collapsed stacks splice it over the path's first frame.
+  EXPECT_TRUE(only_op(doc, "pvm/32p/op.page_fault").paths.contains("op.page_fault;ept_fill"));
+}
+
+TEST(ProfDoc, RenderParseRoundTripIsByteIdentical) {
+  prof::ProfDoc doc = sample_doc(3);
+  doc.dropped_spans = 5;
+  const std::string first = prof::render_profile_json(doc);
+
+  prof::ProfDoc parsed;
+  std::string error;
+  ASSERT_TRUE(prof::parse_profile_json(first, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, doc);
+  EXPECT_EQ(prof::render_profile_json(parsed), first);
+}
+
+TEST(ProfDoc, ParseRejectsWrongSchema) {
+  prof::ProfDoc parsed;
+  std::string error;
+  EXPECT_FALSE(prof::parse_profile_json("{\"schema\":\"pvm.bench.v1\"}", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProfRender, CollapsedStacksSpliceOpKeyOverRootFrame) {
+  const prof::ProfDoc doc = prof::prefix_profile(sample_doc(1), "pvm/1p/");
+  const std::string stacks = prof::render_collapsed_stacks(doc);
+  EXPECT_NE(stacks.find("pvm/1p/op.page_fault;ept_fill 30\n"), std::string::npos) << stacks;
+  EXPECT_NE(stacks.find("pvm/1p/op.page_fault 70\n"), std::string::npos) << stacks;
+}
+
+TEST(ProfRender, BlameNamesDominantPhaseFirst) {
+  const prof::ProfDoc doc = sample_doc(1);
+  const std::string blame = prof::render_blame(doc, prof::BlameOptions{});
+  // Root exclusive (70 ns) dominates ept_fill (30 ns): first path row is the
+  // dominant critical-path phase.
+  const auto root_pos = blame.find("op.page_fault\n");
+  const auto fill_pos = blame.find("op.page_fault;ept_fill");
+  ASSERT_NE(root_pos, std::string::npos) << blame;
+  ASSERT_NE(fill_pos, std::string::npos) << blame;
+  EXPECT_LT(root_pos, fill_pos);
+}
+
+}  // namespace
+}  // namespace pvm

@@ -8,12 +8,14 @@
 
 #include <cstdint>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/backends/platform.h"
 #include "src/obs/flight.h"
 #include "src/obs/hist.h"
+#include "src/obs/span.h"
 #include "src/obs/ts.h"
 
 namespace pvm::ts {
@@ -526,6 +528,55 @@ TEST(TimeseriesPlatformTest, BootProducesDeterministicTelemetry) {
   EXPECT_GT(doc.series.at("switcher_exits").total, 0);
   // Same config, same seed: byte-identical telemetry.
   EXPECT_EQ(render_timeseries_json(doc), render_timeseries_json(platform_run()));
+}
+
+TEST(TimeseriesPlatformTest, EveryTailBucketCarriesAResolvableExemplar) {
+  // Declared before the platform: coroutine frames destroyed with the
+  // platform may still hold SpanScopes into the recorder.
+  obs::SpanRecorder spans;
+  spans.set_enabled(true);
+  Collector collector;
+  PlatformConfig config;
+  config.mode = DeployMode::kPvmNst;
+  VirtualPlatform platform(config);
+  // Raise the ring capacity before any track records, so no flight event the
+  // exemplars can point at is evicted by wraparound.
+  platform.flight().set_capacity(1 << 16);
+  platform.sim().set_ts(&collector);
+  platform.sim().set_spans(&spans);
+  SecureContainer& container = platform.create_container("c0");
+  platform.sim().spawn(container.boot(8));
+  platform.sim().run();
+  const TsDoc doc = collector.drain();
+
+  std::set<std::uint64_t> flight_seqs;
+  for (const auto& [track, ring] : platform.flight().rings()) {
+    EXPECT_EQ(ring.dropped(), 0u) << "track " << track;
+    for (const auto& event : ring.snapshot()) {
+      flight_seqs.insert(event.seq);
+    }
+  }
+  ASSERT_FALSE(flight_seqs.empty());
+
+  // Every histogram bucket that holds samples — the tail bucket included —
+  // must carry an exemplar whose seq resolves to a live flight-ring event.
+  std::size_t checked = 0;
+  for (const auto& [name, hist] : doc.hists) {
+    const MergeableHistogram cumulative = hist.cumulative();
+    for (const auto& [bucket, n] : cumulative.buckets()) {
+      ASSERT_TRUE(hist.exemplars.contains(bucket))
+          << name << " bucket " << bucket << " (" << n << " samples) has no exemplar";
+      const TsExemplar& exemplar = hist.exemplars.at(bucket);
+      EXPECT_TRUE(flight_seqs.contains(exemplar.seq))
+          << name << " bucket " << bucket << " exemplar seq " << exemplar.seq
+          << " not found in flight rings";
+      ++checked;
+    }
+    const TsExemplar* tail = hist.tail_exemplar();
+    ASSERT_NE(tail, nullptr) << name;
+    EXPECT_EQ(tail->value, cumulative.max()) << name;
+  }
+  EXPECT_GT(checked, 0u);
 }
 
 }  // namespace
