@@ -30,7 +30,7 @@ Task<void> SecureContainer::compute(SimTime ns) {
   }
 }
 
-Task<void> SecureContainer::boot(int init_pages) {
+Task<void> SecureContainer::boot(int init_pages, std::uint64_t image_bytes) {
   obs::SpanScope span(sim_->spans(), obs::Phase::kOpBoot,
                       static_cast<std::uint64_t>(init_pages));
   const SimTime start = sim_->now();
@@ -48,7 +48,7 @@ Task<void> SecureContainer::boot(int init_pages) {
     co_return;
   }
   // Pull the container image / rootfs metadata: one I/O burst.
-  co_await kernel_->do_io(vcpu, *init_process_, *io_, 256 * 1024);
+  co_await kernel_->do_io(vcpu, *init_process_, *io_, image_bytes);
   if (init_process_->oom_killed()) {
     boot_failed_ = true;
   }

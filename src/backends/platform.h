@@ -13,6 +13,7 @@
 #ifndef PVM_SRC_BACKENDS_PLATFORM_H_
 #define PVM_SRC_BACKENDS_PLATFORM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,9 +55,11 @@ class SecureContainer {
   std::size_t vcpu_count() const { return vcpus_.size(); }
 
   // Container startup (RunD-style): boot vCPU 0, create the init process
-  // with `init_pages` resident pages, load the image (one I/O burst).
-  // Records the startup latency for the high-density experiment (Fig. 12).
-  Task<void> boot(int init_pages = 64);
+  // with `init_pages` resident pages, load the image (one I/O burst of
+  // `image_bytes`). Records the startup latency for the high-density
+  // experiment (Fig. 12). Snapshot-restore starts (pvm::fleet) pass a
+  // smaller resident set and image than a from-scratch boot.
+  Task<void> boot(int init_pages = 64, std::uint64_t image_bytes = 256 * 1024);
 
   // Charges `ns` of guest compute on a host CPU. With more runnable vCPUs
   // than host CPUs the pool queues in timeslices, so oversubscription

@@ -91,18 +91,43 @@ FaultPlan FaultPlan::preset(std::string_view name) {
 FaultPlan FaultPlan::parse(std::string_view text) {
   std::string_view name = text;
   std::uint64_t seed = 1;
+  std::uint64_t cap = 0;
   if (const auto colon = text.find(':'); colon != std::string_view::npos) {
     name = text.substr(0, colon);
-    const std::string_view rest = text.substr(colon + 1);
-    constexpr std::string_view kSeedKey = "seed=";
-    if (rest.substr(0, kSeedKey.size()) != kSeedKey) {
-      throw std::invalid_argument("fault plan syntax: expected '<preset>[:seed=N]', got '" +
-                                  std::string(text) + "'");
+    std::string_view rest = text.substr(colon + 1);
+    while (!rest.empty()) {
+      std::string_view param = rest;
+      if (const auto next = rest.find(':'); next != std::string_view::npos) {
+        param = rest.substr(0, next);
+        rest = rest.substr(next + 1);
+      } else {
+        rest = {};
+      }
+      constexpr std::string_view kSeedKey = "seed=";
+      constexpr std::string_view kCapKey = "cap=";
+      if (param.substr(0, kSeedKey.size()) == kSeedKey) {
+        seed = std::stoull(std::string(param.substr(kSeedKey.size())));
+      } else if (param.substr(0, kCapKey.size()) == kCapKey) {
+        cap = std::stoull(std::string(param.substr(kCapKey.size())));
+      } else {
+        throw std::invalid_argument(
+            "fault plan syntax: expected '<preset>[:seed=N][:cap=F]', got '" +
+            std::string(text) + "'");
+      }
     }
-    seed = std::stoull(std::string(rest.substr(kSeedKey.size())));
   }
   FaultPlan plan = preset(name);
   plan.seed = seed;
+  if (cap > 0) {
+    // Override every frame-exhaust ceiling in the preset: the fleet layer
+    // scales the exhausted-host pressure point without minting one preset
+    // per scenario size.
+    for (FaultSpec& spec : plan.specs) {
+      if (spec.kind == FaultKind::kFrameExhaust) {
+        spec.capacity_frames = cap;
+      }
+    }
+  }
   return plan;
 }
 

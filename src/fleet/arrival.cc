@@ -1,0 +1,324 @@
+#include "src/fleet/arrival.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace pvm::fleet {
+namespace {
+
+constexpr double kLn2 = 0.69314718055994530942;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+// Fixed-format double for spec_string: %.6f with trailing zeros (and a
+// bare trailing dot) stripped. Deterministic and round-trippable.
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6f", v);
+  std::string text(buffer);
+  while (!text.empty() && text.back() == '0') {
+    text.pop_back();
+  }
+  if (!text.empty() && text.back() == '.') {
+    text.pop_back();
+  }
+  return text;
+}
+
+std::string format_duration(std::uint64_t ns) {
+  if (ns % 1'000'000'000ull == 0 && ns != 0) {
+    return std::to_string(ns / 1'000'000'000ull) + "s";
+  }
+  if (ns % 1'000'000ull == 0 && ns != 0) {
+    return std::to_string(ns / 1'000'000ull) + "ms";
+  }
+  if (ns % 1'000ull == 0 && ns != 0) {
+    return std::to_string(ns / 1'000ull) + "us";
+  }
+  return std::to_string(ns) + "ns";
+}
+
+bool parse_duration(std::string_view text, std::uint64_t* out) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0 ||
+          text[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) {
+    return false;
+  }
+  double value = 0;
+  try {
+    value = std::stod(std::string(text.substr(0, digits)));
+  } catch (const std::exception&) {
+    return false;
+  }
+  const std::string_view suffix = text.substr(digits);
+  double scale = 1.0;
+  if (suffix == "s") {
+    scale = 1e9;
+  } else if (suffix == "ms") {
+    scale = 1e6;
+  } else if (suffix == "us") {
+    scale = 1e3;
+  } else if (suffix == "ns" || suffix.empty()) {
+    scale = 1.0;
+  } else {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(value * scale);
+  return true;
+}
+
+}  // namespace
+
+double det_log(double x) {
+  if (!(x > 0) || x == std::numeric_limits<double>::infinity()) {
+    throw std::domain_error("det_log: argument must be finite and positive");
+  }
+  int exponent = 0;
+  double m = std::frexp(x, &exponent);  // m in [0.5, 1)
+  if (m < kSqrtHalf) {
+    m *= 2.0;
+    exponent -= 1;
+  }
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  // |z| <= (sqrt(2)-1)/(sqrt(2)+1) ~= 0.1716; 9 odd terms reach < 1e-16.
+  double term = z;
+  double sum = 0.0;
+  for (int k = 1; k <= 17; k += 2) {
+    sum += term / static_cast<double>(k);
+    term *= z2;
+  }
+  return 2.0 * sum + static_cast<double>(exponent) * kLn2;
+}
+
+double det_exp(double x) {
+  if (x < -700.0) {
+    return 0.0;
+  }
+  if (x > 700.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double nf = x / kLn2;
+  const int n = static_cast<int>(nf >= 0 ? nf + 0.5 : nf - 0.5);
+  const double r = x - static_cast<double>(n) * kLn2;  // |r| <= ln2/2 + eps
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= 18; ++k) {
+    term *= r / static_cast<double>(k);
+    sum += term;
+  }
+  return std::ldexp(sum, n);
+}
+
+double det_sin_turns(double turns) {
+  double f = turns - std::floor(turns);  // [0, 1)
+  double sign = 1.0;
+  if (f >= 0.5) {
+    f -= 0.5;
+    sign = -1.0;
+  }
+  if (f > 0.25) {
+    f = 0.5 - f;  // fold into [0, 0.25] -> angle in [0, pi/2]
+  }
+  const double x = 2.0 * kPi * f;
+  const double x2 = x * x;
+  double term = x;
+  double sum = x;
+  for (int k = 1; k <= 9; ++k) {
+    term *= -x2 / static_cast<double>((2 * k) * (2 * k + 1));
+    sum += term;
+  }
+  return sign * sum;
+}
+
+std::string_view arrival_kind_token(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+double ArrivalSpec::rate_at(std::uint64_t t_ns) const {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return rate_per_sec;
+    case ArrivalKind::kDiurnal: {
+      const double turns =
+          static_cast<double>(t_ns) / static_cast<double>(period_ns);
+      return rate_per_sec * (1.0 + amplitude * det_sin_turns(turns));
+    }
+    case ArrivalKind::kBurst: {
+      const std::uint64_t phase = t_ns % burst_every_ns;
+      return phase < burst_len_ns ? rate_per_sec * burst_factor : rate_per_sec;
+    }
+  }
+  return rate_per_sec;
+}
+
+double ArrivalSpec::peak_rate() const {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return rate_per_sec;
+    case ArrivalKind::kDiurnal:
+      return rate_per_sec * (1.0 + amplitude);
+    case ArrivalKind::kBurst:
+      return rate_per_sec * burst_factor;
+  }
+  return rate_per_sec;
+}
+
+std::string ArrivalSpec::spec_string() const {
+  std::string out(arrival_kind_token(kind));
+  out += ":rate=" + format_double(rate_per_sec);
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kDiurnal:
+      out += ",amplitude=" + format_double(amplitude);
+      out += ",period=" + format_duration(period_ns);
+      break;
+    case ArrivalKind::kBurst:
+      out += ",factor=" + format_double(burst_factor);
+      out += ",every=" + format_duration(burst_every_ns);
+      out += ",len=" + format_duration(burst_len_ns);
+      break;
+  }
+  out += ",seed=" + std::to_string(seed);
+  return out;
+}
+
+bool parse_arrival_spec(std::string_view text, ArrivalSpec* out,
+                        std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  std::string_view kind = text;
+  std::string_view params;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    kind = text.substr(0, colon);
+    params = text.substr(colon + 1);
+  }
+  ArrivalSpec spec;
+  if (kind == "poisson") {
+    spec.kind = ArrivalKind::kPoisson;
+  } else if (kind == "diurnal") {
+    spec.kind = ArrivalKind::kDiurnal;
+  } else if (kind == "burst") {
+    spec.kind = ArrivalKind::kBurst;
+  } else {
+    return fail("unknown arrival kind '" + std::string(kind) +
+                "' (poisson, diurnal, burst)");
+  }
+  while (!params.empty()) {
+    std::string_view pair = params;
+    if (const auto comma = params.find(','); comma != std::string_view::npos) {
+      pair = params.substr(0, comma);
+      params = params.substr(comma + 1);
+    } else {
+      params = {};
+    }
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("arrival param '" + std::string(pair) + "' is not key=value");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    try {
+      if (key == "rate") {
+        spec.rate_per_sec = std::stod(value);
+      } else if (key == "amplitude") {
+        spec.amplitude = std::stod(value);
+      } else if (key == "factor") {
+        spec.burst_factor = std::stod(value);
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "period") {
+        if (!parse_duration(value, &spec.period_ns)) {
+          return fail("bad duration '" + value + "'");
+        }
+      } else if (key == "every") {
+        if (!parse_duration(value, &spec.burst_every_ns)) {
+          return fail("bad duration '" + value + "'");
+        }
+      } else if (key == "len") {
+        if (!parse_duration(value, &spec.burst_len_ns)) {
+          return fail("bad duration '" + value + "'");
+        }
+      } else {
+        return fail("unknown arrival param '" + std::string(key) + "'");
+      }
+    } catch (const std::exception&) {
+      return fail("bad value for arrival param '" + std::string(key) + "'");
+    }
+  }
+  if (spec.rate_per_sec <= 0) {
+    return fail("arrival rate must be positive");
+  }
+  if (spec.kind == ArrivalKind::kDiurnal &&
+      (spec.amplitude < 0 || spec.amplitude > 1 || spec.period_ns == 0)) {
+    return fail("diurnal needs 0<=amplitude<=1 and period>0");
+  }
+  if (spec.kind == ArrivalKind::kBurst &&
+      (spec.burst_factor < 1 || spec.burst_every_ns == 0 ||
+       spec.burst_len_ns > spec.burst_every_ns)) {
+    return fail("burst needs factor>=1 and len<=every");
+  }
+  *out = spec;
+  return true;
+}
+
+std::uint64_t ArrivalGenerator::next() {
+  const double peak = spec_.peak_rate();
+  const double peak_per_ns = peak / 1e9;
+  const bool homogeneous = spec_.kind == ArrivalKind::kPoisson;
+  for (;;) {
+    // 1 - u is in (0, 1], so det_log is finite and the gap positive.
+    const double u = rng_.next_double();
+    t_ns_ += -det_log(1.0 - u) / peak_per_ns;
+    const std::uint64_t stamp = static_cast<std::uint64_t>(t_ns_);
+    if (homogeneous) {
+      return stamp;
+    }
+    const double accept = spec_.rate_at(stamp) / peak;
+    if (rng_.next_double() < accept) {
+      return stamp;
+    }
+  }
+}
+
+std::vector<std::uint64_t> generate_arrivals(const ArrivalSpec& spec,
+                                             std::size_t count) {
+  ArrivalGenerator generator(spec);
+  std::vector<std::uint64_t> arrivals;
+  arrivals.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    arrivals.push_back(generator.next());
+  }
+  return arrivals;
+}
+
+std::size_t place_launch(std::uint64_t seed, std::uint64_t index,
+                         std::size_t nodes) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % (nodes == 0 ? 1 : nodes));
+}
+
+}  // namespace pvm::fleet

@@ -1,0 +1,125 @@
+// pvm::fleet — region-scale serverless serving above pvm::sweep.
+//
+// A fleet scenario shards `launches` container starts across `nodes`
+// independent per-node simulations per deployment mode. Each node is one
+// host: its own VirtualPlatform (so its own virtual clock, L0/L1 stack,
+// and fault injector), an admission-controlled slot pool, a warm pool of
+// pre-booted sandboxes, and an optional snapshot template checkpointed
+// through pvm::wal so cold starts can restore instead of booting from
+// nothing (RunD-style). Launch placement and arrival streams are stateless
+// functions of the spec seed, so any shard recomputes its share without
+// coordination and `--jobs N` equals serial byte-for-byte: nodes run under
+// sweep::run_indexed and their telemetry merges in node-index order via
+// the mergeable pvm::ts histograms.
+//
+// Per-launch lifecycle on a node:
+//   arrival -> admission (slot acquire; queue wait measured)
+//           -> warm sandbox from the idle pool, else create + restore-boot
+//              from the wal snapshot (shadow-paging modes), else cold boot
+//           -> function body (mmap + touches + syscalls + compute)
+//           -> sandbox parked back into the idle pool, slot released.
+// A boot OOM-kill retires the sandbox *and its slot* — a dead sandbox pins
+// its frames, so the node degrades exactly like an exhausted host. A start
+// latency beyond the deadline counts as a crash (the runtime gave up) but
+// the sandbox survives. Launches still queued when the run drains are
+// `starved`.
+//
+// Export schema "pvm.fleet.v1": spec, per-mode groups of per-node cells
+// (each embedding its pvm.bench.v1 document), a per-mode rollup of counts
+// and latency quantiles, and fleet-wide SLO verdicts in the same shape
+// pvm.timeseries.v1 uses, so benchdiff gates both with one code path.
+
+#ifndef PVM_SRC_FLEET_FLEET_H_
+#define PVM_SRC_FLEET_FLEET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/backends/config.h"
+#include "src/fleet/arrival.h"
+#include "src/obs/ts.h"
+#include "src/sweep/sweep.h"
+
+namespace pvm::fleet {
+
+inline constexpr std::string_view kFleetSchemaVersion = "pvm.fleet.v1";
+
+// RunD-style sandbox start deadline (same budget as fig12_highload).
+inline constexpr std::uint64_t kDefaultDeadlineNs = 10'000'000;
+
+struct FleetSpec {
+  ArrivalSpec arrival;
+  std::uint64_t launches = 2000;  // fleet-wide, per deployment mode
+  std::size_t nodes = 4;
+  std::uint32_t capacity = 96;  // concurrent sandboxes admitted per node
+  std::uint32_t warm_pool = 4;  // sandboxes pre-booted per node
+  bool snapshot_restore = true;
+  int cold_init_pages = 48;
+  int restore_init_pages = 8;
+  std::uint64_t cold_image_bytes = 256 * 1024;
+  std::uint64_t restore_image_bytes = 64 * 1024;
+  std::uint64_t deadline_ns = kDefaultDeadlineNs;
+  std::uint64_t window_ns = ts::kDefaultWindowNs;
+  int fn_pages = 8;           // function working set
+  int fn_syscalls = 4;        // syscalls per invocation (last one timed)
+  std::uint64_t fn_compute_ns = 50'000;
+  std::string fault_plan = "none";
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  std::uint64_t schedule_seed = 1;
+  std::uint64_t seed = 1;  // placement seed
+  std::vector<DeployMode> modes{DeployMode::kKvmEptNst, DeployMode::kPvmNst};
+};
+
+// One node's run: its telemetry document plus the embedded bench export.
+struct NodeOutcome {
+  DeployMode mode = DeployMode::kPvmNst;
+  std::size_t node = 0;
+  bool ok = false;
+  std::string error;
+  std::uint64_t events = 0;
+  std::uint64_t sim_ns = 0;
+  std::uint64_t containers = 0;       // sandboxes created on the node
+  std::uint64_t snapshot_bytes = 0;   // wal checkpoint size (0: no snapshot)
+  std::uint64_t snapshot_records = 0;
+  ts::TsDoc doc;
+  std::string bench_json;  // pvm.bench.v1 for this node
+};
+
+struct FleetGroup {
+  DeployMode mode = DeployMode::kPvmNst;
+  std::vector<NodeOutcome> nodes;
+  ts::TsDoc rollup;  // node docs merged in node-index order
+};
+
+struct FleetResult {
+  std::vector<FleetGroup> groups;
+  // Per-group rollups prefixed "<mode>/" and merged — the document SLOs
+  // evaluate against (and what --timeseries exports).
+  ts::TsDoc fleetwide;
+  std::vector<ts::SloResult> slos;
+  sweep::SweepTiming timing;
+};
+
+// The launches assigned to `node` (via place_launch) in arrival order.
+std::vector<std::uint64_t> node_arrivals(const FleetSpec& spec,
+                                         std::size_t node);
+
+// Runs one node of the fleet serially. Deterministic per
+// (spec, mode, node): every shard computes the same outcome.
+NodeOutcome run_node(const FleetSpec& spec, DeployMode mode, std::size_t node);
+
+// Runs modes x nodes cells across `jobs` workers and merges in index
+// order; evaluates `slos` on the fleet-wide document.
+FleetResult run_fleet(const FleetSpec& spec, int jobs,
+                      const std::vector<ts::SloSpec>& slos);
+
+// pvm.fleet.v1. Deterministic; `timing` adds the wall-clock section (omit
+// for byte-comparable output).
+std::string render_fleet_json(const FleetSpec& spec, const FleetResult& result,
+                              const sweep::SweepTiming* timing = nullptr);
+
+}  // namespace pvm::fleet
+
+#endif  // PVM_SRC_FLEET_FLEET_H_

@@ -98,7 +98,7 @@ std::string render_spans_json(const SpanRecorder& recorder) {
 void BenchExport::add_run(const std::string& label, const Simulation& sim,
                           const CounterSet& counters, const SpanRecorder* recorder,
                           std::vector<std::pair<std::string, double>> values,
-                          std::string alloc_json) {
+                          std::string alloc_json, bool include_resources) {
   Run run;
   run.label = label;
   run.values = std::move(values);
@@ -106,7 +106,7 @@ void BenchExport::add_run(const std::string& label, const Simulation& sim,
   run.sim_ns = sim.now();
   run.events = sim.events_processed();
   run.counters = counters;
-  run.resources_json = render_resources_json(sim);
+  run.resources_json = include_resources ? render_resources_json(sim) : "[]";
   if (recorder != nullptr && recorder->enabled()) {
     run.spans_json = render_spans_json(*recorder);
   }

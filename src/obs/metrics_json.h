@@ -36,11 +36,13 @@ class BenchExport {
   // `recorder` may be null (no span attribution section then). `alloc_json`
   // (pre-rendered by render_alloc_json, empty to omit) is the opt-in arena
   // accounting section — only --alloc-stats runs carry it, so default
-  // exports stay byte-identical.
+  // exports stay byte-identical. `include_resources` drops the per-resource
+  // stats array (emitted as []) — fleet nodes create hundreds of transient
+  // sandbox locks, which would bloat every embedded node document.
   void add_run(const std::string& label, const Simulation& sim, const CounterSet& counters,
                const SpanRecorder* recorder,
                std::vector<std::pair<std::string, double>> values,
-               std::string alloc_json = {});
+               std::string alloc_json = {}, bool include_resources = true);
 
   // Captures a run that has no live platform (values only).
   void add_values(const std::string& label,

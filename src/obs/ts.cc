@@ -515,8 +515,15 @@ std::string render_timeseries_json(const TsDoc& doc) {
     w.end_object();
   }
   w.end_array();
-  w.key("slos").begin_array();
-  for (const SloResult& slo : doc.slos) {
+  w.key("slos");
+  render_slo_results(w, doc.slos);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void render_slo_results(obs::JsonWriter& w, const std::vector<SloResult>& slos) {
+  w.begin_array();
+  for (const SloResult& slo : slos) {
     w.begin_object();
     w.key("name").value(slo.name);
     w.key("metric").value(slo.metric);
@@ -529,8 +536,25 @@ std::string render_timeseries_json(const TsDoc& doc) {
     w.end_object();
   }
   w.end_array();
-  w.end_object();
-  return w.str() + "\n";
+}
+
+void parse_slo_results(const obs::JsonValue& array, std::vector<SloResult>* out) {
+  for (const obs::JsonValue& entry : array.array) {
+    SloResult slo;
+    if (const obs::JsonValue* v = entry.find("name")) slo.name = v->string;
+    if (const obs::JsonValue* v = entry.find("metric")) slo.metric = v->string;
+    if (const obs::JsonValue* v = entry.find("quantile")) slo.quantile = v->string;
+    if (const obs::JsonValue* v = entry.find("threshold_ns")) {
+      slo.threshold_ns = as_u64(*v);
+    }
+    if (const obs::JsonValue* v = entry.find("scope")) slo.scope = v->string;
+    if (const obs::JsonValue* v = entry.find("value")) slo.value = as_i64(*v);
+    if (const obs::JsonValue* v = entry.find("worst_window")) {
+      slo.worst_window = as_u64(*v);
+    }
+    if (const obs::JsonValue* v = entry.find("pass")) slo.pass = v->boolean;
+    out->push_back(std::move(slo));
+  }
 }
 
 bool parse_timeseries_json(std::string_view text, TsDoc* out, std::string* error) {
@@ -636,22 +660,7 @@ bool parse_timeseries_json(std::string_view text, TsDoc* out, std::string* error
     }
   }
   if (const obs::JsonValue* slos = root.find("slos"); slos != nullptr) {
-    for (const obs::JsonValue& entry : slos->array) {
-      SloResult slo;
-      if (const obs::JsonValue* v = entry.find("name")) slo.name = v->string;
-      if (const obs::JsonValue* v = entry.find("metric")) slo.metric = v->string;
-      if (const obs::JsonValue* v = entry.find("quantile")) slo.quantile = v->string;
-      if (const obs::JsonValue* v = entry.find("threshold_ns")) {
-        slo.threshold_ns = as_u64(*v);
-      }
-      if (const obs::JsonValue* v = entry.find("scope")) slo.scope = v->string;
-      if (const obs::JsonValue* v = entry.find("value")) slo.value = as_i64(*v);
-      if (const obs::JsonValue* v = entry.find("worst_window")) {
-        slo.worst_window = as_u64(*v);
-      }
-      if (const obs::JsonValue* v = entry.find("pass")) slo.pass = v->boolean;
-      doc.slos.push_back(std::move(slo));
-    }
+    parse_slo_results(*slos, &doc.slos);
   }
   *out = std::move(doc);
   return true;

@@ -28,6 +28,8 @@
 #include "src/obs/hist.h"
 
 namespace pvm::obs {
+class JsonValue;
+class JsonWriter;
 class SpanRecorder;
 }  // namespace pvm::obs
 
@@ -221,6 +223,14 @@ void evaluate_slos(TsDoc* doc, const std::vector<SloSpec>& specs);
 // iteration order), integers only, no wall-clock fields.
 std::string render_timeseries_json(const TsDoc& doc);
 bool parse_timeseries_json(std::string_view text, TsDoc* out, std::string* error);
+
+// The SLO-verdict array shared by pvm.timeseries.v1 and pvm.fleet.v1:
+// render_slo_results writes it (as the next value of `w`, typically after a
+// key), parse_slo_results reads a parsed JSON array back. Factored out so
+// every schema carrying SLO verdicts serializes them identically and
+// benchdiff gates them with one code path.
+void render_slo_results(obs::JsonWriter& w, const std::vector<SloResult>& slos);
+void parse_slo_results(const obs::JsonValue& array, std::vector<SloResult>* out);
 
 // kvm_stat/top-style text dashboard over a document: per-window sparkline
 // trend columns, totals, latency quantiles, worst-window highlight, SLO

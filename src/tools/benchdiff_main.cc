@@ -1,6 +1,7 @@
 // benchdiff — compare two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1 /
-// pvm.profile.v1 exports and gate on regressions, or gate directly on a
-// timeseries export's embedded SLO verdicts (--slo-check).
+// pvm.profile.v1 / pvm.fleet.v1 exports and gate on regressions, or gate
+// directly on the SLO verdicts embedded in a timeseries or fleet export
+// (--slo-check).
 //
 // Matches runs by label and compares every gated metric (the run's headline
 // `values`, the `derived` ratios, the always-present `recovery` outcome
@@ -194,7 +195,9 @@ bool collect_timeseries(const std::string& text, const std::string& path,
   }
   for (const ts::SloResult& slo : doc.slos) {
     RunMetrics rm;
-    rm.label = "slo/" + slo.name;
+    // The metric disambiguates: one spec produces one verdict per matching
+    // metric name, and duplicate labels would cross-match in the diff.
+    rm.label = "slo/" + slo.name + "/" + slo.metric;
     rm.metrics.push_back({"pass", slo.pass ? 1.0 : 0.0});
     rm.metrics.push_back({"value_ns", static_cast<double>(slo.value)});
     out->push_back(std::move(rm));
@@ -239,6 +242,80 @@ bool collect_profile(const std::string& text, const std::string& path,
   return true;
 }
 
+// Flattens a pvm.fleet.v1 document: one "fleet/<mode>/n<i>" run per node
+// (ok flag, event/sim totals, sandbox count, snapshot size) plus its
+// embedded pvm.bench.v1 runs; one "fleet/<mode>/rollup" run per mode with
+// the fleet-wide counts and latency quantiles — the headline SLO surface —
+// and one "slo/<name>" run per fleet-wide verdict. A node regressing from
+// ok to failed trips the gate even though its metrics vanished.
+bool collect_fleet(const obs::JsonValue& doc, const std::string& path,
+                   std::vector<RunMetrics>* out, std::string* error) {
+  const obs::JsonValue* groups = doc.find("groups");
+  if (groups == nullptr || !groups->is_array()) {
+    *error = path + ": no groups array";
+    return false;
+  }
+  for (const obs::JsonValue& group : groups->array) {
+    const std::string mode = cell_string(group, "mode");
+    if (const obs::JsonValue* nodes = group.find("nodes");
+        nodes != nullptr && nodes->is_array()) {
+      for (const obs::JsonValue& node : nodes->array) {
+        std::string index = "?";
+        if (const obs::JsonValue* v = node.find("node");
+            v != nullptr && v->is_number()) {
+          index = std::to_string(static_cast<std::uint64_t>(v->number));
+        }
+        const std::string prefix = "fleet/" + mode + "/n" + index;
+        const obs::JsonValue* ok = node.find("ok");
+        const bool node_ok = ok != nullptr && ok->is_bool() && ok->boolean;
+        RunMetrics status;
+        status.label = prefix;
+        status.metrics.push_back({"ok", node_ok ? 1.0 : 0.0});
+        for (const char* key :
+             {"events", "sim_ns", "containers", "snapshot_bytes",
+              "snapshot_records"}) {
+          if (const obs::JsonValue* v = node.find(key);
+              v != nullptr && v->is_number()) {
+            status.metrics.push_back({key, v->number});
+          }
+        }
+        out->push_back(std::move(status));
+        const obs::JsonValue* bench = node.find("bench");
+        if (node_ok && bench != nullptr && bench->is_object()) {
+          if (!collect_bench_runs(*bench, path, prefix + ":", out, error)) {
+            return false;
+          }
+        }
+      }
+    }
+    if (const obs::JsonValue* rollup = group.find("rollup");
+        rollup != nullptr && rollup->is_object()) {
+      RunMetrics rm;
+      rm.label = "fleet/" + mode + "/rollup";
+      collect_object(rollup->find("counts"), "counts.", &rm.metrics);
+      if (const obs::JsonValue* latency = rollup->find("latency");
+          latency != nullptr && latency->is_object()) {
+        for (const auto& [name, hist] : latency->object) {
+          collect_object(&hist, "latency." + name + ".", &rm.metrics);
+        }
+      }
+      out->push_back(std::move(rm));
+    }
+  }
+  if (const obs::JsonValue* slos = doc.find("slos"); slos != nullptr) {
+    std::vector<ts::SloResult> results;
+    ts::parse_slo_results(*slos, &results);
+    for (const ts::SloResult& slo : results) {
+      RunMetrics rm;
+      rm.label = "slo/" + slo.name + "/" + slo.metric;
+      rm.metrics.push_back({"pass", slo.pass ? 1.0 : 0.0});
+      rm.metrics.push_back({"value_ns", static_cast<double>(slo.value)});
+      out->push_back(std::move(rm));
+    }
+  }
+  return true;
+}
+
 bool load_export(const std::string& path, std::vector<RunMetrics>* out,
                  std::string* error) {
   std::string text;
@@ -268,38 +345,55 @@ bool load_export(const std::string& path, std::vector<RunMetrics>* out,
   if (schema->string == prof::kProfileSchemaVersion) {
     return collect_profile(text, path, out, error);
   }
+  if (schema->string == "pvm.fleet.v1") {
+    return collect_fleet(doc, path, out, error);
+  }
   *error = path +
-           ": not a pvm.bench.v1, pvm.matrix.v1, pvm.timeseries.v1 or "
-           "pvm.profile.v1 export";
+           ": not a pvm.bench.v1, pvm.matrix.v1, pvm.timeseries.v1, "
+           "pvm.profile.v1 or pvm.fleet.v1 export";
   return false;
 }
 
-// --slo-check: gate directly on the SLO verdicts a bench/matrix run already
-// evaluated into its timeseries export. Zero SLOs is a usage error (exit 2),
-// not a pass — otherwise a misspelled --slo spec upstream would turn the CI
-// gate into a no-op.
+// --slo-check: gate directly on the SLO verdicts a run already evaluated
+// into its timeseries or fleet export (both carry the same verdict-array
+// shape). Zero SLOs is a usage error (exit 2), not a pass — otherwise a
+// misspelled --slo spec upstream would turn the CI gate into a no-op.
 int slo_check_main(const std::string& path) {
   std::string text;
   if (!read_file(path, &text)) {
     std::fprintf(stderr, "benchdiff: %s: cannot read\n", path.c_str());
     return 2;
   }
-  ts::TsDoc doc;
+  std::vector<ts::SloResult> slos;
   std::string error;
-  if (!ts::parse_timeseries_json(text, &doc, &error)) {
+  obs::JsonValue root;
+  if (!obs::json_parse(text, &root, &error)) {
     std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), error.c_str());
     return 2;
   }
-  if (doc.slos.empty()) {
+  const obs::JsonValue* schema = root.find("schema");
+  if (schema != nullptr && schema->is_string() && schema->string == "pvm.fleet.v1") {
+    if (const obs::JsonValue* array = root.find("slos")) {
+      ts::parse_slo_results(*array, &slos);
+    }
+  } else {
+    ts::TsDoc doc;
+    if (!ts::parse_timeseries_json(text, &doc, &error)) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    slos = std::move(doc.slos);
+  }
+  if (slos.empty()) {
     std::fprintf(stderr,
                  "benchdiff: %s: no SLO results in document (was the producing run "
                  "given any --slo specs?)\n",
                  path.c_str());
     return 2;
   }
-  std::printf("benchdiff: SLO check %s (%zu SLO(s))\n", path.c_str(), doc.slos.size());
+  std::printf("benchdiff: SLO check %s (%zu SLO(s))\n", path.c_str(), slos.size());
   int failures = 0;
-  for (const ts::SloResult& slo : doc.slos) {
+  for (const ts::SloResult& slo : slos) {
     if (!slo.pass) {
       ++failures;
     }
@@ -308,7 +402,7 @@ int slo_check_main(const std::string& path) {
                 static_cast<long long>(slo.value), static_cast<long long>(slo.threshold_ns),
                 slo.scope.c_str());
   }
-  std::printf("benchdiff: %zu SLO(s), %d failed\n", doc.slos.size(), failures);
+  std::printf("benchdiff: %zu SLO(s), %d failed\n", slos.size(), failures);
   return failures == 0 ? 0 : 1;
 }
 
@@ -371,10 +465,10 @@ int usage(const char* argv0) {
                "          [--metrics m1,m2,...] [--warn-pct P] [--direction both|down|up]\n"
                "       %s --slo-check <timeseries.json>\n"
                "  compares two pvm.bench.v1 / pvm.matrix.v1 / pvm.timeseries.v1 /\n"
-               "  pvm.profile.v1 exports run-by-run, metric-by-metric\n"
+               "  pvm.profile.v1 / pvm.fleet.v1 exports run-by-run, metric-by-metric\n"
                "  --slo-check      gate on the SLO verdicts embedded in a\n"
-               "                   pvm.timeseries.v1 export: exit 1 if any failed,\n"
-               "                   exit 2 if the document has none\n"
+               "                   pvm.timeseries.v1 or pvm.fleet.v1 export: exit 1\n"
+               "                   if any failed, exit 2 if the document has none\n"
                "  --threshold-pct  symmetric relative threshold (default 10.0)\n"
                "  --quiet          print only metrics beyond the threshold\n"
                "  --metrics        gate only metrics whose name contains one of the\n"

@@ -128,6 +128,27 @@ elseif(CASE STREQUAL "simcheck")
                  "${WORK_DIR}/expected/postmortem-pvm-fifo-3.txt"
                  "postmortem timeline, jobs=${JOBS}")
 
+elseif(CASE STREQUAL "fleet")
+  # pvm.fleet.v1 byte identity: a 1.2k-launch flashcrowd (ept vs pvm, the
+  # Fig. 12 contrast) at --jobs ${JOBS} must match the checked-in fixture
+  # exactly — this pins the arrival samplers, the det_* math kernels, the
+  # node simulations, and the shard-merge all at once. Regenerate after an
+  # intentional output change:
+  #   build/src/tools/pvm-fleet --scenario flashcrowd --launches 1200 \
+  #       --nodes 4 --out tests/golden/fleet_fixture.json
+  if(NOT DEFINED JOBS)
+    set(JOBS 1)
+  endif()
+  execute_process(COMMAND "${BIN}" --scenario flashcrowd --launches 1200
+                          --nodes 4 --jobs ${JOBS}
+                          --out "${WORK_DIR}/fleet.json"
+                  RESULT_VARIABLE rc ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pvm-fleet failed (exit ${rc})")
+  endif()
+  compare_or_die("${WORK_DIR}/fleet.json" "${GOLDEN_DIR}/fleet_fixture.json"
+                 "pvm.fleet.v1 export, jobs=${JOBS}")
+
 else()
   message(FATAL_ERROR "unknown CASE '${CASE}'")
 endif()

@@ -5,13 +5,37 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/backends/platform.h"
 #include "src/backends/pvm_memory_backend.h"
+#include "src/fleet/fleet.h"
 #include "src/sim/random.h"
 #include "src/workloads/runner.h"
 
 namespace pvm {
 namespace {
+
+// Same seed-sharding knobs as fuzz_property_test.cc, so CI shards widen
+// coverage without recompiling: PVM_FUZZ_SEED_OFFSET shifts the scenario
+// seeds, PVM_FUZZ_ITER_SCALE scales the launch volume.
+std::uint64_t soak_seed_offset() {
+  const char* env = std::getenv("PVM_FUZZ_SEED_OFFSET");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+}
+
+std::uint64_t soak_scaled(std::uint64_t base) {
+  const char* env = std::getenv("PVM_FUZZ_ITER_SCALE");
+  if (env == nullptr) {
+    return base;
+  }
+  const double scale = std::atof(env);
+  if (scale <= 0) {
+    return base;
+  }
+  const double scaled = static_cast<double>(base) * scale;
+  return scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+}
 
 Task<void> churn(SecureContainer& container, Vcpu& vcpu, GuestProcess& init,
                  std::uint64_t seed) {
@@ -130,6 +154,47 @@ TEST(SoakTest, LongMixedWorkloadPreservesInvariants) {
   const std::uint64_t io_events = platform.counters().get(Counter::kIoRequest) +
                                   platform.counters().get(Counter::kInterruptInjected);
   EXPECT_LE(platform.counters().get(Counter::kL0Exit), io_events);
+}
+
+// Fleet soak: a flash-crowd scenario against both the ept and pvm stacks,
+// sharded by the fuzz env knobs. Whatever the seed does to the load, two
+// global invariants must hold on every node: launch accounting closes
+// (every arrival completes or crashes — nothing is silently dropped) and
+// the run is replay-identical under a different worker count.
+TEST(SoakTest, FleetFlashcrowdAccountingCloses) {
+  fleet::FleetSpec spec;
+  spec.arrival.kind = fleet::ArrivalKind::kBurst;
+  spec.arrival.rate_per_sec = 1000.0;
+  spec.arrival.burst_factor = 10.0;
+  spec.arrival.burst_every_ns = 2'000'000'000ull;
+  spec.arrival.burst_len_ns = 250'000'000ull;
+  spec.arrival.seed = 1 + soak_seed_offset();
+  spec.fault_plan = "bootstorm";
+  spec.launches = soak_scaled(1500);
+  spec.nodes = 2;
+  spec.seed = 1 + soak_seed_offset();
+  spec.schedule_seed = 1 + soak_seed_offset();
+  spec.modes = {DeployMode::kKvmEptNst, DeployMode::kPvmNst};
+
+  const fleet::FleetResult serial = fleet::run_fleet(spec, 1, {});
+  for (const fleet::FleetGroup& group : serial.groups) {
+    SCOPED_TRACE(deploy_mode_token(group.mode));
+    std::uint64_t launches = 0, completions = 0, crashes = 0;
+    for (const fleet::NodeOutcome& node : group.nodes) {
+      ASSERT_TRUE(node.ok) << node.error;
+      launches += node.doc.series.at("fleet/launches").total;
+      completions += node.doc.series.at("fleet/completions").total;
+      crashes += node.doc.series.at("fleet/crashes").total;
+    }
+    EXPECT_EQ(launches, spec.launches);
+    EXPECT_EQ(completions + crashes, spec.launches);
+    EXPECT_EQ(group.rollup.series.at("fleet/completions").total, completions);
+    EXPECT_EQ(group.rollup.series.at("fleet/crashes").total, crashes);
+  }
+
+  const fleet::FleetResult parallel = fleet::run_fleet(spec, 2, {});
+  EXPECT_EQ(fleet::render_fleet_json(spec, parallel),
+            fleet::render_fleet_json(spec, serial));
 }
 
 }  // namespace
